@@ -1,0 +1,342 @@
+package spottune
+
+// One benchmark per table/figure of the paper's evaluation (§IV), plus
+// micro-benchmarks of the core substrates. Figure benchmarks run the same
+// experiment code as cmd/benchfigs at reduced scale and report the headline
+// quantities via b.ReportMetric, so `go test -bench` regenerates the
+// paper-facing numbers:
+//
+//	go test -bench=Fig -benchmem
+//
+// Full-fidelity runs (real training, trained RevPred) are produced by
+// `go run ./cmd/benchfigs -fig all`; see EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"spottune/internal/campaign"
+	"spottune/internal/earlycurve"
+	"spottune/internal/experiments"
+	"spottune/internal/market"
+	"spottune/internal/mltrain"
+	"spottune/internal/nn"
+	"spottune/internal/revpred"
+	"spottune/internal/simclock"
+
+	"math/rand/v2"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seed:      1,
+		Scale:     0.2,
+		Quick:     true,
+		Workloads: []string{"LoR", "ResNet"},
+	}
+}
+
+// BenchmarkFig1SpotPrices regenerates the Fig. 1 trace (11 days of the
+// spiky r3.xlarge market).
+func BenchmarkFig1SpotPrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(experiments.Options{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Records)), "records")
+	}
+}
+
+// BenchmarkFig5Curves records the example validation-loss curves with the
+// real pure-Go trainers.
+func BenchmarkFig5Curves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(experiments.Options{Seed: 1, Scale: 0.2, Workloads: []string{"LoR", "ResNet"}})
+		res, err := experiments.Fig5(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.ResNet)), "resnet_points")
+	}
+}
+
+// BenchmarkFig6Profiling samples the performance matrix (the COV < 0.1
+// online-profiling claim of §IV-A5).
+func BenchmarkFig6Profiling(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].COV, "cov")
+	}
+}
+
+// BenchmarkFig7Campaign runs the four-approach cost/JCT/PCR comparison on
+// two workloads at reduced scale.
+func BenchmarkFig7Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		rows, err := experiments.Fig7(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcr := experiments.PCRNormalized(rows)
+		b.ReportMetric(pcr["LoR"][experiments.ApproachCheapest], "pcr_cheapest_vs_st07")
+		for _, r := range rows {
+			if r.Workload == "LoR" && r.Approach == experiments.ApproachSpotTune07 {
+				b.ReportMetric(r.Cost, "st07_cost_usd")
+				b.ReportMetric(r.JCTHours, "st07_jct_hours")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8ThetaSweep sweeps θ over one workload.
+func BenchmarkFig8ThetaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(experiments.Options{
+			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+		})
+		_, acc, err := experiments.Fig8(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(acc[len(acc)-1].Top3, "top3_at_theta1")
+	}
+}
+
+// BenchmarkFig9Refund measures the refunded-resource contribution at θ=0.7.
+func BenchmarkFig9Refund(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		rows, err := experiments.Fig7(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f9 := experiments.Fig9(rows)
+		sum := 0.0
+		for _, r := range f9 {
+			sum += r.FreeFraction
+		}
+		b.ReportMetric(sum/float64(len(f9)), "mean_free_frac")
+	}
+}
+
+// BenchmarkFig10RevPred trains and scores the three revocation predictors
+// on every market (tiny capacity).
+func BenchmarkFig10RevPred(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		res, err := experiments.Fig10(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RevPred.Accuracy(), "revpred_acc")
+		b.ReportMetric(res.Tributary.Accuracy(), "tributary_acc")
+	}
+}
+
+// BenchmarkFig11EarlyCurve compares EarlyCurve and SLAQ across the 16
+// ResNet configurations.
+func BenchmarkFig11EarlyCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		res, err := experiments.Fig11(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ec, slaq float64
+		for _, r := range res.Rows {
+			ec += r.EarlyErr
+			slaq += r.SLAQErr
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(ec/n, "earlycurve_err")
+		b.ReportMetric(slaq/n, "slaq_err")
+	}
+}
+
+// BenchmarkFig12Checkpoint measures checkpoint-restore overhead share.
+func BenchmarkFig12Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		rows, err := experiments.Fig7(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f12 := experiments.Fig12(rows)
+		sum := 0.0
+		for _, r := range f12 {
+			sum += r.OverheadFrac
+		}
+		b.ReportMetric(sum/float64(len(f12)), "mean_overhead_frac")
+	}
+}
+
+// ---------------------------------------------------------------- micro
+
+// BenchmarkMarketGenerate measures synthetic trace generation (one market,
+// one day).
+func BenchmarkMarketGenerate(b *testing.B) {
+	it, _ := market.DefaultCatalog().Lookup("r3.xlarge")
+	spec := market.MarketSpec{Type: it}
+	start := campaign.DefaultStart()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := market.Generate(spec, start, start.Add(24*time.Hour), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSTMForwardBackward measures one RevPred-shaped LSTM training
+// step (59 timesteps, 6 features, hidden 24, depth 3).
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	l := nn.NewStackedLSTM("b", 6, 24, 3, rng)
+	xs := make([][]float64, 59)
+	for t := range xs {
+		xs[t] = make([]float64, 6)
+		for j := range xs[t] {
+			xs[t][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs, cache := l.ForwardSeq(xs)
+		last := hs[len(hs)-1]
+		l.BackwardSeq(cache, nn.LastHiddenGrad(59, 24, last))
+	}
+}
+
+// BenchmarkEarlyCurveFit measures one staged fit over a 200-point two-stage
+// curve.
+func BenchmarkEarlyCurveFit(b *testing.B) {
+	pts := make([]earlycurve.MetricPoint, 200)
+	for k := 1; k <= 200; k++ {
+		v := 1/(0.05*float64(k)+1.2) + 0.8
+		if k >= 100 {
+			v = 1/(2.0*float64(k-99)+5.0) + 0.2
+		}
+		pts[k-1] = earlycurve.MetricPoint{Step: k, Value: v}
+	}
+	p := &earlycurve.Predictor{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictFinal(pts, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventQueue measures the virtual clock under heavy scheduling.
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clk := simclock.NewVirtual(campaign.DefaultStart())
+		for j := 0; j < 1000; j++ {
+			clk.ScheduleAfter(time.Duration(j%97)*time.Second, func(time.Time) {})
+		}
+		clk.Sleep(time.Minute * 2)
+	}
+}
+
+// BenchmarkGBTRound measures one boosting round on the GBTR workload data.
+func BenchmarkGBTRound(b *testing.B) {
+	data := mltrain.SyntheticRegression(400, 8, 0.1, 5)
+	train, _ := data.Split(0.8)
+	idx := make([]int, 128)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mltrain.NewGBTRegressor(5, 4)
+		m.TrainStep(train, idx, 0.3)
+	}
+}
+
+// BenchmarkRevPredInference measures one provisioning-time probability
+// query (feature assembly + LSTM forward).
+func BenchmarkRevPredInference(b *testing.B) {
+	it, _ := market.DefaultCatalog().Lookup("m4.2xlarge")
+	specs, _ := market.DefaultSpecs(market.DefaultCatalog())
+	var spec market.MarketSpec
+	for _, s := range specs {
+		if s.Type.Name == it.Name {
+			spec = s
+		}
+	}
+	start := campaign.DefaultStart()
+	tr, err := market.Generate(spec, start, start.Add(48*time.Hour), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := market.NewGrid(it, tr, start, start.Add(48*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := revpred.Train(g, revpred.HistorySteps, 24*60,
+		revpred.Config{Hidden: 8, Depth: 2, Epochs: 1, Stride: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := revpred.HistorySteps + i%(g.Len()-2*revpred.HistorySteps)
+		m.Predict(g, idx, g.Prices[idx]+0.05)
+	}
+}
+
+// BenchmarkOrchestratorCampaign measures one full simulated SpotTune
+// campaign (16 trials, constant predictor).
+func BenchmarkOrchestratorCampaign(b *testing.B) {
+	env, err := campaign.NewEnvironment(campaign.EnvOptions{
+		Seed: 1, Days: 6, TrainDays: 2, Predictor: campaign.PredictorConstant,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := BenchmarkByName("LoR", WorkloadConfig{Seed: 1, Scale: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := env.RunSpotTune(bench, curves, campaign.Options{Theta: 0.7, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.JCT.Hours(), "virtual_jct_hours")
+	}
+}
+
+// BenchmarkAblationPredictors compares Eq. 2 with no prediction, the
+// session predictor, and the oracle.
+func BenchmarkAblationPredictors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(experiments.Options{
+			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+		})
+		rows, err := experiments.PredictorAblation(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Predictor == "oracle" {
+				b.ReportMetric(r.FreeFrac, "oracle_free_frac")
+			}
+			if r.Predictor == "none" {
+				b.ReportMetric(r.FreeFrac, "none_free_frac")
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command spottune runs one simulated hyper-parameter-tuning campaign and
+// prints its report: SpotTune itself or a Single-Spot baseline, over any of
+// the paper's Table II workloads.
+//
+// Usage:
+//
+//	spottune -workload ResNet -theta 0.7
+//	spottune -workload LoR -baseline r4.large
+//	spottune -workload GBTR -theta 0.5 -pred oracle -real
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"spottune/internal/campaign"
+	"spottune/internal/core"
+	"spottune/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spottune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wl       = flag.String("workload", "LoR", "Table II workload: LoR, SVM, GBTR, LiR, AlexNet, ResNet")
+		theta    = flag.Float64("theta", 0.7, "early-shutdown rate θ in (0, 1]")
+		mcnt     = flag.Int("mcnt", 3, "models continued to full training")
+		conc     = flag.Int("concurrent", 1, "max concurrently deployed trials")
+		baseline = flag.String("baseline", "", "run a Single-Spot baseline on this instance type instead of SpotTune")
+		pred     = flag.String("pred", "constant", "revocation predictor: revpred, tributary, logreg, oracle, constant, none")
+		seed     = flag.Uint64("seed", 1, "seed for markets, noise, and bids")
+		scale    = flag.Float64("scale", 0.5, "workload scale")
+		real     = flag.Bool("real", false, "record curves with real pure-Go training (slower) instead of synthetic curves")
+		days     = flag.Int("days", 8, "days of market history to generate")
+		train    = flag.Int("train", 2, "days of history used to train predictors")
+	)
+	flag.Parse()
+
+	bench, err := workload.SuiteByName(*wl, workload.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d HP settings, max_trial_steps=%d, checkpoint=%.0fMB\n",
+		bench.Name, len(bench.HPs), bench.MaxTrialSteps, bench.CheckpointMB)
+
+	var curves workload.Curves
+	if *real {
+		fmt.Println("recording curves with real training ...")
+		curves, err = bench.RecordCurves()
+		if err != nil {
+			return err
+		}
+	} else {
+		curves = bench.SyntheticCurves(*seed)
+	}
+
+	fmt.Printf("assembling environment (predictor=%s) ...\n", *pred)
+	env, err := campaign.NewEnvironment(campaign.EnvOptions{
+		Seed:      *seed,
+		Days:      *days,
+		TrainDays: *train,
+		Predictor: campaign.PredictorKind(*pred),
+	})
+	if err != nil {
+		return err
+	}
+
+	var rep *core.Report
+	if *baseline != "" {
+		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
+	} else {
+		rep, err = env.RunSpotTune(bench, curves, campaign.Options{
+			Theta:         *theta,
+			MCnt:          *mcnt,
+			MaxConcurrent: *conc,
+			Seed:          *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	printReport(rep, bench, curves)
+	return nil
+}
+
+func printReport(rep *core.Report, bench *workload.Benchmark, curves workload.Curves) {
+	fmt.Printf("\n=== %s (θ=%.1f) ===\n", rep.Approach, rep.Theta)
+	fmt.Printf("JCT            %v\n", rep.JCT.Round(time.Second))
+	fmt.Printf("cost           $%.4f (gross $%.4f, refunded $%.4f = %.1f%%)\n",
+		rep.NetCost, rep.GrossCost, rep.Refund, 100*rep.RefundFraction())
+	fmt.Printf("steps          %d total, %d free (%.1f%%)\n",
+		rep.TotalSteps, rep.FreeSteps, 100*rep.FreeStepFraction())
+	fmt.Printf("deployments    %d (%d notices, %d revocations)\n",
+		rep.Deployments, rep.Notices, rep.Revocations)
+	fmt.Printf("ckpt/restore   %v / %v (%.2f%% of JCT)\n",
+		rep.CheckpointTime.Round(time.Second), rep.RestoreTime.Round(time.Second),
+		100*rep.OverheadFraction())
+	fmt.Printf("best HP        %s\n", rep.Best)
+
+	finals, trueBest, err := campaign.TrueFinals(bench, curves)
+	if err == nil {
+		marker := "MISS"
+		if rep.Best == trueBest {
+			marker = "HIT"
+		}
+		fmt.Printf("true best      %s (%s)\n", trueBest, marker)
+		type kv struct {
+			id   string
+			pred float64
+		}
+		var rows []kv
+		for id, v := range rep.PredictedFinals {
+			rows = append(rows, kv{id, v})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].pred < rows[j].pred })
+		fmt.Println("ranking (predicted vs true final metric):")
+		for i, r := range rows {
+			if i == 5 {
+				fmt.Printf("  ... %d more\n", len(rows)-5)
+				break
+			}
+			fmt.Printf("  %2d. %-46s pred %.4f  true %.4f\n", i+1, r.id, r.pred, finals[r.id])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command tracegen generates and inspects synthetic spot-price traces — the
+// stand-in for the Kaggle "AWS Spot Pricing Market" dataset the paper uses.
+//
+// Usage:
+//
+//	tracegen -type r3.xlarge -days 11 -seed 1 -out r3.csv
+//	tracegen -summary            # per-market statistics for the whole pool
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spottune/internal/campaign"
+	"spottune/internal/market"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		typeName = flag.String("type", "r3.xlarge", "instance type (Table III)")
+		days     = flag.Int("days", 11, "trace length in days")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "CSV output path (default stdout summary only)")
+		summary  = flag.Bool("summary", false, "print statistics for all six markets")
+	)
+	flag.Parse()
+
+	cat := market.DefaultCatalog()
+	specs, err := market.DefaultSpecs(cat)
+	if err != nil {
+		return err
+	}
+	start := campaign.DefaultStart()
+	end := start.Add(time.Duration(*days) * 24 * time.Hour)
+
+	if *summary {
+		fmt.Printf("%-12s %8s %8s %8s %8s %9s\n", "market", "od $/h", "avg $/h", "max $/h", "records", "disc.%")
+		for _, spec := range specs {
+			tr, err := market.Generate(spec, start, end, *seed)
+			if err != nil {
+				return err
+			}
+			avg, err := tr.AvgOver(start, end)
+			if err != nil {
+				return err
+			}
+			maxP := tr.MaxOver(start, end)
+			fmt.Printf("%-12s %8.3f %8.3f %8.3f %8d %8.1f%%\n",
+				spec.Type.Name, spec.Type.OnDemandPrice, avg, maxP,
+				len(tr.Records), 100*(1-avg/spec.Type.OnDemandPrice))
+		}
+		return nil
+	}
+
+	var spec market.MarketSpec
+	found := false
+	for _, s := range specs {
+		if s.Type.Name == *typeName {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown instance type %q (see Table III)", *typeName)
+	}
+	tr, err := market.Generate(spec, start, end, *seed)
+	if err != nil {
+		return err
+	}
+	avg, err := tr.AvgOver(start, end)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records over %d days, avg $%.4f/h (on-demand $%.3f, discount %.1f%%), max $%.4f\n",
+		*typeName, len(tr.Records), *days, avg, spec.Type.OnDemandPrice,
+		100*(1-avg/spec.Type.OnDemandPrice), tr.MaxOver(start, end))
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"time", "price_usd_per_hour"}); err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		if err := w.Write([]string{r.At.Format(time.RFC3339), fmt.Sprintf("%.4f", r.Price)}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -1,0 +1,57 @@
+// Theta-sweep: a miniature Fig. 8 — run SpotTune at several early-shutdown
+// rates θ on one workload and watch the cost/time/accuracy trade-off.
+//
+//	go run ./examples/theta-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"spottune"
+)
+
+func main() {
+	env, err := spottune.NewEnvironment(spottune.EnvOptions{
+		Seed:      9,
+		Days:      8,
+		TrainDays: 2,
+		Predictor: spottune.PredictorConstant, // fast; use PredictorRevPred for fidelity
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := spottune.BenchmarkByName("ResNet", spottune.WorkloadConfig{Seed: 9, Scale: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(9)
+	_, trueBest, err := spottune.TrueFinals(bench, curves)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload ResNet, 16 HP settings, true best %s\n\n", trueBest)
+	fmt.Printf("%6s %10s %9s %6s %6s  %s\n", "theta", "cost", "JCT", "top1", "top3", "steps saved")
+	for _, theta := range []float64{0.2, 0.4, 0.6, 0.7, 0.85, 1.0} {
+		rep, err := env.RunSpotTune(bench, curves, spottune.CampaignOptions{Theta: theta, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		top1 := rep.Ranked[0] == trueBest
+		top3 := false
+		for _, id := range rep.Ranked[:3] {
+			if id == trueBest {
+				top3 = true
+			}
+		}
+		fullSteps := 16 * bench.MaxTrialSteps
+		saved := 1 - float64(rep.TotalSteps)/float64(fullSteps)
+		fmt.Printf("%6.2f %9.4f$ %8.1fh %6v %6v  %4.0f%% %s\n",
+			theta, rep.NetCost, rep.JCT.Hours(), top1, top3,
+			100*saved, strings.Repeat("#", int(30*saved)))
+	}
+	fmt.Println("\nthe paper's guidance (§IV-B2): θ>=0.7 keeps top-3 accuracy at 100%;")
+	fmt.Println("θ=0.2-0.4 finds a near-best model fastest; θ=1.0 never mispredicts.")
+}

@@ -1,0 +1,236 @@
+// Package campaign assembles complete simulated HPT environments — markets,
+// grids, trained revocation predictors — and runs SpotTune or baseline
+// campaigns against them. The public spottune package and the experiment
+// harness both build on it.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/core"
+	"spottune/internal/earlycurve"
+	"spottune/internal/market"
+	"spottune/internal/revpred"
+	"spottune/internal/simclock"
+	"spottune/internal/workload"
+)
+
+// PredictorKind selects the revocation predictor wired into provisioning.
+type PredictorKind string
+
+// Supported predictor kinds.
+const (
+	PredictorRevPred   PredictorKind = "revpred"
+	PredictorTributary PredictorKind = "tributary"
+	PredictorLogReg    PredictorKind = "logreg"
+	PredictorOracle    PredictorKind = "oracle"
+	PredictorConstant  PredictorKind = "constant"
+	PredictorNone      PredictorKind = "none"
+)
+
+// DefaultStart is the first timestamp of generated traces — the Kaggle
+// dataset's first day (2017-04-26, §IV-A1 of the paper).
+func DefaultStart() time.Time {
+	return time.Date(2017, 4, 26, 0, 0, 0, 0, time.UTC)
+}
+
+// EnvOptions configures environment assembly.
+type EnvOptions struct {
+	Seed      uint64
+	Days      int // synthetic trace length (default 14)
+	TrainDays int // predictor training split (default 8)
+	Predictor PredictorKind
+	RevPred   revpred.Config
+	Pool      []string
+}
+
+func (o EnvOptions) withDefaults() EnvOptions {
+	if o.Days <= 0 {
+		o.Days = 14
+	}
+	if o.TrainDays <= 0 {
+		o.TrainDays = 8
+	}
+	if o.TrainDays >= o.Days {
+		o.TrainDays = o.Days - 1
+	}
+	if o.Predictor == "" {
+		o.Predictor = PredictorRevPred
+	}
+	if o.RevPred.Hidden == 0 {
+		o.RevPred = revpred.Config{Hidden: 12, Depth: 2, Epochs: 2, Stride: 4, Seed: o.Seed}
+	}
+	return o
+}
+
+// Environment is an assembled simulated cloud. Build once; every campaign
+// run gets a fresh cluster over the same deterministic markets.
+type Environment struct {
+	Catalog    *market.Catalog
+	Traces     market.TraceSet
+	Grids      map[string]*market.Grid
+	Predictors map[string]revpred.Predictor
+	Pool       []string
+
+	Start, End    time.Time
+	CampaignStart time.Time
+}
+
+// NewEnvironment generates markets and trains predictors per the options.
+func NewEnvironment(opts EnvOptions) (*Environment, error) {
+	opts = opts.withDefaults()
+	catalog := market.DefaultCatalog()
+	specs, err := market.DefaultSpecs(catalog)
+	if err != nil {
+		return nil, err
+	}
+	start := DefaultStart()
+	end := start.Add(time.Duration(opts.Days) * 24 * time.Hour)
+	traces, err := market.GenerateSet(specs, start, end, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pool := opts.Pool
+	if len(pool) == 0 {
+		pool = catalog.Names()
+	}
+	env := &Environment{
+		Catalog:       catalog,
+		Traces:        traces,
+		Grids:         make(map[string]*market.Grid, len(pool)),
+		Predictors:    make(map[string]revpred.Predictor, len(pool)),
+		Pool:          pool,
+		Start:         start,
+		End:           end,
+		CampaignStart: start.Add(time.Duration(opts.TrainDays) * 24 * time.Hour),
+	}
+	for _, name := range pool {
+		it, ok := catalog.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown pool instance %q", name)
+		}
+		tr, ok := traces[name]
+		if !ok {
+			return nil, fmt.Errorf("campaign: no trace for %q", name)
+		}
+		g, err := market.NewGrid(it, tr, start, end)
+		if err != nil {
+			return nil, err
+		}
+		env.Grids[name] = g
+		pred, err := buildPredictor(g, opts)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: predictor for %q: %w", name, err)
+		}
+		env.Predictors[name] = pred
+	}
+	return env, nil
+}
+
+func buildPredictor(g *market.Grid, opts EnvOptions) (revpred.Predictor, error) {
+	trainTo := opts.TrainDays * 24 * 60
+	switch opts.Predictor {
+	case PredictorRevPred:
+		return revpred.Train(g, revpred.HistorySteps, trainTo, opts.RevPred)
+	case PredictorTributary:
+		return revpred.TrainTributary(g, revpred.HistorySteps, trainTo, opts.RevPred)
+	case PredictorLogReg:
+		return revpred.TrainLogReg(g, revpred.HistorySteps, trainTo, opts.RevPred)
+	case PredictorOracle:
+		return revpred.Oracle{}, nil
+	case PredictorConstant:
+		return revpred.ConstantPredictor(0.3), nil
+	case PredictorNone:
+		return revpred.ConstantPredictor(0), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown predictor kind %q", opts.Predictor)
+	}
+}
+
+// WithPredictors returns a shallow copy of the environment using different
+// per-market predictors (the Fig. 10c RevPred-vs-Tributary swap).
+func (e *Environment) WithPredictors(preds map[string]revpred.Predictor) (*Environment, error) {
+	for _, name := range e.Pool {
+		if _, ok := preds[name]; !ok {
+			return nil, fmt.Errorf("campaign: missing predictor for %q", name)
+		}
+	}
+	cp := *e
+	cp.Predictors = preds
+	return &cp, nil
+}
+
+// NewCluster builds a fresh simulated cluster at the campaign boundary.
+func (e *Environment) NewCluster() (*cloudsim.Cluster, error) {
+	clk := simclock.NewVirtual(e.CampaignStart)
+	return cloudsim.NewCluster(clk, e.Catalog, e.Traces)
+}
+
+// Options tunes one SpotTune run.
+type Options struct {
+	Theta         float64
+	MCnt          int
+	MaxConcurrent int
+	Seed          uint64
+	Trend         earlycurve.TrendPredictor
+}
+
+// RunSpotTune executes one SpotTune campaign.
+func (e *Environment) RunSpotTune(b *workload.Benchmark, curves workload.Curves, opt Options) (*core.Report, error) {
+	if b == nil {
+		return nil, errors.New("campaign: nil benchmark")
+	}
+	cluster, err := e.NewCluster()
+	if err != nil {
+		return nil, err
+	}
+	store := cloudsim.NewObjectStore()
+	trials, err := b.Trials(curves, opt.Seed+0xbead)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := core.NewProvisioner(cluster, e.Pool, e.Grids, e.Predictors, 0, 0, opt.Seed+0x51d)
+	if err != nil {
+		return nil, err
+	}
+	orch, err := core.NewOrchestrator(cluster, store, prov, trials, core.Config{
+		Theta:         opt.Theta,
+		MCnt:          opt.MCnt,
+		MaxConcurrent: opt.MaxConcurrent,
+		Trend:         opt.Trend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return orch.Run()
+}
+
+// RunSingleSpot executes the Single-Spot Tune baseline on the given type.
+func (e *Environment) RunSingleSpot(b *workload.Benchmark, curves workload.Curves, typeName string, seed uint64) (*core.Report, error) {
+	if b == nil {
+		return nil, errors.New("campaign: nil benchmark")
+	}
+	cluster, err := e.NewCluster()
+	if err != nil {
+		return nil, err
+	}
+	trials, err := b.Trials(curves, seed+0xbead)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunSingleSpot(cluster, trials, core.SingleSpotConfig{TypeName: typeName})
+}
+
+// TrueFinals exposes ground-truth final metrics and the true best HP.
+func TrueFinals(b *workload.Benchmark, curves workload.Curves) (map[string]float64, string, error) {
+	trials, err := b.Trials(curves, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	finals := core.TrueFinals(trials)
+	best, _ := core.TrueBest(trials)
+	return finals, best, nil
+}

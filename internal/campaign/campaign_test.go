@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"spottune/internal/earlycurve"
+	"spottune/internal/revpred"
+	"spottune/internal/workload"
+)
+
+func quickEnv(t *testing.T, kind PredictorKind) *Environment {
+	t.Helper()
+	env, err := NewEnvironment(EnvOptions{Seed: 11, Days: 5, TrainDays: 2, Predictor: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvironmentDefaults(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	if got := len(env.Pool); got != 6 {
+		t.Fatalf("pool %d", got)
+	}
+	if !env.CampaignStart.Equal(env.Start.Add(2 * 24 * time.Hour)) {
+		t.Fatalf("campaign start %v", env.CampaignStart)
+	}
+	if !env.End.Equal(env.Start.Add(5 * 24 * time.Hour)) {
+		t.Fatalf("end %v", env.End)
+	}
+	// TrainDays >= Days is clamped.
+	env2, err := NewEnvironment(EnvOptions{Seed: 1, Days: 3, TrainDays: 9, Predictor: PredictorNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env2.CampaignStart.Equal(env2.Start.Add(2 * 24 * time.Hour)) {
+		t.Fatalf("clamped campaign start %v", env2.CampaignStart)
+	}
+}
+
+func TestEnvironmentPredictorKinds(t *testing.T) {
+	for _, kind := range []PredictorKind{PredictorOracle, PredictorConstant, PredictorNone} {
+		env := quickEnv(t, kind)
+		if len(env.Predictors) != 6 {
+			t.Errorf("%s: %d predictors", kind, len(env.Predictors))
+		}
+	}
+	if _, err := NewEnvironment(EnvOptions{Seed: 1, Predictor: "wat"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestWithPredictors(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	preds := make(map[string]revpred.Predictor, len(env.Pool))
+	for _, n := range env.Pool {
+		preds[n] = revpred.ConstantPredictor(0.9)
+	}
+	env2, err := env.WithPredictors(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Predictors[env.Pool[0]].Predict(nil, 0, 0) != 0.9 {
+		t.Fatal("predictors not swapped")
+	}
+	// Original untouched.
+	if env.Predictors[env.Pool[0]].Predict(nil, 0, 0) != 0 {
+		t.Fatal("original environment mutated")
+	}
+	delete(preds, env.Pool[0])
+	if _, err := env.WithPredictors(preds); err == nil {
+		t.Fatal("incomplete predictor map accepted")
+	}
+}
+
+func TestRunSpotTuneAndBaselineAgainstSameMarkets(t *testing.T) {
+	env := quickEnv(t, PredictorConstant)
+	bench, err := workload.SuiteByName("GBTR", workload.Config{Seed: 2, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(2)
+	st, err := env.RunSpotTune(bench, curves, Options{Theta: 0.7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := env.RunSingleSpot(bench, curves, "r4.large", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NetCost <= 0 || base.NetCost <= 0 {
+		t.Fatalf("costs %v / %v", st.NetCost, base.NetCost)
+	}
+	// Determinism: identical rerun must produce identical reports.
+	st2, err := env.RunSpotTune(bench, curves, Options{Theta: 0.7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NetCost != st2.NetCost || st.JCT != st2.JCT || st.Best != st2.Best {
+		t.Fatalf("non-deterministic campaign: %v/%v vs %v/%v",
+			st.NetCost, st.JCT, st2.NetCost, st2.JCT)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpotTuneWithSLAQTrend(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 3, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(3)
+	rep, err := env.RunSpotTune(bench, curves, Options{Theta: 0.6, Seed: 3, Trend: earlycurve.SLAQ{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == "" || len(rep.Ranked) != 16 {
+		t.Fatalf("SLAQ-driven campaign report incomplete: %q/%d", rep.Best, len(rep.Ranked))
+	}
+}
+
+func TestRunNilBenchmark(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	if _, err := env.RunSpotTune(nil, nil, Options{}); err == nil {
+		t.Error("nil benchmark accepted")
+	}
+	if _, err := env.RunSingleSpot(nil, nil, "r4.large", 1); err == nil {
+		t.Error("nil benchmark accepted")
+	}
+}
+
+func TestTrueFinalsConsistent(t *testing.T) {
+	bench, err := workload.SuiteByName("LiR", workload.Config{Seed: 4, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(4)
+	finals, best, err := TrueFinals(bench, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 16 {
+		t.Fatalf("finals %d", len(finals))
+	}
+	for id, v := range finals {
+		if v < finals[best] {
+			t.Fatalf("best %s not minimal (%s=%v < %v)", best, id, v, finals[best])
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package cloudsim is a discrete-event simulator of the transient-resource
+// cloud SpotTune runs on (§II-A): EC2-like spot markets with user-set
+// maximum prices, revocation when the market price exceeds them, two-minute
+// termination notices, per-second billing at the market price, the
+// first-instance-hour full-refund rule, and an S3-like object store with a
+// CPU-bound throughput model calibrated to the paper's measurements (§IV-F).
+//
+// All time is virtual (simclock.Virtual), so multi-day tuning campaigns
+// replay in milliseconds while preserving every economic rule SpotTune's
+// provisioning strategy exploits.
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"spottune/internal/market"
+	"spottune/internal/simclock"
+)
+
+// NoticeLeadTime is how far ahead of an interruption the termination notice
+// arrives (AWS delivers it two minutes early).
+const NoticeLeadTime = 2 * time.Minute
+
+// RefundWindow is the first-instance-hour window: instances revoked by the
+// provider within it are fully refunded.
+const RefundWindow = time.Hour
+
+// InstanceState tracks a VM through its lifecycle.
+type InstanceState int
+
+// Lifecycle states.
+const (
+	StateRunning InstanceState = iota + 1
+	StateNoticed
+	StateRevoked
+	StateTerminated
+)
+
+func (s InstanceState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateNoticed:
+		return "noticed"
+	case StateRevoked:
+		return "revoked"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
+
+// EndReason records why an instance stopped.
+type EndReason int
+
+// End reasons.
+const (
+	EndRevoked EndReason = iota + 1
+	EndUserTerminated
+)
+
+func (r EndReason) String() string {
+	switch r {
+	case EndRevoked:
+		return "revoked"
+	case EndUserTerminated:
+		return "user-terminated"
+	default:
+		return fmt.Sprintf("EndReason(%d)", int(r))
+	}
+}
+
+// Instance is one running (or finished) VM.
+type Instance struct {
+	ID       string
+	Type     market.InstanceType
+	MaxPrice float64 // user's maximum price (spot) or 0 for on-demand
+	OnDemand bool
+
+	LaunchedAt time.Time
+	State      InstanceState
+	EndedAt    time.Time
+	End        EndReason
+
+	noticeEv *simclock.Event
+	revokeEv *simclock.Event
+}
+
+// Running reports whether the instance is still usable (running or noticed).
+func (i *Instance) Running() bool {
+	return i.State == StateRunning || i.State == StateNoticed
+}
+
+// Usage is the billing ledger entry for one finished instance.
+type Usage struct {
+	InstanceID string
+	TypeName   string
+	Launched   time.Time
+	Ended      time.Time
+	End        EndReason
+	GrossCost  float64 // integrated market price before refund, USD
+	Refunded   float64 // refund granted under the first-hour rule, USD
+}
+
+// NetCost is what the user actually pays.
+func (u Usage) NetCost() float64 { return u.GrossCost - u.Refunded }
+
+// Duration is the instance lifetime.
+func (u Usage) Duration() time.Duration { return u.Ended.Sub(u.Launched) }
+
+// Ledger accumulates finished-instance usage.
+type Ledger struct {
+	Records []Usage
+}
+
+// TotalGross sums pre-refund cost.
+func (l *Ledger) TotalGross() float64 {
+	s := 0.0
+	for _, u := range l.Records {
+		s += u.GrossCost
+	}
+	return s
+}
+
+// TotalRefunded sums granted refunds.
+func (l *Ledger) TotalRefunded() float64 {
+	s := 0.0
+	for _, u := range l.Records {
+		s += u.Refunded
+	}
+	return s
+}
+
+// TotalNet sums the user's actual spend.
+func (l *Ledger) TotalNet() float64 { return l.TotalGross() - l.TotalRefunded() }
+
+// NoticeFunc is invoked when a termination notice is delivered for an
+// instance, NoticeLeadTime before revocation. It runs on the simulation
+// event thread and must not block.
+type NoticeFunc func(inst *Instance, now time.Time)
+
+// Cluster is the simulated cloud: spot markets driven by price traces plus
+// the billing machinery.
+type Cluster struct {
+	clk     *simclock.Virtual
+	catalog *market.Catalog
+	traces  market.TraceSet
+
+	nextID    int
+	instances map[string]*Instance
+	ledger    Ledger
+}
+
+// NewCluster builds a cluster over the given catalog and per-market traces.
+// Every catalog type must have a trace.
+func NewCluster(clk *simclock.Virtual, cat *market.Catalog, traces market.TraceSet) (*Cluster, error) {
+	if clk == nil {
+		return nil, errors.New("cloudsim: nil clock")
+	}
+	if err := traces.Validate(); err != nil {
+		return nil, err
+	}
+	for _, name := range cat.Names() {
+		if _, ok := traces[name]; !ok {
+			return nil, fmt.Errorf("cloudsim: no price trace for instance type %q", name)
+		}
+	}
+	return &Cluster{
+		clk:       clk,
+		catalog:   cat,
+		traces:    traces,
+		instances: make(map[string]*Instance),
+	}, nil
+}
+
+// Clock exposes the cluster's virtual clock.
+func (c *Cluster) Clock() *simclock.Virtual { return c.clk }
+
+// Catalog exposes the instance catalog.
+func (c *Cluster) Catalog() *market.Catalog { return c.catalog }
+
+// Ledger returns the billing ledger (live view).
+func (c *Cluster) Ledger() *Ledger { return &c.ledger }
+
+// CurrentPrice returns the spot market price of a type right now.
+func (c *Cluster) CurrentPrice(typeName string) (float64, error) {
+	tr, ok := c.traces[typeName]
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
+	}
+	p, _ := tr.PriceAt(c.clk.Now())
+	return p, nil
+}
+
+// AvgPriceLastHour returns the time-weighted average market price over the
+// past hour — the price term of Eq. 1.
+func (c *Cluster) AvgPriceLastHour(typeName string) (float64, error) {
+	tr, ok := c.traces[typeName]
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
+	}
+	now := c.clk.Now()
+	return tr.AvgOver(now.Add(-time.Hour), now)
+}
+
+// ErrPriceAboveMax is returned when a spot request's maximum price is below
+// the current market price (AWS will not fulfill such requests).
+var ErrPriceAboveMax = errors.New("cloudsim: market price above requested maximum")
+
+// RequestSpot launches a spot instance of the given type with the given
+// maximum price. If the market ever rises above maxPrice, a notice fires
+// NoticeLeadTime beforehand (onNotice may be nil) and the instance is then
+// revoked with first-hour refunds applied.
+func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice NoticeFunc) (*Instance, error) {
+	it, ok := c.catalog.Lookup(typeName)
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown instance type %q", typeName)
+	}
+	tr := c.traces[typeName]
+	now := c.clk.Now()
+	cur, _ := tr.PriceAt(now)
+	if cur > maxPrice {
+		return nil, fmt.Errorf("%w: %s at %.4f > max %.4f", ErrPriceAboveMax, typeName, cur, maxPrice)
+	}
+	c.nextID++
+	inst := &Instance{
+		ID:         fmt.Sprintf("i-%06d", c.nextID),
+		Type:       it,
+		MaxPrice:   maxPrice,
+		LaunchedAt: now,
+		State:      StateRunning,
+	}
+	c.instances[inst.ID] = inst
+
+	if exceedAt, found := firstExceed(tr, now, maxPrice); found {
+		noticeAt := exceedAt.Add(-NoticeLeadTime)
+		if noticeAt.Before(now) {
+			noticeAt = now
+		}
+		inst.noticeEv = c.clk.Schedule(noticeAt, func(at time.Time) {
+			if !inst.Running() {
+				return
+			}
+			inst.State = StateNoticed
+			if onNotice != nil {
+				onNotice(inst, at)
+			}
+		})
+		inst.revokeEv = c.clk.Schedule(exceedAt, func(at time.Time) {
+			if !inst.Running() {
+				return
+			}
+			c.finish(inst, at, EndRevoked)
+		})
+	}
+	return inst, nil
+}
+
+// RequestOnDemand launches a reliable on-demand instance billed at the fixed
+// catalog price. It is never revoked.
+func (c *Cluster) RequestOnDemand(typeName string) (*Instance, error) {
+	it, ok := c.catalog.Lookup(typeName)
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: unknown instance type %q", typeName)
+	}
+	c.nextID++
+	inst := &Instance{
+		ID:         fmt.Sprintf("i-%06d", c.nextID),
+		Type:       it,
+		OnDemand:   true,
+		LaunchedAt: c.clk.Now(),
+		State:      StateRunning,
+	}
+	c.instances[inst.ID] = inst
+	return inst, nil
+}
+
+// Terminate shuts an instance down at the user's request (full charge, no
+// refund).
+func (c *Cluster) Terminate(id string) error {
+	inst, ok := c.instances[id]
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown instance %q", id)
+	}
+	if !inst.Running() {
+		return fmt.Errorf("cloudsim: instance %q already %v", id, inst.State)
+	}
+	c.finish(inst, c.clk.Now(), EndUserTerminated)
+	return nil
+}
+
+// finish settles billing and cancels pending events.
+func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
+	inst.noticeEv.Cancel()
+	inst.revokeEv.Cancel()
+	if reason == EndRevoked {
+		inst.State = StateRevoked
+	} else {
+		inst.State = StateTerminated
+	}
+	inst.EndedAt = at
+	inst.End = reason
+
+	usage := Usage{
+		InstanceID: inst.ID,
+		TypeName:   inst.Type.Name,
+		Launched:   inst.LaunchedAt,
+		Ended:      at,
+		End:        reason,
+	}
+	dur := at.Sub(inst.LaunchedAt)
+	if dur > 0 {
+		if inst.OnDemand {
+			usage.GrossCost = inst.Type.OnDemandPrice * dur.Hours()
+		} else {
+			avg, err := c.traces[inst.Type.Name].AvgOver(inst.LaunchedAt, at)
+			if err == nil {
+				usage.GrossCost = avg * dur.Hours()
+			}
+		}
+	}
+	// First-instance-hour refund: only provider revocations qualify.
+	if reason == EndRevoked && !inst.OnDemand && dur <= RefundWindow {
+		usage.Refunded = usage.GrossCost
+	}
+	c.ledger.Records = append(c.ledger.Records, usage)
+}
+
+// Instance returns a live instance by ID.
+func (c *Cluster) Instance(id string) (*Instance, bool) {
+	inst, ok := c.instances[id]
+	return inst, ok
+}
+
+// RunningInstances lists instances still usable, sorted by ID.
+func (c *Cluster) RunningInstances() []*Instance {
+	var out []*Instance
+	for _, inst := range c.instances {
+		if inst.Running() {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// firstExceed finds the first time strictly after `after` at which the
+// market price rises above maxPrice.
+func firstExceed(tr *market.Trace, after time.Time, maxPrice float64) (time.Time, bool) {
+	n := len(tr.Records)
+	i := sort.Search(n, func(i int) bool { return tr.Records[i].At.After(after) })
+	for ; i < n; i++ {
+		if tr.Records[i].Price > maxPrice {
+			return tr.Records[i].At, true
+		}
+	}
+	return time.Time{}, false
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/earlycurve"
+	"spottune/internal/market"
+	"spottune/internal/revpred"
+	"spottune/internal/simclock"
+	"spottune/internal/trial"
+)
+
+var t0 = time.Date(2017, 5, 4, 0, 0, 0, 0, time.UTC)
+
+// constPerf is a noise-free perf model with per-instance speed.
+type constPerf map[string]float64
+
+func (p constPerf) StepSeconds(it market.InstanceType, _ string, _ int) float64 {
+	return p[it.Name]
+}
+
+// testWorld is a deterministic two-market fixture: "slow" (cheap, flat at
+// 0.02) and "fast" (pricier, flat at 0.2, 4x faster). The optional spiky
+// flag gives "slow" a 1.0 spike for 5 of every 25 minutes, so near-market
+// bids get revoked regularly.
+type testWorld struct {
+	clk     *simclock.Virtual
+	cluster *cloudsim.Cluster
+	store   *cloudsim.ObjectStore
+	grids   map[string]*market.Grid
+	preds   map[string]revpred.Predictor
+	perf    constPerf
+	cat     *market.Catalog
+}
+
+func newWorld(t *testing.T, spiky bool) *testWorld {
+	t.Helper()
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "slow", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.1},
+		{Name: "fast", CPUs: 16, MemoryGB: 64, OnDemandPrice: 0.8},
+	})
+	gridStart := t0.Add(-2 * time.Hour)
+	end := t0.Add(72 * time.Hour)
+
+	slowRecs := []market.Record{{At: gridStart, Price: 0.02}}
+	if spiky {
+		for cycle := gridStart; cycle.Before(end); cycle = cycle.Add(25 * time.Minute) {
+			slowRecs = append(slowRecs,
+				market.Record{At: cycle.Add(20 * time.Minute), Price: 1.0},
+				market.Record{At: cycle.Add(25*time.Minute - time.Minute), Price: 0.02},
+			)
+		}
+		slowRecs = dedupeSorted(slowRecs)
+	}
+	slow := &market.Trace{Type: "slow", Records: slowRecs}
+	fast := &market.Trace{Type: "fast", Records: []market.Record{{At: gridStart, Price: 0.2}}}
+	traces := market.TraceSet{"slow": slow, "fast": fast}
+	if err := traces.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	clk := simclock.NewVirtual(t0)
+	cluster, err := cloudsim.NewCluster(clk, cat, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := map[string]*market.Grid{}
+	for _, name := range []string{"slow", "fast"} {
+		it, _ := cat.Lookup(name)
+		g, err := market.NewGrid(it, traces[name], gridStart, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids[name] = g
+	}
+	return &testWorld{
+		clk:     clk,
+		cluster: cluster,
+		store:   cloudsim.NewObjectStore(),
+		grids:   grids,
+		preds: map[string]revpred.Predictor{
+			"slow": revpred.ConstantPredictor(0),
+			"fast": revpred.ConstantPredictor(0),
+		},
+		perf: constPerf{"slow": 4.0, "fast": 1.0},
+		cat:  cat,
+	}
+}
+
+func dedupeSorted(recs []market.Record) []market.Record {
+	out := recs[:1]
+	for _, r := range recs[1:] {
+		if r.At.After(out[len(out)-1].At) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// mkTrials builds n synthetic trials with distinct final metrics; trial i's
+// final is 0.1·(i+1), so trial 0 is the true best.
+func mkTrials(t *testing.T, w *testWorld, n, maxSteps, every int) []*trial.Replay {
+	t.Helper()
+	var out []*trial.Replay
+	for i := 0; i < n; i++ {
+		var pts []earlycurve.MetricPoint
+		plateau := 0.1 * float64(i+1)
+		for s := every; s <= maxSteps; s += every {
+			pts = append(pts, earlycurve.MetricPoint{
+				Step:  s,
+				Value: 1/(0.05*float64(s)+1.2) + plateau,
+			})
+		}
+		tr, err := trial.NewReplay(
+			idFor(i), maxSteps, pts, w.perf, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func idFor(i int) string { return string(rune('a'+i)) + "-hp" }
+
+func (w *testWorld) provisioner(t *testing.T) *Provisioner {
+	t.Helper()
+	p, err := NewProvisioner(w.cluster, []string{"slow", "fast"}, w.grids, w.preds, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPerfMatrixInitAndObserve(t *testing.T) {
+	w := newWorld(t, false)
+	m := NewPerfMatrix(w.cat, 16)
+	if got := m.Get("slow", "hp"); got != 8 { // 16/2 cpus
+		t.Fatalf("init M[slow] = %v, want 8", got)
+	}
+	if got := m.Get("fast", "hp"); got != 1 { // 16/16
+		t.Fatalf("init M[fast] = %v, want 1", got)
+	}
+	m.Observe("slow", "hp", 4.0)
+	if got := m.Get("slow", "hp"); got != 4.0 {
+		t.Fatalf("first observation M = %v, want 4", got)
+	}
+	m.Observe("slow", "hp", 2.0)
+	if got := m.Get("slow", "hp"); got != 3.0 { // EWMA 0.5
+		t.Fatalf("EWMA M = %v, want 3", got)
+	}
+	m.Observe("slow", "hp", math.NaN())
+	if got := m.Get("slow", "hp"); got != 3.0 {
+		t.Fatal("NaN observation was folded in")
+	}
+	if len(m.Snapshot()) != 1 {
+		t.Fatalf("snapshot size %d", len(m.Snapshot()))
+	}
+}
+
+func TestProvisionerValidation(t *testing.T) {
+	w := newWorld(t, false)
+	if _, err := NewProvisioner(w.cluster, nil, w.grids, w.preds, 0, 0, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewProvisioner(w.cluster, []string{"nope"}, w.grids, w.preds, 0, 0, 1); err == nil {
+		t.Error("missing grid accepted")
+	}
+	if _, err := NewProvisioner(w.cluster, []string{"slow"}, w.grids, w.preds, 0.3, 0.1, 1); err == nil {
+		t.Error("inverted delta interval accepted")
+	}
+}
+
+func TestProvisionerPicksMinStepCost(t *testing.T) {
+	w := newWorld(t, false)
+	p := w.provisioner(t)
+	w.clk.Sleep(2 * time.Hour) // give grids feature history
+	// Step costs: slow = 4s × 0.02 = 0.08; fast = 1s × 0.2 = 0.2.
+	choice, err := p.Best(func(tn string) float64 { return float64(w.perf[tn]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.TypeName != "slow" {
+		t.Fatalf("chose %s, want slow (cheaper per step)", choice.TypeName)
+	}
+	if choice.MaxPrice <= 0.02 || choice.MaxPrice > 0.02+DefaultDeltaHigh+1e-9 {
+		t.Fatalf("max price %v outside bid window", choice.MaxPrice)
+	}
+	// Make fast dramatically faster so it wins: 0.05s × 0.2 = 0.01 < 0.08.
+	choice, err = p.Best(func(tn string) float64 {
+		if tn == "fast" {
+			return 0.05
+		}
+		return 4.0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.TypeName != "fast" {
+		t.Fatalf("chose %s, want fast", choice.TypeName)
+	}
+}
+
+func TestProvisionerFavorsLikelyRevoked(t *testing.T) {
+	w := newWorld(t, false)
+	// fast: p=0.95 -> expected cost (1-0.95)·0.2·1 = 0.01 < slow 0.08.
+	w.preds["fast"] = revpred.ConstantPredictor(0.95)
+	p := w.provisioner(t)
+	w.clk.Sleep(2 * time.Hour)
+	choice, err := p.Best(func(tn string) float64 { return float64(w.perf[tn]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.TypeName != "fast" {
+		t.Fatalf("chose %s, want fast (refund-likely)", choice.TypeName)
+	}
+	if choice.RevProb != 0.95 {
+		t.Fatalf("RevProb = %v", choice.RevProb)
+	}
+}
+
+func TestSingleSpotBaseline(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 3, 100, 10)
+	rep, err := RunSingleSpot(w.cluster, trials, SingleSpotConfig{TypeName: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 trials × 100 steps × 1 s/step = 300s.
+	if rep.JCT < 280*time.Second || rep.JCT > 400*time.Second {
+		t.Fatalf("JCT = %v, want ~300s", rep.JCT)
+	}
+	wantCost := 0.2 * rep.JCT.Hours()
+	if math.Abs(rep.NetCost-wantCost) > 1e-9 {
+		t.Fatalf("cost %v, want %v", rep.NetCost, wantCost)
+	}
+	if rep.Best != idFor(0) {
+		t.Fatalf("best = %s, want %s", rep.Best, idFor(0))
+	}
+	if rep.TotalSteps != 300 || rep.FreeSteps != 0 {
+		t.Fatalf("steps %d free %d", rep.TotalSteps, rep.FreeSteps)
+	}
+	if rep.Refund != 0 {
+		t.Fatal("baseline got a refund")
+	}
+}
+
+func TestSingleSpotUnknownType(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 1, 50, 10)
+	if _, err := RunSingleSpot(w.cluster, trials, SingleSpotConfig{TypeName: "nope"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := RunSingleSpot(w.cluster, nil, SingleSpotConfig{TypeName: "fast"}); err == nil {
+		t.Fatal("no trials accepted")
+	}
+}
+
+func orchCfg(theta float64) Config {
+	return Config{
+		Theta:         theta,
+		MCnt:          2,
+		MaxConcurrent: 1,
+		PollInterval:  5 * time.Second,
+		RestartAfter:  time.Hour,
+		StartupDelay:  10 * time.Second,
+		C0:            16,
+	}
+}
+
+func TestOrchestratorFullTheta(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 4, 100, 10)
+	orch, err := NewOrchestrator(w.cluster, w.store, w.provisioner(t), trials, orchCfg(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best != idFor(0) {
+		t.Fatalf("best = %q, want %q", rep.Best, idFor(0))
+	}
+	for _, tr := range trials {
+		if tr.CompletedSteps() != tr.MaxSteps() {
+			t.Fatalf("trial %s stopped at %d/%d", tr.ID(), tr.CompletedSteps(), tr.MaxSteps())
+		}
+	}
+	// Flat cheap market with near-market bids never revokes here.
+	if rep.Notices != 0 || rep.Revocations != 0 {
+		t.Fatalf("unexpected revocations: %d notices %d revocations", rep.Notices, rep.Revocations)
+	}
+	if rep.NetCost <= 0 {
+		t.Fatal("campaign cost not positive")
+	}
+	if rep.TotalSteps != 4*100 {
+		t.Fatalf("total steps %d, want 400", rep.TotalSteps)
+	}
+}
+
+func TestOrchestratorEarlyShutdownSavesSteps(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 4, 100, 10)
+	orch, err := NewOrchestrator(w.cluster, w.store, w.provisioner(t), trials, orchCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MCnt=2: the two best continue to 100, the rest stop at 50.
+	full, partial := 0, 0
+	for _, tr := range trials {
+		switch tr.CompletedSteps() {
+		case 100:
+			full++
+		case 50:
+			partial++
+		default:
+			t.Fatalf("trial %s at unexpected %d steps", tr.ID(), tr.CompletedSteps())
+		}
+	}
+	if full != 2 || partial != 2 {
+		t.Fatalf("full=%d partial=%d, want 2/2", full, partial)
+	}
+	if rep.TotalSteps != 2*100+2*50 {
+		t.Fatalf("total steps %d", rep.TotalSteps)
+	}
+	if rep.Best != idFor(0) {
+		t.Fatalf("best = %q", rep.Best)
+	}
+	// The curves are synthetic members of the EarlyCurve family, so the
+	// ranking must be exact.
+	if rep.Ranked[0] != idFor(0) || rep.Ranked[1] != idFor(1) {
+		t.Fatalf("ranking %v", rep.Ranked)
+	}
+}
+
+func TestOrchestratorHourlyRestart(t *testing.T) {
+	w := newWorld(t, false)
+	// One long trial: 4 s/step × 2000 steps ≈ 2.2h on slow.
+	trials := mkTrials(t, w, 1, 2000, 100)
+	cfg := orchCfg(1.0)
+	orch, err := NewOrchestrator(w.cluster, w.store, w.provisioner(t), trials, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deployments < 3 {
+		t.Fatalf("deployments = %d, want >= 3 (hourly restarts)", rep.Deployments)
+	}
+	if rep.CheckpointTime <= 0 || rep.RestoreTime <= 0 {
+		t.Fatalf("transfer times %v/%v", rep.CheckpointTime, rep.RestoreTime)
+	}
+	if trials[0].CompletedSteps() != 2000 {
+		t.Fatalf("trial at %d steps", trials[0].CompletedSteps())
+	}
+	// User-terminated hourly restarts never refund.
+	if rep.Refund != 0 || rep.FreeSteps != 0 {
+		t.Fatalf("unexpected refunds on flat market: %v, %d", rep.Refund, rep.FreeSteps)
+	}
+}
+
+func TestOrchestratorSurvivesRevocations(t *testing.T) {
+	w := newWorld(t, true) // spiky cheap market
+	trials := mkTrials(t, w, 2, 900, 50)
+	cfg := orchCfg(1.0)
+	// Pool restricted to the spiky market so near-market bids must face
+	// the periodic spike.
+	prov, err := NewProvisioner(w.cluster, []string{"slow"}, w.grids, w.preds, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch, err := NewOrchestrator(w.cluster, w.store, prov, trials, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.CompletedSteps() != tr.MaxSteps() {
+			t.Fatalf("trial %s incomplete at %d", tr.ID(), tr.CompletedSteps())
+		}
+	}
+	if rep.Notices == 0 || rep.Revocations == 0 {
+		t.Fatalf("spiky market produced no revocations (notices=%d)", rep.Notices)
+	}
+	if rep.FreeSteps == 0 {
+		t.Fatal("no free steps despite first-hour revocations")
+	}
+	if rep.Refund <= 0 {
+		t.Fatal("no refund despite first-hour revocations")
+	}
+	if rep.FreeSteps > rep.TotalSteps {
+		t.Fatalf("free steps %d > total %d", rep.FreeSteps, rep.TotalSteps)
+	}
+	if rep.RefundFraction() < 0 || rep.RefundFraction() > 1 {
+		t.Fatalf("refund fraction %v", rep.RefundFraction())
+	}
+	if rep.Best != idFor(0) {
+		t.Fatalf("best = %q", rep.Best)
+	}
+}
+
+func TestOrchestratorValidation(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 2, 100, 10)
+	if _, err := NewOrchestrator(nil, w.store, w.provisioner(t), trials, Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := NewOrchestrator(w.cluster, w.store, w.provisioner(t), nil, Config{}); err == nil {
+		t.Error("no trials accepted")
+	}
+	dup := []*trial.Replay{trials[0], trials[0]}
+	if _, err := NewOrchestrator(w.cluster, w.store, w.provisioner(t), dup, Config{}); err == nil {
+		t.Error("duplicate trials accepted")
+	}
+}
+
+func TestReportDerivedMetrics(t *testing.T) {
+	r := &Report{
+		JCT:            2 * time.Hour,
+		GrossCost:      1.0,
+		Refund:         0.4,
+		NetCost:        0.6,
+		TotalSteps:     100,
+		FreeSteps:      40,
+		CheckpointTime: 3 * time.Minute,
+		RestoreTime:    3 * time.Minute,
+	}
+	if got := r.FreeStepFraction(); got != 0.4 {
+		t.Errorf("FreeStepFraction = %v", got)
+	}
+	if got := r.RefundFraction(); got != 0.4 {
+		t.Errorf("RefundFraction = %v", got)
+	}
+	if got := r.OverheadFraction(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("OverheadFraction = %v", got)
+	}
+	if got := r.PCR(); math.Abs(got-1/(2*0.6)) > 1e-12 {
+		t.Errorf("PCR = %v", got)
+	}
+	empty := &Report{}
+	if empty.FreeStepFraction() != 0 || empty.RefundFraction() != 0 ||
+		empty.OverheadFraction() != 0 || empty.PCR() != 0 {
+		t.Error("zero-value report not all-zero")
+	}
+}
+
+func TestTrueBestAndFinals(t *testing.T) {
+	w := newWorld(t, false)
+	trials := mkTrials(t, w, 3, 100, 10)
+	best, val := TrueBest(trials)
+	if best != idFor(0) {
+		t.Fatalf("TrueBest = %s", best)
+	}
+	finals := TrueFinals(trials)
+	if len(finals) != 3 || finals[best] != val {
+		t.Fatalf("TrueFinals = %v", finals)
+	}
+}

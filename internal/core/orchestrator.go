@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/earlycurve"
+	"spottune/internal/trial"
+)
+
+// Config tunes the orchestrator. Zero values select the paper's settings.
+type Config struct {
+	// Theta is the early-shutdown rate θ ∈ (0, 1] (Table I).
+	Theta float64
+	// MCnt is how many top-ranked models to continue training from
+	// checkpoints after the prediction phase (Table I; default 3).
+	MCnt int
+	// MaxConcurrent caps simultaneously deployed trials. The paper's
+	// evaluation processes trials one at a time (default 1); higher
+	// values exercise the elastic fan-out Algorithm 1 permits.
+	MaxConcurrent int
+	// PollInterval is the Algorithm 1 loop sleep (default 10s).
+	PollInterval time.Duration
+	// RestartAfter is the proactive restart horizon (default 1h — the
+	// refund-window boundary of Fig. 4).
+	RestartAfter time.Duration
+	// StartupDelay models instance boot time before training can begin
+	// (default 60s).
+	StartupDelay time.Duration
+	// C0 initializes the performance matrix to C0/CPUs seconds per step
+	// (default 16).
+	C0 float64
+	// CheckpointSetup/RestoreSetup are fixed per-event costs beyond raw
+	// transfer time: snapshotting the training process, remounting the
+	// object store, restarting the runtime (defaults 20s / 40s). These
+	// dominate Fig. 12 for small-model workloads, matching the paper's
+	// nonzero overhead on linear models.
+	CheckpointSetup time.Duration
+	RestoreSetup    time.Duration
+	// PeriodicCheckpoint is the cadence for trials whose checkpoint is
+	// too large to upload inside the two-minute revocation notice
+	// (§IV-F's max-model-size limit). Such trials checkpoint on this
+	// schedule instead of at notice time, losing at most one period of
+	// work per revocation — the "periodically checkpointing" extension
+	// the paper leaves as future work. Default 10 minutes.
+	PeriodicCheckpoint time.Duration
+	// Trend predicts final metrics from partial curves (default
+	// EarlyCurve with paper constants).
+	Trend earlycurve.TrendPredictor
+	// ConvergeWindow/ConvergeTol detect plateaued trials (§III-C).
+	ConvergeWindow int
+	ConvergeTol    float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Theta <= 0 || c.Theta > 1 {
+		c.Theta = 0.7
+	}
+	if c.MCnt <= 0 {
+		c.MCnt = 3
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Second
+	}
+	if c.RestartAfter <= 0 {
+		c.RestartAfter = time.Hour
+	}
+	if c.StartupDelay < 0 {
+		c.StartupDelay = 0
+	} else if c.StartupDelay == 0 {
+		c.StartupDelay = time.Minute
+	}
+	if c.C0 <= 0 {
+		c.C0 = 16
+	}
+	if c.Trend == nil {
+		c.Trend = &earlycurve.Predictor{}
+	}
+	if c.CheckpointSetup <= 0 {
+		c.CheckpointSetup = 15 * time.Second
+	}
+	if c.RestoreSetup <= 0 {
+		c.RestoreSetup = 30 * time.Second
+	}
+	if c.PeriodicCheckpoint <= 0 {
+		c.PeriodicCheckpoint = 10 * time.Minute
+	}
+	if c.ConvergeWindow <= 0 {
+		c.ConvergeWindow = 8
+	}
+	if c.ConvergeTol <= 0 {
+		// Tight enough that plateau noise on near-tied configs does not
+		// truncate observation before the ranking that depends on it.
+		c.ConvergeTol = 5e-4
+	}
+	return c
+}
+
+// segment records steps run on one instance so refunds can be attributed.
+type segment struct {
+	instanceID string
+	trialID    string
+	steps      int
+}
+
+// assignment is one live (trial, instance) pairing.
+type assignment struct {
+	tr          *trial.Replay
+	inst        *cloudsim.Instance
+	deployedAt  time.Time
+	busyAt      time.Time // boot + restore complete
+	lastAdvance time.Time
+	stepsBefore int  // trial steps when deployed
+	dead        bool // noticed or terminated; awaiting redeploy
+
+	// oversized marks trials whose checkpoint cannot finish inside the
+	// revocation notice on this instance; they checkpoint periodically.
+	oversized  bool
+	lastCkptAt time.Time
+}
+
+// oversizedFor reports whether a checkpoint of the given size cannot be
+// uploaded within the notice lead time on the given instance.
+func oversizedFor(ckptMB float64, cpus int) bool {
+	return ckptMB > cloudsim.MaxModelSizeMB(cpus)
+}
+
+// Orchestrator drives one HPT campaign per Algorithm 1.
+type Orchestrator struct {
+	cfg     Config
+	cluster *cloudsim.Cluster
+	store   *cloudsim.ObjectStore
+	prov    *Provisioner
+	perf    *PerfMatrix
+
+	trials   map[string]*trial.Replay
+	order    []string // submission order
+	waiting  []string
+	active   map[string]*assignment
+	finished map[string]bool
+
+	segments    []segment
+	deployments int
+	notices     int
+
+	// ckptSetup/restoreSetup accumulate the fixed per-event costs that
+	// transfers alone do not capture (Fig. 12 accounting).
+	ckptSetup    time.Duration
+	restoreSetup time.Duration
+
+	// phaseLimit is the active phase's per-trial step cap.
+	phaseLimit func(*trial.Replay) int
+}
+
+// NewOrchestrator wires a campaign over the given trials.
+func NewOrchestrator(
+	cluster *cloudsim.Cluster,
+	store *cloudsim.ObjectStore,
+	prov *Provisioner,
+	trials []*trial.Replay,
+	cfg Config,
+) (*Orchestrator, error) {
+	if cluster == nil || store == nil || prov == nil {
+		return nil, errors.New("core: orchestrator needs a cluster, store, and provisioner")
+	}
+	if len(trials) == 0 {
+		return nil, errors.New("core: no trials submitted")
+	}
+	o := &Orchestrator{
+		cfg:      cfg.withDefaults(),
+		cluster:  cluster,
+		store:    store,
+		prov:     prov,
+		perf:     NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
+		trials:   make(map[string]*trial.Replay, len(trials)),
+		active:   make(map[string]*assignment),
+		finished: make(map[string]bool),
+	}
+	for _, tr := range trials {
+		if _, dup := o.trials[tr.ID()]; dup {
+			return nil, fmt.Errorf("core: duplicate trial %q", tr.ID())
+		}
+		o.trials[tr.ID()] = tr
+		o.order = append(o.order, tr.ID())
+	}
+	return o, nil
+}
+
+// ckptKey is the object-store key for a trial's checkpoint.
+func ckptKey(trialID string) string { return "ckpt/" + trialID }
+
+// Run executes the full campaign: the θ-bounded exploration phase, the
+// EarlyCurve ranking, and the top-mcnt continuation phase (Algorithm 1
+// lines 15–53). It returns the campaign report.
+func (o *Orchestrator) Run() (*Report, error) {
+	start := o.cluster.Clock().Now()
+
+	limit := func(tr *trial.Replay) int {
+		l := int(math.Round(o.cfg.Theta * float64(tr.MaxSteps())))
+		if l < 1 {
+			l = 1
+		}
+		if l > tr.MaxSteps() {
+			l = tr.MaxSteps()
+		}
+		return l
+	}
+	if err := o.runPhase(o.order, limit); err != nil {
+		return nil, err
+	}
+
+	// Prediction phase (lines 48–52): extrapolate each trial's final
+	// metric from its partial curve.
+	predicted := make(map[string]float64, len(o.trials))
+	for id, tr := range o.trials {
+		points := tr.Points()
+		var (
+			val float64
+			err error
+		)
+		if tr.CompletedSteps() >= tr.MaxSteps() ||
+			(len(points) > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)) {
+			// Fully trained, or plateaued (§III-C's convergence special
+			// case): the last observation is the final metric.
+			val = points[len(points)-1].Value
+		} else {
+			val, err = o.cfg.Trend.PredictFinal(points, tr.MaxSteps())
+			if err != nil {
+				// Not enough curve to fit (revocation-heavy runs): fall
+				// back to the last observation, pessimistically inflated.
+				if len(points) > 0 {
+					val = points[len(points)-1].Value * 1.05
+				} else {
+					val = math.Inf(1)
+				}
+			}
+		}
+		predicted[id] = val
+	}
+
+	// Continuation phase (line 53): train the top-mcnt models to full
+	// steps from their checkpoints.
+	ranked := rankByValue(predicted)
+	mcnt := o.cfg.MCnt
+	if mcnt > len(ranked) {
+		mcnt = len(ranked)
+	}
+	top := ranked[:mcnt]
+	var contIDs []string
+	for _, id := range top {
+		if o.trials[id].CompletedSteps() < o.trials[id].MaxSteps() {
+			contIDs = append(contIDs, id)
+			delete(o.finished, id)
+		}
+	}
+	if len(contIDs) > 0 {
+		if err := o.runPhase(contIDs, func(tr *trial.Replay) int { return tr.MaxSteps() }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Final selection: best observed metric among the continued models.
+	best := ""
+	bestVal := math.Inf(1)
+	for _, id := range top {
+		pts := o.trials[id].Points()
+		if len(pts) == 0 {
+			continue
+		}
+		if v := pts[len(pts)-1].Value; v < bestVal {
+			best, bestVal = id, v
+		}
+	}
+
+	return o.buildReport(start, predicted, ranked, top, best), nil
+}
+
+// runPhase processes the given trial IDs until each reaches its step limit
+// or converges, handling revocation notices, hourly restarts, and
+// (re)deployments.
+func (o *Orchestrator) runPhase(ids []string, limit func(*trial.Replay) int) error {
+	clk := o.cluster.Clock()
+	o.phaseLimit = limit
+	o.active = make(map[string]*assignment)
+	o.waiting = nil
+	for _, id := range ids {
+		if !o.finished[id] {
+			o.waiting = append(o.waiting, id)
+		}
+	}
+	pending := len(o.waiting)
+	if pending == 0 {
+		return nil
+	}
+
+	for iter := 0; ; iter++ {
+		// A week-long campaign polls ~60k times; 5M means livelock
+		// (e.g. a trial that can never recover past its checkpoint).
+		if iter > 5_000_000 {
+			return errors.New("core: orchestrator did not converge (runaway loop)")
+		}
+		now := clk.Now()
+
+		// Advance running trials and evaluate their triggers.
+		for id, a := range o.active {
+			if a.dead {
+				continue
+			}
+			o.advance(a, now)
+			tr := a.tr
+			lim := limit(tr)
+			converged := tr.CompletedSteps() > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
+			switch {
+			case tr.CompletedSteps() >= lim || converged:
+				// Early shutdown / completion (lines 27–30).
+				o.checkpoint(a, now)
+				o.endAssignment(a, true)
+				o.finished[id] = true
+				pending--
+			case now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
+				// Hourly refund-farming restart (lines 31–34).
+				o.checkpoint(a, now)
+				o.endAssignment(a, true)
+				o.waiting = append(o.waiting, id)
+			case a.oversized && now.Sub(a.lastCkptAt) >= o.cfg.PeriodicCheckpoint:
+				// Periodic checkpointing: this trial's state cannot be
+				// saved inside the revocation notice, so snapshot on a
+				// schedule and accept losing at most one period.
+				o.checkpoint(a, now)
+			}
+		}
+		// Remove dead assignments.
+		for id, a := range o.active {
+			if a.dead {
+				delete(o.active, id)
+			}
+		}
+
+		if pending == 0 {
+			return nil
+		}
+
+		// Deploy waiting trials (lines 38–44).
+		for len(o.waiting) > 0 && len(o.active) < o.cfg.MaxConcurrent {
+			id := o.waiting[0]
+			tr := o.trials[id]
+			choice, err := o.prov.Best(func(tn string) float64 { return o.perf.Get(tn, id) })
+			if err != nil {
+				return fmt.Errorf("core: provisioning %s: %w", id, err)
+			}
+			a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps()}
+			inst, err := o.cluster.RequestSpot(choice.TypeName, choice.MaxPrice, func(_ *cloudsim.Instance, at time.Time) {
+				o.onNotice(a, at)
+			})
+			if err != nil {
+				// Market moved against us inside this tick; retry later.
+				break
+			}
+			o.deployments++
+			a.inst = inst
+			a.deployedAt = now
+			a.lastCkptAt = now
+			a.oversized = oversizedFor(tr.CheckpointMB(), inst.Type.CPUs)
+			busy := now.Add(o.cfg.StartupDelay)
+			// Oversized trials need a baseline recovery point before
+			// any revocation can strike: without it, a notice arriving
+			// before the first periodic snapshot would have nothing to
+			// rewind to.
+			if a.oversized && !o.store.Exists(ckptKey(id)) {
+				o.checkpoint(a, now)
+			}
+			// Restore from checkpoint when one exists (line 41 deploys
+			// either a fresh job or a checkpointed one).
+			if o.store.Exists(ckptKey(id)) {
+				blob, d, err := o.store.Get(ckptKey(id), inst.Type.CPUs)
+				if err != nil {
+					return fmt.Errorf("core: restoring %s: %w", id, err)
+				}
+				if err := tr.Restore(blob); err != nil {
+					return fmt.Errorf("core: restoring %s: %w", id, err)
+				}
+				a.stepsBefore = tr.CompletedSteps()
+				busy = busy.Add(d + o.cfg.RestoreSetup)
+				o.restoreSetup += o.cfg.RestoreSetup
+			}
+			a.busyAt = busy
+			a.lastAdvance = busy
+			o.active[id] = a
+			o.waiting = o.waiting[1:]
+		}
+
+		clk.Sleep(o.cfg.PollInterval)
+	}
+}
+
+// advance runs the trial for the compute time elapsed since the last
+// advance, updating the performance matrix with the observed throughput.
+func (o *Orchestrator) advance(a *assignment, now time.Time) {
+	if a.dead || now.Before(a.busyAt) {
+		return
+	}
+	from := a.lastAdvance
+	if from.Before(a.busyAt) {
+		from = a.busyAt
+	}
+	secs := now.Sub(from).Seconds()
+	if secs <= 0 {
+		return
+	}
+	steps, used := a.tr.RunFor(a.inst.Type, secs, o.phaseLimit(a.tr))
+	a.lastAdvance = now
+	if steps > 0 && used > 0 {
+		o.perf.Observe(a.inst.Type.Name, a.tr.ID(), used/float64(steps))
+	}
+}
+
+// onNotice handles a termination notice (lines 24–26): bring the trial up to
+// date and checkpoint it inside the two-minute window — unless the
+// checkpoint is too large to fit, in which case the most recent periodic
+// checkpoint already in object storage is the recovery point and the work
+// since then is lost.
+func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
+	if a.dead || a.inst == nil {
+		return
+	}
+	o.notices++
+	o.advance(a, at)
+	if !a.oversized {
+		o.checkpoint(a, at)
+	}
+	o.recordSegment(a)
+	a.dead = true
+	// The cluster revokes the instance itself two minutes later.
+	id := a.tr.ID()
+	if !o.finished[id] {
+		o.waiting = append(o.waiting, id)
+	}
+}
+
+// checkpoint writes the trial's state to object storage.
+func (o *Orchestrator) checkpoint(a *assignment, _ time.Time) {
+	blob, err := a.tr.Checkpoint()
+	if err != nil {
+		// Replay checkpoints cannot fail in practice; losing one only
+		// costs recomputation, matching real SpotTune behaviour.
+		return
+	}
+	cpus := 1
+	if a.inst != nil {
+		cpus = a.inst.Type.CPUs
+	}
+	o.store.PutSized(ckptKey(a.tr.ID()), blob, a.tr.CheckpointMB(), cpus)
+	o.ckptSetup += o.cfg.CheckpointSetup
+	a.lastCkptAt = o.cluster.Clock().Now()
+}
+
+// endAssignment terminates the instance (user-initiated) and records the
+// step segment.
+func (o *Orchestrator) endAssignment(a *assignment, terminate bool) {
+	if a.dead {
+		return
+	}
+	o.recordSegment(a)
+	a.dead = true
+	if terminate && a.inst != nil && a.inst.Running() {
+		// Termination failures would mean double bookkeeping bugs.
+		if err := o.cluster.Terminate(a.inst.ID); err != nil {
+			panic(fmt.Sprintf("core: terminating %s: %v", a.inst.ID, err))
+		}
+	}
+}
+
+func (o *Orchestrator) recordSegment(a *assignment) {
+	steps := a.tr.CompletedSteps() - a.stepsBefore
+	if steps < 0 {
+		steps = 0
+	}
+	instID := ""
+	if a.inst != nil {
+		instID = a.inst.ID
+	}
+	o.segments = append(o.segments, segment{instanceID: instID, trialID: a.tr.ID(), steps: steps})
+}
+
+// rankByValue returns IDs sorted ascending by value (ties by ID for
+// determinism).
+func rankByValue(vals map[string]float64) []string {
+	ids := make([]string, 0, len(vals))
+	for id := range vals {
+		ids = append(ids, id)
+	}
+	less := func(i, j int) bool {
+		if vals[ids[i]] != vals[ids[j]] {
+			return vals[ids[i]] < vals[ids[j]]
+		}
+		return ids[i] < ids[j]
+	}
+	sortSlice(ids, less)
+	return ids
+}
+
+func sortSlice(ids []string, less func(i, j int) bool) {
+	// Insertion sort keeps this dependency-light and stable; n <= dozens.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(j, j-1); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

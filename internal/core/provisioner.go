@@ -1,0 +1,215 @@
+// Package core implements SpotTune itself: the fine-grained cost-aware
+// Provisioner (Eq. 1–2 of the paper), the Algorithm 1 Orchestrator with
+// notice-driven checkpointing, hourly refund-farming restarts and
+// EarlyCurve-based early shutdown, the Single-Spot baselines of §IV-A4, and
+// campaign reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/market"
+	"spottune/internal/revpred"
+)
+
+// Default bid-delta interval (Algorithm 1 line 4): the maximum price is the
+// current market price plus a uniform delta from this range, in USD.
+const (
+	DefaultDeltaLow  = 0.00001
+	DefaultDeltaHigh = 0.2
+)
+
+// Choice is the provisioning decision for one deployment.
+type Choice struct {
+	TypeName string
+	MaxPrice float64
+	RevProb  float64 // predicted revocation probability within the hour
+	AvgPrice float64 // trailing-hour average market price (Eq. 1 price term)
+	StepCost float64 // Eq. 2 expected cost per step (relative units)
+}
+
+// Provisioner selects the instance with the least expected step cost:
+// E[sCost] = M[inst][hp] · (1 − p) · price (Eq. 2), where p comes from a
+// revocation predictor and price is the trailing-hour average.
+type Provisioner struct {
+	pool       []string
+	cluster    *cloudsim.Cluster
+	grids      map[string]*market.Grid
+	predictors map[string]revpred.Predictor
+	deltaLow   float64
+	deltaHigh  float64
+	rng        *rand.Rand
+}
+
+// NewProvisioner wires the provisioner. Every pool member needs a grid and a
+// predictor. Delta bounds of zero select the paper's defaults.
+func NewProvisioner(
+	cluster *cloudsim.Cluster,
+	pool []string,
+	grids map[string]*market.Grid,
+	predictors map[string]revpred.Predictor,
+	deltaLow, deltaHigh float64,
+	seed uint64,
+) (*Provisioner, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("core: empty instance pool")
+	}
+	for _, name := range pool {
+		if _, ok := grids[name]; !ok {
+			return nil, fmt.Errorf("core: no market grid for pool member %q", name)
+		}
+		if _, ok := predictors[name]; !ok {
+			return nil, fmt.Errorf("core: no revocation predictor for pool member %q", name)
+		}
+	}
+	if deltaHigh <= 0 {
+		deltaLow, deltaHigh = DefaultDeltaLow, DefaultDeltaHigh
+	}
+	if deltaLow < 0 || deltaLow >= deltaHigh {
+		return nil, fmt.Errorf("core: invalid delta interval [%v, %v]", deltaLow, deltaHigh)
+	}
+	return &Provisioner{
+		pool:       append([]string(nil), pool...),
+		cluster:    cluster,
+		grids:      grids,
+		predictors: predictors,
+		deltaLow:   deltaLow,
+		deltaHigh:  deltaHigh,
+		rng:        rand.New(rand.NewPCG(seed, 0x9e0715)),
+	}, nil
+}
+
+// Best implements getBestInst of Algorithm 1: secPerStep supplies the
+// current M[inst][hp] estimate for the trial being deployed.
+func (p *Provisioner) Best(secPerStep func(typeName string) float64) (Choice, error) {
+	now := p.cluster.Clock().Now()
+	best := Choice{StepCost: math.Inf(1)}
+	for _, name := range p.pool {
+		cur, err := p.cluster.CurrentPrice(name)
+		if err != nil {
+			return Choice{}, err
+		}
+		delta := p.deltaLow + p.rng.Float64()*(p.deltaHigh-p.deltaLow)
+		maxPrice := cur + delta
+		grid := p.grids[name]
+		prob := 0.0
+		if idx, err := grid.Index(now); err == nil {
+			prob = p.predictors[name].Predict(grid, idx, maxPrice)
+		}
+		if prob < 0 {
+			prob = 0
+		} else if prob > 1 {
+			prob = 1
+		}
+		avg, err := p.cluster.AvgPriceLastHour(name)
+		if err != nil {
+			return Choice{}, err
+		}
+		// Eq. 2, plus a small undamped term so near-certain revocations
+		// (p → 1, expected cost → 0) still tie-break toward the
+		// cheap-and-fast choice instead of argmin order.
+		raw := secPerStep(name) * avg
+		sCost := raw*(1-prob) + 0.02*raw
+		if sCost < best.StepCost {
+			best = Choice{
+				TypeName: name,
+				MaxPrice: maxPrice,
+				RevProb:  prob,
+				AvgPrice: avg,
+				StepCost: sCost,
+			}
+		}
+	}
+	if math.IsInf(best.StepCost, 1) {
+		return Choice{}, errors.New("core: no viable instance in pool")
+	}
+	return best, nil
+}
+
+// Pool returns the instance type names the provisioner chooses from.
+func (p *Provisioner) Pool() []string { return append([]string(nil), p.pool...) }
+
+// PerfMatrix is the online performance model M of Algorithm 1: estimated
+// seconds per step for every (instance type, HP) pair, initialized from core
+// counts and refined from observed throughput.
+type PerfMatrix struct {
+	c0      float64
+	catalog *market.Catalog
+	est     map[string]map[string]float64
+	alpha   float64
+}
+
+// NewPerfMatrix builds M with M[inst][hp] initialized to c0 / CPUs (more
+// cores, faster steps).
+func NewPerfMatrix(catalog *market.Catalog, c0 float64) *PerfMatrix {
+	if c0 <= 0 {
+		c0 = 16
+	}
+	return &PerfMatrix{
+		c0:      c0,
+		catalog: catalog,
+		est:     make(map[string]map[string]float64),
+		alpha:   0.5,
+	}
+}
+
+// Get returns the current estimate of seconds/step.
+func (m *PerfMatrix) Get(typeName, hpID string) float64 {
+	if hp, ok := m.est[typeName]; ok {
+		if v, ok := hp[hpID]; ok {
+			return v
+		}
+	}
+	it, ok := m.catalog.Lookup(typeName)
+	if !ok || it.CPUs == 0 {
+		return m.c0
+	}
+	return m.c0 / float64(it.CPUs)
+}
+
+// Observe folds a measured seconds-per-step sample into the estimate
+// (line 36 of Algorithm 1).
+func (m *PerfMatrix) Observe(typeName, hpID string, secPerStep float64) {
+	if secPerStep <= 0 || math.IsNaN(secPerStep) || math.IsInf(secPerStep, 0) {
+		return
+	}
+	hp, ok := m.est[typeName]
+	if !ok {
+		hp = make(map[string]float64)
+		m.est[typeName] = hp
+	}
+	if prev, ok := hp[hpID]; ok {
+		hp[hpID] = (1-m.alpha)*prev + m.alpha*secPerStep
+	} else {
+		hp[hpID] = secPerStep
+	}
+}
+
+// Snapshot lists known estimates sorted by (type, hp) for reporting.
+func (m *PerfMatrix) Snapshot() []PerfEntry {
+	var out []PerfEntry
+	for tn, hps := range m.est {
+		for hp, v := range hps {
+			out = append(out, PerfEntry{TypeName: tn, HPID: hp, SecPerStep: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TypeName != out[j].TypeName {
+			return out[i].TypeName < out[j].TypeName
+		}
+		return out[i].HPID < out[j].HPID
+	})
+	return out
+}
+
+// PerfEntry is one observed performance-matrix cell.
+type PerfEntry struct {
+	TypeName   string
+	HPID       string
+	SecPerStep float64
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"time"
+
+	"spottune/internal/cloudsim"
+)
+
+// Report summarizes one HPT campaign — every quantity the paper's evaluation
+// plots is derivable from it.
+type Report struct {
+	Approach string // "SpotTune", "SingleSpot(<type>)", ...
+	Theta    float64
+
+	// JCT is the job completion time: submission to final model selection
+	// (Fig. 7b).
+	JCT time.Duration
+	// GrossCost/Refund/NetCost decompose spend (Fig. 7a, Fig. 9b).
+	GrossCost float64
+	Refund    float64
+	NetCost   float64
+
+	// TotalSteps/FreeSteps attribute work to charged vs refunded
+	// instance time (Fig. 9a).
+	TotalSteps int
+	FreeSteps  int
+
+	// CheckpointTime/RestoreTime accumulate object-store transfers
+	// (Fig. 12).
+	CheckpointTime time.Duration
+	RestoreTime    time.Duration
+
+	// Deployments/Notices/Revocations count orchestration events.
+	Deployments int
+	Notices     int
+	Revocations int
+
+	// PredictedFinals is the trend-predictor's final-metric estimate per
+	// HP; Ranked is ascending by prediction; Top the continued set; Best
+	// the finally selected HP (Fig. 8c feeds on these).
+	PredictedFinals map[string]float64
+	Ranked          []string
+	Top             []string
+	Best            string
+
+	// PerfObservations snapshots the online performance matrix (Fig. 6).
+	PerfObservations []PerfEntry
+}
+
+// FreeStepFraction is FreeSteps/TotalSteps (Fig. 9a's headline number).
+func (r *Report) FreeStepFraction() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.FreeSteps) / float64(r.TotalSteps)
+}
+
+// RefundFraction is Refund/GrossCost (Fig. 9b).
+func (r *Report) RefundFraction() float64 {
+	if r.GrossCost == 0 {
+		return 0
+	}
+	return r.Refund / r.GrossCost
+}
+
+// OverheadFraction is transfer time over total campaign time (Fig. 12).
+func (r *Report) OverheadFraction() float64 {
+	if r.JCT <= 0 {
+		return 0
+	}
+	return (r.CheckpointTime + r.RestoreTime).Seconds() / r.JCT.Seconds()
+}
+
+// PCR is the performance-cost rate α/(JCT·cost) of Fig. 7c; α=1 here and
+// callers normalize.
+func (r *Report) PCR() float64 {
+	den := r.JCT.Hours() * r.NetCost
+	if den <= 0 {
+		return 0
+	}
+	return 1 / den
+}
+
+// buildReport assembles the report after a campaign.
+func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64, ranked, top []string, best string) *Report {
+	clk := o.cluster.Clock()
+	// Let in-flight revocations (notices within the final two minutes)
+	// settle so billing is complete.
+	clk.Sleep(cloudsim.NoticeLeadTime + time.Minute)
+
+	led := o.cluster.Ledger()
+	usageByID := make(map[string]cloudsim.Usage, len(led.Records))
+	revocations := 0
+	for _, u := range led.Records {
+		usageByID[u.InstanceID] = u
+		if u.End == cloudsim.EndRevoked {
+			revocations++
+		}
+	}
+	total, free := 0, 0
+	for _, seg := range o.segments {
+		total += seg.steps
+		if u, ok := usageByID[seg.instanceID]; ok && u.Refunded > 0 {
+			free += seg.steps
+		}
+	}
+	stats := o.store.Stats()
+	return &Report{
+		Approach:         "SpotTune",
+		Theta:            o.cfg.Theta,
+		JCT:              clk.Now().Sub(start) - (cloudsim.NoticeLeadTime + time.Minute),
+		GrossCost:        led.TotalGross(),
+		Refund:           led.TotalRefunded(),
+		NetCost:          led.TotalNet(),
+		TotalSteps:       total,
+		FreeSteps:        free,
+		CheckpointTime:   stats.PutTime + o.ckptSetup,
+		RestoreTime:      stats.GetTime + o.restoreSetup,
+		Deployments:      o.deployments,
+		Notices:          o.notices,
+		Revocations:      revocations,
+		PredictedFinals:  predicted,
+		Ranked:           ranked,
+		Top:              top,
+		Best:             best,
+		PerfObservations: o.perf.Snapshot(),
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spottune/internal/campaign"
+)
+
+// AblationRow is one (predictor, workload) campaign outcome, isolating how
+// much of SpotTune's saving comes from revocation prediction in Eq. 2.
+type AblationRow struct {
+	Predictor string
+	Workload  string
+	Cost      float64
+	JCTHours  float64
+	FreeFrac  float64
+	Refund    float64
+}
+
+// PredictorAblation runs SpotTune θ=0.7 campaigns with the revocation term
+// of Eq. 2 removed (p=0), with the trained RevPred, and with a perfect
+// oracle — bounding the value of the prediction component from below and
+// above. Quick mode substitutes the constant predictor for the trained one.
+func PredictorAblation(ctx *Context) ([]AblationRow, error) {
+	kinds := []campaign.PredictorKind{
+		campaign.PredictorNone,
+		ctx.defaultKind(),
+		campaign.PredictorOracle,
+	}
+	var rows []AblationRow
+	for _, kind := range kinds {
+		env, err := ctx.Env(kind)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range ctx.Opts.Workloads {
+			bench, err := ctx.Bench(name)
+			if err != nil {
+				return nil, err
+			}
+			curves, err := ctx.Curves(name)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := env.RunSpotTune(bench, curves, campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s/%s: %w", kind, name, err)
+			}
+			rows = append(rows, AblationRow{
+				Predictor: string(kind),
+				Workload:  name,
+				Cost:      rep.NetCost,
+				JCTHours:  rep.JCT.Hours(),
+				FreeFrac:  rep.FreeStepFraction(),
+				Refund:    rep.Refund,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"spottune/internal/campaign"
+)
+
+func quickCtx() *Context {
+	return NewContext(Options{
+		Seed:      5,
+		Scale:     0.2,
+		Quick:     true,
+		Workloads: []string{"LoR", "ResNet"},
+	})
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TypeName != "r3.xlarge" || res.OnDemand != 0.33 {
+		t.Fatalf("fig1 meta %+v", res)
+	}
+	if len(res.Records) < 100 {
+		t.Fatalf("fig1 has %d records", len(res.Records))
+	}
+	// The Fig. 1 shape: spikes above on-demand, base far below.
+	above, below := false, false
+	for _, r := range res.Records {
+		if r.Price > res.OnDemand {
+			above = true
+		}
+		if r.Price < 0.5*res.OnDemand {
+			below = true
+		}
+	}
+	if !above || !below {
+		t.Errorf("fig1 trace lacks spikes above (%v) or base below (%v) on-demand", above, below)
+	}
+}
+
+func TestFig5Curves(t *testing.T) {
+	ctx := quickCtx()
+	res, err := Fig5(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoR) != 3 {
+		t.Fatalf("fig5 has %d LoR curves, want 3", len(res.LoR))
+	}
+	if len(res.ResNet) == 0 || res.ResHP == "" {
+		t.Fatal("fig5 ResNet curve missing")
+	}
+}
+
+func TestFig6COVAndNonMonotonicity(t *testing.T) {
+	ctx := quickCtx()
+	rows, err := Fig6(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("fig6 rows %d", len(rows))
+	}
+	monotone := true
+	for i := 1; i < len(rows); i++ {
+		if rows[i].COV >= 0.1 {
+			t.Errorf("%s COV %v >= 0.1", rows[i].TypeName, rows[i].COV)
+		}
+		if rows[i].SecPerStep > rows[i-1].SecPerStep {
+			monotone = false // pricier but slower: the Fig 6 dip
+		}
+	}
+	if monotone {
+		t.Error("speed strictly improves with price; Fig 6 expects dips")
+	}
+}
+
+func TestFig7ShapeTargets(t *testing.T) {
+	ctx := quickCtx()
+	rows, err := Fig7(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*4 {
+		t.Fatalf("fig7 rows %d, want 8", len(rows))
+	}
+	by := map[string]map[string]Fig7Row{}
+	for _, r := range rows {
+		if by[r.Workload] == nil {
+			by[r.Workload] = map[string]Fig7Row{}
+		}
+		by[r.Workload][r.Approach] = r
+	}
+	for wl, m := range by {
+		st07 := m[ApproachSpotTune07]
+		st10 := m[ApproachSpotTune10]
+		cheap := m[ApproachCheapest]
+		fast := m[ApproachFastest]
+		// Paper shape targets that must hold in any reasonable run.
+		// θ=0.7 is usually cheaper than θ=1.0, but the paper itself
+		// notes exceptions (§IV-B2: early termination forgoes refunds
+		// revocation would have granted), so allow bounded slack.
+		if !(st07.Cost < st10.Cost*1.3) {
+			t.Errorf("%s: θ=0.7 cost %v far above θ=1.0 %v", wl, st07.Cost, st10.Cost)
+		}
+		if !(st10.Cost < fast.Cost) {
+			t.Errorf("%s: SpotTune(1.0) cost %v not below fastest %v", wl, st10.Cost, fast.Cost)
+		}
+		if !(fast.JCTHours < cheap.JCTHours) {
+			t.Errorf("%s: fastest JCT %v not below cheapest %v", wl, fast.JCTHours, cheap.JCTHours)
+		}
+	}
+	pcr := PCRNormalized(rows)
+	for wl, m := range pcr {
+		if math.Abs(m[ApproachSpotTune07]-1) > 1e-9 {
+			t.Errorf("%s: reference PCR %v != 1", wl, m[ApproachSpotTune07])
+		}
+		if m[ApproachCheapest] >= 1 || m[ApproachFastest] >= 1 {
+			t.Errorf("%s: baseline PCR not below SpotTune(0.7): %+v", wl, m)
+		}
+	}
+}
+
+func TestFig8ThetaTrends(t *testing.T) {
+	ctx := NewContext(Options{Seed: 6, Scale: 0.15, Quick: true, Workloads: []string{"LoR"}})
+	rows, acc, err := Fig8(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || len(acc) != 10 {
+		t.Fatalf("fig8 %d rows, %d acc points", len(rows), len(acc))
+	}
+	// JCT at θ=1.0 must exceed θ=0.1 markedly.
+	var low, high Fig8Row
+	for _, r := range rows {
+		if r.Theta == 0.1 {
+			low = r
+		}
+		if r.Theta == 1.0 {
+			high = r
+		}
+	}
+	if !(high.JCTHours > low.JCTHours) {
+		t.Errorf("JCT(1.0)=%v not above JCT(0.1)=%v", high.JCTHours, low.JCTHours)
+	}
+	if !(high.Cost > low.Cost) {
+		t.Errorf("Cost(1.0)=%v not above Cost(0.1)=%v", high.Cost, low.Cost)
+	}
+	// θ=1.0 trains fully: top-1 and top-3 must be perfect.
+	last := acc[len(acc)-1]
+	if last.Theta != 1.0 || last.Top1 != 1 || last.Top3 != 1 {
+		t.Errorf("θ=1.0 accuracy %+v, want perfect", last)
+	}
+}
+
+func TestFig9And12FromFig7(t *testing.T) {
+	ctx := quickCtx()
+	rows, err := Fig7(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9 := Fig9(rows)
+	if len(f9) != 2 {
+		t.Fatalf("fig9 rows %d", len(f9))
+	}
+	for _, r := range f9 {
+		if r.FreeFraction < 0 || r.FreeFraction > 1 {
+			t.Errorf("%s free fraction %v", r.Workload, r.FreeFraction)
+		}
+		if r.RefundFrac < 0 || r.RefundFrac > 1 {
+			t.Errorf("%s refund fraction %v", r.Workload, r.RefundFrac)
+		}
+		if r.FreeSteps+r.ChargedSteps <= 0 {
+			t.Errorf("%s no steps recorded", r.Workload)
+		}
+	}
+	f12 := Fig12(rows)
+	if len(f12) != 2 {
+		t.Fatalf("fig12 rows %d", len(f12))
+	}
+	for _, r := range f12 {
+		if r.OverheadFrac < 0 || r.OverheadFrac > 0.5 {
+			t.Errorf("%s overhead fraction %v implausible", r.Workload, r.OverheadFrac)
+		}
+	}
+}
+
+func TestFig11EarlyCurveWins(t *testing.T) {
+	ctx := quickCtx()
+	res, err := Fig11(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("fig11 rows %d", len(res.Rows))
+	}
+	var ecSum, slaqSum float64
+	var n int
+	for _, r := range res.Rows {
+		if math.IsNaN(r.EarlyErr) || math.IsNaN(r.SLAQErr) {
+			continue
+		}
+		ecSum += r.EarlyErr
+		slaqSum += r.SLAQErr
+		n++
+	}
+	if n < 12 {
+		t.Fatalf("only %d configs fit successfully", n)
+	}
+	if ecSum >= slaqSum {
+		t.Errorf("EarlyCurve mean error %v not below SLAQ %v on two-stage curves",
+			ecSum/float64(n), slaqSum/float64(n))
+	}
+	if len(res.ExampleObserved) == 0 || len(res.ExampleTruthCurve) == 0 {
+		t.Error("fig11 example missing")
+	}
+}
+
+func TestCheckpointSpeedsCalibration(t *testing.T) {
+	rows := CheckpointSpeeds()
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if math.Abs(rows[0].SpeedMBps-62.83) > 0.01 {
+		t.Errorf("1-core speed %v", rows[0].SpeedMBps)
+	}
+	last := rows[len(rows)-1]
+	if last.CPUs != 16 || math.Abs(last.SpeedMBps-134.22) > 0.01 {
+		t.Errorf("16-core speed %+v", last)
+	}
+	if math.Abs(last.MaxModelSizeGB-15.73) > 0.01 {
+		t.Errorf("16-core max model %v", last.MaxModelSizeGB)
+	}
+}
+
+func TestContextCaching(t *testing.T) {
+	ctx := quickCtx()
+	b1, err := ctx.Bench("LoR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := ctx.Bench("LoR")
+	if b1 != b2 {
+		t.Error("benchmarks not cached")
+	}
+	c1, err := ctx.Curves("LoR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := ctx.Curves("LoR")
+	if &c1 == nil || len(c1) != len(c2) {
+		t.Error("curves not cached")
+	}
+	e1, err := ctx.Env(campaign.PredictorConstant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := ctx.Env(campaign.PredictorConstant)
+	if e1 != e2 {
+		t.Error("environments not cached")
+	}
+}
+
+func TestPredictorAblation(t *testing.T) {
+	ctx := NewContext(Options{Seed: 8, Scale: 0.15, Quick: true, Workloads: []string{"LoR"}})
+	rows, err := PredictorAblation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("ablation rows %d, want 3", len(rows))
+	}
+	byKind := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.Cost <= 0 {
+			t.Errorf("%s cost %v", r.Predictor, r.Cost)
+		}
+		byKind[r.Predictor] = r
+	}
+	// The oracle bounds the refund-farming upside: it must earn at least
+	// as much refund as flying blind (p=0).
+	if byKind["oracle"].Refund < byKind["none"].Refund {
+		t.Errorf("oracle refund %v below none %v", byKind["oracle"].Refund, byKind["none"].Refund)
+	}
+}
+
+// TestFig7OrderingsRobustAcrossSeeds guards the headline claims against
+// seed luck: the cost and JCT orderings must hold for several independent
+// market histories.
+func TestFig7OrderingsRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short")
+	}
+	for _, seed := range []uint64{2, 13, 77} {
+		ctx := NewContext(Options{Seed: seed, Scale: 0.15, Quick: true, Workloads: []string{"GBTR"}})
+		rows, err := Fig7(ctx)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var st07, st10, cheap, fast Fig7Row
+		for _, r := range rows {
+			switch r.Approach {
+			case ApproachSpotTune07:
+				st07 = r
+			case ApproachSpotTune10:
+				st10 = r
+			case ApproachCheapest:
+				cheap = r
+			case ApproachFastest:
+				fast = r
+			}
+		}
+		// SpotTune's own claims must hold for every market realization;
+		// the relative cost of the two baselines is a property of the
+		// particular price draw (their on-demand tiers, not spot
+		// outcomes, define "cheapest"/"fastest").
+		if !(st07.Cost < cheap.Cost && st10.Cost < cheap.Cost) {
+			t.Errorf("seed %d: SpotTune not cheaper than cheapest baseline (%.3f/%.3f vs %.3f)",
+				seed, st07.Cost, st10.Cost, cheap.Cost)
+		}
+		if !(st07.Cost < fast.Cost && st10.Cost < fast.Cost) {
+			t.Errorf("seed %d: SpotTune not cheaper than fastest baseline (%.3f/%.3f vs %.3f)",
+				seed, st07.Cost, st10.Cost, fast.Cost)
+		}
+		if !(fast.JCTHours < st07.JCTHours && st07.JCTHours < cheap.JCTHours) {
+			t.Errorf("seed %d: JCT ordering broken (%.2f / %.2f / %.2f)",
+				seed, fast.JCTHours, st07.JCTHours, cheap.JCTHours)
+		}
+	}
+}

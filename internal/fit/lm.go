@@ -1,0 +1,202 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ResidualFunc maps parameters to a residual vector r(θ); Levenberg–Marquardt
+// minimizes ||r(θ)||².
+type ResidualFunc func(params []float64) []float64
+
+// LMOptions tunes the Levenberg–Marquardt solver. Zero values select
+// sensible defaults.
+type LMOptions struct {
+	// MaxIterations bounds the outer loop (default 200).
+	MaxIterations int
+	// Tolerance stops when the relative cost improvement falls below it
+	// (default 1e-10).
+	Tolerance float64
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+	// JacobianStep is the finite-difference step (default 1e-6 relative).
+	JacobianStep float64
+}
+
+func (o LMOptions) withDefaults() LMOptions {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-10
+	}
+	if o.InitialLambda <= 0 {
+		o.InitialLambda = 1e-3
+	}
+	if o.JacobianStep <= 0 {
+		o.JacobianStep = 1e-6
+	}
+	return o
+}
+
+// LMResult carries the solution and diagnostics of an LM run.
+type LMResult struct {
+	Params     []float64
+	Cost       float64 // final ½||r||²
+	Iterations int
+	Converged  bool
+}
+
+// ErrBadResidual is returned when the residual function produces NaN/Inf at
+// the starting point.
+var ErrBadResidual = errors.New("fit: residual function returned non-finite values at start")
+
+// LevenbergMarquardt minimizes ½||r(θ)||² starting from init. The residual
+// function must return a fixed-length vector. The Jacobian is estimated by
+// forward differences. The returned cost is monotonically non-increasing
+// relative to the starting cost (steps that would increase it are rejected).
+func LevenbergMarquardt(r ResidualFunc, init []float64, opts LMOptions) (LMResult, error) {
+	opts = opts.withDefaults()
+	params := append([]float64(nil), init...)
+	res := r(params)
+	if !allFinite(res) {
+		return LMResult{}, ErrBadResidual
+	}
+	cost := half2(res)
+	lambda := opts.InitialLambda
+	m, n := len(res), len(params)
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		// Numeric Jacobian J[i][j] = ∂r_i/∂θ_j.
+		jac := NewMatrix(m, n)
+		for j := 0; j < n; j++ {
+			h := opts.JacobianStep * math.Max(math.Abs(params[j]), 1)
+			bumped := append([]float64(nil), params...)
+			bumped[j] += h
+			rb := r(bumped)
+			if len(rb) != m {
+				return LMResult{}, errors.New("fit: residual length changed during LM")
+			}
+			for i := 0; i < m; i++ {
+				jac.Set(i, j, (rb[i]-res[i])/h)
+			}
+		}
+		// Normal equations JᵀJ + λ·diag(JᵀJ) and gradient Jᵀr.
+		jtj := NewMatrix(n, n)
+		jtr := make([]float64, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				jij := jac.At(i, j)
+				jtr[j] += jij * res[i]
+				for k := j; k < n; k++ {
+					jtj.Set(j, k, jtj.At(j, k)+jij*jac.At(i, k))
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < j; k++ {
+				jtj.Set(j, k, jtj.At(k, j))
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 12; attempt++ {
+			damped := jtj.Clone()
+			for j := 0; j < n; j++ {
+				d := damped.At(j, j)
+				damped.Set(j, j, d+lambda*math.Max(d, 1e-12))
+			}
+			step, err := solveSquare(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, n)
+			for j := 0; j < n; j++ {
+				trial[j] = params[j] - step[j]
+			}
+			rt := r(trial)
+			if len(rt) == m && allFinite(rt) {
+				if c := half2(rt); c < cost {
+					rel := (cost - c) / math.Max(cost, 1e-300)
+					params, res, cost = trial, rt, c
+					lambda = math.Max(lambda/3, 1e-12)
+					improved = true
+					if rel < opts.Tolerance {
+						return LMResult{Params: params, Cost: cost, Iterations: iter, Converged: true}, nil
+					}
+					break
+				}
+			}
+			lambda *= 10
+		}
+		if !improved {
+			return LMResult{Params: params, Cost: cost, Iterations: iter, Converged: true}, nil
+		}
+	}
+	return LMResult{Params: params, Cost: cost, Iterations: opts.MaxIterations, Converged: false}, nil
+}
+
+// solveSquare solves the square system A·x = b via Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func solveSquare(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, errors.New("fit: solveSquare needs a square system")
+	}
+	n := a.Rows
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, pv := k, math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.At(i, k)); v > pv {
+				p, pv = i, v
+			}
+		}
+		if pv < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				m.Data[k*n+j], m.Data[p*n+j] = m.Data[p*n+j], m.Data[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) / m.At(k, k)
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-f*m.At(k, j))
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		s := x[k]
+		for j := k + 1; j < n; j++ {
+			s -= m.At(k, j) * x[j]
+		}
+		x[k] = s / m.At(k, k)
+	}
+	return x, nil
+}
+
+func half2(r []float64) float64 {
+	s := 0.0
+	for _, v := range r {
+		s += v * v
+	}
+	return 0.5 * s
+}
+
+func allFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

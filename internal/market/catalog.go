@@ -1,0 +1,95 @@
+// Package market models public-cloud spot markets: the instance catalog
+// (Table III of the paper), spot price traces, the 1-minute interpolation
+// preprocessing (§IV-A1), a seeded synthetic trace generator standing in for
+// the Kaggle "AWS Spot Pricing Market" dataset, the six engineered features
+// RevPred consumes (§III-B), and the Algorithm 2 maximum-price generator.
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceType describes one purchasable VM type and its reliable-tier price.
+type InstanceType struct {
+	Name          string  // e.g. "r3.xlarge"
+	CPUs          int     // virtual cores
+	MemoryGB      float64 // RAM in GiB
+	OnDemandPrice float64 // USD per hour for the on-demand (reliable) tier
+}
+
+// Catalog is an immutable set of instance types keyed by name.
+type Catalog struct {
+	types []InstanceType
+	byKey map[string]int
+}
+
+// NewCatalog builds a catalog from the given types. Duplicate names are an
+// error.
+func NewCatalog(types []InstanceType) (*Catalog, error) {
+	c := &Catalog{byKey: make(map[string]int, len(types))}
+	for _, it := range types {
+		if it.Name == "" {
+			return nil, fmt.Errorf("market: instance type with empty name")
+		}
+		if it.CPUs <= 0 || it.OnDemandPrice <= 0 {
+			return nil, fmt.Errorf("market: instance %q has non-positive CPUs or price", it.Name)
+		}
+		if _, dup := c.byKey[it.Name]; dup {
+			return nil, fmt.Errorf("market: duplicate instance type %q", it.Name)
+		}
+		c.byKey[it.Name] = len(c.types)
+		c.types = append(c.types, it)
+	}
+	return c, nil
+}
+
+// MustNewCatalog is NewCatalog that panics on error, for static tables.
+func MustNewCatalog(types []InstanceType) *Catalog {
+	c, err := NewCatalog(types)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lookup returns the instance type with the given name.
+func (c *Catalog) Lookup(name string) (InstanceType, bool) {
+	i, ok := c.byKey[name]
+	if !ok {
+		return InstanceType{}, false
+	}
+	return c.types[i], true
+}
+
+// Types returns all instance types sorted by name (a fresh copy).
+func (c *Catalog) Types() []InstanceType {
+	out := append([]InstanceType(nil), c.types...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns all instance-type names sorted alphabetically.
+func (c *Catalog) Names() []string {
+	ts := c.Types()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Len returns the number of instance types.
+func (c *Catalog) Len() int { return len(c.types) }
+
+// DefaultCatalog reproduces Table III: the six-instance experimental pool.
+func DefaultCatalog() *Catalog {
+	return MustNewCatalog([]InstanceType{
+		{Name: "r4.large", CPUs: 2, MemoryGB: 15.25, OnDemandPrice: 0.133},
+		{Name: "r3.xlarge", CPUs: 4, MemoryGB: 30, OnDemandPrice: 0.33},
+		{Name: "r4.xlarge", CPUs: 4, MemoryGB: 30.5, OnDemandPrice: 0.266},
+		{Name: "m4.2xlarge", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.4},
+		{Name: "r4.2xlarge", CPUs: 8, MemoryGB: 61, OnDemandPrice: 0.532},
+		{Name: "m4.4xlarge", CPUs: 16, MemoryGB: 64, OnDemandPrice: 0.8},
+	})
+}

@@ -1,0 +1,205 @@
+package mltrain
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// TreeNode is one node of a regression tree. Exported fields keep gob
+// serialization (checkpointing) straightforward.
+type TreeNode struct {
+	IsLeaf    bool
+	Value     float64 // leaf prediction
+	Feature   int
+	Threshold float64
+	Left      *TreeNode
+	Right     *TreeNode
+}
+
+func (n *TreeNode) predict(x []float64) float64 {
+	for !n.IsLeaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// GBTRegressor is gradient-boosted regression trees (the paper's GBTR
+// workload): each training step fits one depth-limited CART tree to the
+// current residuals and adds it with shrinkage equal to the step's learning
+// rate. Steps therefore equal boosting rounds, matching the nt (number of
+// trees) hyper-parameter.
+type GBTRegressor struct {
+	MaxDepth int
+	MinLeaf  int
+
+	Base    float64
+	Started bool
+	Trees   []*TreeNode
+	Weights []float64 // shrinkage per tree
+}
+
+var _ Model = (*GBTRegressor)(nil)
+
+// NewGBTRegressor builds an empty ensemble.
+func NewGBTRegressor(maxDepth, minLeaf int) *GBTRegressor {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	return &GBTRegressor{MaxDepth: maxDepth, MinLeaf: minLeaf}
+}
+
+func (m *GBTRegressor) predict(x []float64) float64 {
+	s := m.Base
+	for i, t := range m.Trees {
+		s += m.Weights[i] * t.predict(x)
+	}
+	return s
+}
+
+// TrainStep implements Model: one boosting round on the given subsample
+// (stochastic gradient boosting).
+func (m *GBTRegressor) TrainStep(ds *Dataset, idx []int, lr float64) {
+	if len(idx) == 0 {
+		return
+	}
+	if !m.Started {
+		s := 0.0
+		for _, i := range idx {
+			s += ds.Y[i]
+		}
+		m.Base = s / float64(len(idx))
+		m.Started = true
+	}
+	resid := make([]float64, len(idx))
+	for k, i := range idx {
+		resid[k] = ds.Y[i] - m.predict(ds.X[i])
+	}
+	tree := m.buildTree(ds, idx, resid, 0)
+	m.Trees = append(m.Trees, tree)
+	m.Weights = append(m.Weights, lr)
+}
+
+// buildTree grows a CART regression tree on (idx, resid) greedily by SSE.
+func (m *GBTRegressor) buildTree(ds *Dataset, idx []int, resid []float64, depth int) *TreeNode {
+	mean := 0.0
+	for _, r := range resid {
+		mean += r
+	}
+	mean /= float64(len(resid))
+	if depth >= m.MaxDepth || len(idx) < 2*m.MinLeaf {
+		return &TreeNode{IsLeaf: true, Value: mean}
+	}
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	total := 0.0
+	totalSq := 0.0
+	for _, r := range resid {
+		total += r
+		totalSq += r * r
+	}
+	n := float64(len(resid))
+	parentSSE := totalSq - total*total/n
+
+	order := make([]int, len(idx))
+	for f := 0; f < ds.Dim(); f++ {
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return ds.X[idx[order[a]]][f] < ds.X[idx[order[b]]][f]
+		})
+		leftSum, leftSq := 0.0, 0.0
+		for pos := 0; pos < len(order)-1; pos++ {
+			r := resid[order[pos]]
+			leftSum += r
+			leftSq += r * r
+			ln := float64(pos + 1)
+			rn := n - ln
+			if int(ln) < m.MinLeaf || int(rn) < m.MinLeaf {
+				continue
+			}
+			xCur := ds.X[idx[order[pos]]][f]
+			xNext := ds.X[idx[order[pos+1]]][f]
+			if xCur == xNext {
+				continue
+			}
+			rightSum := total - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/ln) + (rightSq - rightSum*rightSum/rn)
+			if gain := parentSSE - sse; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (xCur + xNext) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &TreeNode{IsLeaf: true, Value: mean}
+	}
+	var li, ri []int
+	var lr2, rr []float64
+	for k, i := range idx {
+		if ds.X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+			lr2 = append(lr2, resid[k])
+		} else {
+			ri = append(ri, i)
+			rr = append(rr, resid[k])
+		}
+	}
+	return &TreeNode{
+		Feature:   bestFeat,
+		Threshold: bestThresh,
+		Left:      m.buildTree(ds, li, lr2, depth+1),
+		Right:     m.buildTree(ds, ri, rr, depth+1),
+	}
+}
+
+// Loss implements Model: mean squared error.
+func (m *GBTRegressor) Loss(ds *Dataset) float64 {
+	total := 0.0
+	for i, x := range ds.X {
+		d := m.predict(x) - ds.Y[i]
+		total += d * d
+	}
+	return total / float64(len(ds.X))
+}
+
+// gbtState is the gob checkpoint form.
+type gbtState struct {
+	Base    float64
+	Started bool
+	Trees   []*TreeNode
+	Weights []float64
+}
+
+// Marshal implements Model.
+func (m *GBTRegressor) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	st := gbtState{Base: m.Base, Started: m.Started, Trees: m.Trees, Weights: m.Weights}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("mltrain: encoding GBT: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal implements Model.
+func (m *GBTRegressor) Unmarshal(data []byte) error {
+	var st gbtState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("mltrain: decoding GBT: %w", err)
+	}
+	m.Base, m.Started, m.Trees, m.Weights = st.Base, st.Started, st.Trees, st.Weights
+	return nil
+}
+
+// NumTrees returns the ensemble size (boosting rounds so far).
+func (m *GBTRegressor) NumTrees() int { return len(m.Trees) }

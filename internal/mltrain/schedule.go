@@ -1,0 +1,56 @@
+package mltrain
+
+import "math"
+
+// Schedule maps a global training step to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// ConstLR is a fixed learning rate.
+type ConstLR float64
+
+var _ Schedule = ConstLR(0)
+
+// LR implements Schedule.
+func (c ConstLR) LR(int) float64 { return float64(c) }
+
+// ExpDecay is the paper's exponential schedule: base·dr^(step/ds), with
+// decay rate dr and decay steps ds (Table II's dr/ds hyper-parameters).
+type ExpDecay struct {
+	Base       float64
+	DecayRate  float64
+	DecaySteps int
+}
+
+var _ Schedule = ExpDecay{}
+
+// LR implements Schedule.
+func (e ExpDecay) LR(step int) float64 {
+	if e.DecaySteps <= 0 || e.DecayRate <= 0 {
+		return e.Base
+	}
+	return e.Base * math.Pow(e.DecayRate, float64(step)/float64(e.DecaySteps))
+}
+
+// EpochStepDecay multiplies the base rate by Factor at every multiple of
+// DecayEpochs — the schedule that produces the multi-stage validation curves
+// of Fig. 5b (Table II's de hyper-parameter for AlexNet/ResNet).
+type EpochStepDecay struct {
+	Base          float64
+	Factor        float64 // e.g. 0.1
+	DecayEpochs   int     // de
+	StepsPerEpoch int
+}
+
+var _ Schedule = EpochStepDecay{}
+
+// LR implements Schedule.
+func (e EpochStepDecay) LR(step int) float64 {
+	if e.StepsPerEpoch <= 0 || e.DecayEpochs <= 0 {
+		return e.Base
+	}
+	epoch := step / e.StepsPerEpoch
+	drops := epoch / e.DecayEpochs
+	return e.Base * math.Pow(e.Factor, float64(drops))
+}

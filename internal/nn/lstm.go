@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// LSTM is a single LSTM layer. Gates are stacked in the order
+// input (i), forget (f), candidate (g), output (o), so Wx is (4H × In),
+// Wh is (4H × H) and B is (4H × 1).
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param
+	Wh         *Param
+	B          *Param
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// NewLSTM builds an LSTM layer with Xavier-initialized weights and the
+// customary +1 forget-gate bias (helps gradient flow early in training).
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", 4*hidden, in),
+		Wh:     NewParam(name+".Wh", 4*hidden, hidden),
+		B:      NewParam(name+".b", 4*hidden, 1),
+	}
+	l.Wx.InitXavier(rng)
+	l.Wh.InitXavier(rng)
+	for h := 0; h < hidden; h++ {
+		l.B.W[hidden+h] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// lstmStep holds the per-timestep activations BPTT needs.
+type lstmStep struct {
+	x          []float64
+	i, f, g, o []float64
+	c, h       []float64 // post-step cell and hidden
+	cPrev      []float64
+}
+
+// LSTMCache holds the full unrolled forward pass.
+type LSTMCache struct {
+	steps []*lstmStep
+}
+
+// ForwardSeq runs the layer over a sequence, starting from zero state, and
+// returns the hidden state at every step.
+func (l *LSTM) ForwardSeq(xs [][]float64) ([][]float64, *LSTMCache) {
+	h := make([]float64, l.Hidden)
+	c := make([]float64, l.Hidden)
+	cache := &LSTMCache{}
+	outs := make([][]float64, len(xs))
+	for t, x := range xs {
+		if len(x) != l.In {
+			panic(fmt.Sprintf("nn: lstm %s expects input %d, got %d at step %d", l.Wx.Name, l.In, len(x), t))
+		}
+		st := &lstmStep{
+			x:     append([]float64(nil), x...),
+			i:     make([]float64, l.Hidden),
+			f:     make([]float64, l.Hidden),
+			g:     make([]float64, l.Hidden),
+			o:     make([]float64, l.Hidden),
+			c:     make([]float64, l.Hidden),
+			h:     make([]float64, l.Hidden),
+			cPrev: append([]float64(nil), c...),
+		}
+		H := l.Hidden
+		for j := 0; j < H; j++ {
+			zi := l.B.W[j]
+			zf := l.B.W[H+j]
+			zg := l.B.W[2*H+j]
+			zo := l.B.W[3*H+j]
+			rowI := l.Wx.W[j*l.In : (j+1)*l.In]
+			rowF := l.Wx.W[(H+j)*l.In : (H+j+1)*l.In]
+			rowG := l.Wx.W[(2*H+j)*l.In : (2*H+j+1)*l.In]
+			rowO := l.Wx.W[(3*H+j)*l.In : (3*H+j+1)*l.In]
+			for k, xk := range x {
+				zi += rowI[k] * xk
+				zf += rowF[k] * xk
+				zg += rowG[k] * xk
+				zo += rowO[k] * xk
+			}
+			hRowI := l.Wh.W[j*H : (j+1)*H]
+			hRowF := l.Wh.W[(H+j)*H : (H+j+1)*H]
+			hRowG := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
+			hRowO := l.Wh.W[(3*H+j)*H : (3*H+j+1)*H]
+			for k, hk := range h {
+				zi += hRowI[k] * hk
+				zf += hRowF[k] * hk
+				zg += hRowG[k] * hk
+				zo += hRowO[k] * hk
+			}
+			st.i[j] = sigmoid(zi)
+			st.f[j] = sigmoid(zf)
+			st.g[j] = math.Tanh(zg)
+			st.o[j] = sigmoid(zo)
+			st.c[j] = st.f[j]*st.cPrev[j] + st.i[j]*st.g[j]
+			st.h[j] = st.o[j] * math.Tanh(st.c[j])
+		}
+		c = st.c
+		h = st.h
+		cache.steps = append(cache.steps, st)
+		outs[t] = append([]float64(nil), h...)
+	}
+	return outs, cache
+}
+
+// BackwardSeq backpropagates through time. dhs must contain one gradient per
+// timestep's hidden output (zero slices are allowed and cheap). Parameter
+// gradients accumulate into the layer's Params; the returned slices are the
+// gradients w.r.t. each input step.
+func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs [][]float64) [][]float64 {
+	T := len(cache.steps)
+	if len(dhs) != T {
+		panic(fmt.Sprintf("nn: lstm backward got %d grads for %d steps", len(dhs), T))
+	}
+	H := l.Hidden
+	dxs := make([][]float64, T)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		st := cache.steps[t]
+		dh := make([]float64, H)
+		for j := 0; j < H; j++ {
+			dh[j] = dhNext[j]
+			if dhs[t] != nil {
+				dh[j] += dhs[t][j]
+			}
+		}
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, H)
+		dcPrev := make([]float64, H)
+		for j := 0; j < H; j++ {
+			tanhC := math.Tanh(st.c[j])
+			do := dh[j] * tanhC
+			dc := dh[j]*st.o[j]*(1-tanhC*tanhC) + dcNext[j]
+			di := dc * st.g[j]
+			dg := dc * st.i[j]
+			df := dc * st.cPrev[j]
+			dcPrev[j] = dc * st.f[j]
+
+			dzi := di * st.i[j] * (1 - st.i[j])
+			dzf := df * st.f[j] * (1 - st.f[j])
+			dzg := dg * (1 - st.g[j]*st.g[j])
+			dzo := do * st.o[j] * (1 - st.o[j])
+
+			l.B.G[j] += dzi
+			l.B.G[H+j] += dzf
+			l.B.G[2*H+j] += dzg
+			l.B.G[3*H+j] += dzo
+
+			rowI := l.Wx.W[j*l.In : (j+1)*l.In]
+			rowF := l.Wx.W[(H+j)*l.In : (H+j+1)*l.In]
+			rowG := l.Wx.W[(2*H+j)*l.In : (2*H+j+1)*l.In]
+			rowO := l.Wx.W[(3*H+j)*l.In : (3*H+j+1)*l.In]
+			gRowI := l.Wx.G[j*l.In : (j+1)*l.In]
+			gRowF := l.Wx.G[(H+j)*l.In : (H+j+1)*l.In]
+			gRowG := l.Wx.G[(2*H+j)*l.In : (2*H+j+1)*l.In]
+			gRowO := l.Wx.G[(3*H+j)*l.In : (3*H+j+1)*l.In]
+			for k, xk := range st.x {
+				gRowI[k] += dzi * xk
+				gRowF[k] += dzf * xk
+				gRowG[k] += dzg * xk
+				gRowO[k] += dzo * xk
+				dx[k] += dzi*rowI[k] + dzf*rowF[k] + dzg*rowG[k] + dzo*rowO[k]
+			}
+			var hPrev []float64
+			if t > 0 {
+				hPrev = cache.steps[t-1].h
+			} else {
+				hPrev = make([]float64, H)
+			}
+			hRowI := l.Wh.W[j*H : (j+1)*H]
+			hRowF := l.Wh.W[(H+j)*H : (H+j+1)*H]
+			hRowG := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
+			hRowO := l.Wh.W[(3*H+j)*H : (3*H+j+1)*H]
+			ghRowI := l.Wh.G[j*H : (j+1)*H]
+			ghRowF := l.Wh.G[(H+j)*H : (H+j+1)*H]
+			ghRowG := l.Wh.G[(2*H+j)*H : (2*H+j+1)*H]
+			ghRowO := l.Wh.G[(3*H+j)*H : (3*H+j+1)*H]
+			for k := 0; k < H; k++ {
+				hk := hPrev[k]
+				ghRowI[k] += dzi * hk
+				ghRowF[k] += dzf * hk
+				ghRowG[k] += dzg * hk
+				ghRowO[k] += dzo * hk
+				dhPrev[k] += dzi*hRowI[k] + dzf*hRowF[k] + dzg*hRowG[k] + dzo*hRowO[k]
+			}
+		}
+		dxs[t] = dx
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dxs
+}
+
+// StackedLSTM chains several LSTM layers; layer n+1 consumes layer n's
+// hidden sequence. RevPred uses a three-tier stack (§III-B).
+type StackedLSTM struct {
+	Layers []*LSTM
+}
+
+var _ Layer = (*StackedLSTM)(nil)
+
+// NewStackedLSTM builds depth LSTM layers of the same hidden width.
+func NewStackedLSTM(name string, in, hidden, depth int, rng *rand.Rand) *StackedLSTM {
+	if depth < 1 {
+		panic("nn: stacked LSTM needs depth >= 1")
+	}
+	s := &StackedLSTM{}
+	for d := 0; d < depth; d++ {
+		layerIn := hidden
+		if d == 0 {
+			layerIn = in
+		}
+		s.Layers = append(s.Layers, NewLSTM(fmt.Sprintf("%s.%d", name, d), layerIn, hidden, rng))
+	}
+	return s
+}
+
+// Params implements Layer.
+func (s *StackedLSTM) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// StackedCache chains per-layer caches.
+type StackedCache struct {
+	caches []*LSTMCache
+}
+
+// ForwardSeq returns the top layer's hidden sequence.
+func (s *StackedLSTM) ForwardSeq(xs [][]float64) ([][]float64, *StackedCache) {
+	c := &StackedCache{}
+	for _, l := range s.Layers {
+		var lc *LSTMCache
+		xs, lc = l.ForwardSeq(xs)
+		c.caches = append(c.caches, lc)
+	}
+	return xs, c
+}
+
+// BackwardSeq backpropagates top-down through the stack.
+func (s *StackedLSTM) BackwardSeq(cache *StackedCache, dhs [][]float64) [][]float64 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dhs = s.Layers[i].BackwardSeq(cache.caches[i], dhs)
+	}
+	return dhs
+}
+
+// LastHiddenGrad builds a dhs slice that is zero everywhere except the final
+// step, for nets that read only the last hidden state.
+func LastHiddenGrad(T, hidden int, dLast []float64) [][]float64 {
+	dhs := make([][]float64, T)
+	dhs[T-1] = append([]float64(nil), dLast...)
+	return dhs
+}

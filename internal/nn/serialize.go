@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-wire form of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	W          []float64
+}
+
+// Save writes all parameters to w in gob format, keyed by name. Gradients
+// and optimizer state are not persisted — saved models are for inference.
+func Save(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, 0, len(params))
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		blobs = append(blobs, paramBlob{Name: p.Name, Rows: p.Rows, Cols: p.Cols, W: p.W})
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// Load restores parameter values by name into params. Every parameter must
+// be present in the stream with matching shape.
+func Load(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decoding model: %w", err)
+	}
+	byName := make(map[string]paramBlob, len(blobs))
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	for _, p := range params {
+		b, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: parameter %q missing from saved model", p.Name)
+		}
+		if b.Rows != p.Rows || b.Cols != p.Cols || len(b.W) != len(p.W) {
+			return fmt.Errorf("nn: parameter %q: saved %dx%d vs live %dx%d: %w",
+				p.Name, b.Rows, b.Cols, p.Rows, p.Cols, ErrShape)
+		}
+		copy(p.W, b.W)
+	}
+	return nil
+}
+
+// SaveBytes is Save into a fresh buffer.
+func SaveBytes(params []*Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Save(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadBytes is Load from a byte slice.
+func LoadBytes(data []byte, params []*Param) error {
+	return Load(bytes.NewReader(data), params)
+}

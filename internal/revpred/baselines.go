@@ -1,0 +1,211 @@
+package revpred
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"spottune/internal/market"
+	"spottune/internal/nn"
+)
+
+// Predictor is the interface the orchestrator's provisioner consumes: the
+// revocation probability within the next hour for a spot request on market
+// g at minute i with the given maximum price.
+type Predictor interface {
+	Predict(g *market.Grid, i int, maxPrice float64) float64
+}
+
+var (
+	_ Predictor = (*Model)(nil)
+	_ Predictor = (*TributaryModel)(nil)
+	_ Predictor = (*LogRegModel)(nil)
+	_ Predictor = ConstantPredictor(0)
+)
+
+// ConstantPredictor always returns the same probability; useful as an
+// ablation (0 disables revocation-awareness in Eq. 2 entirely).
+type ConstantPredictor float64
+
+// Predict implements Predictor.
+func (c ConstantPredictor) Predict(*market.Grid, int, float64) float64 { return float64(c) }
+
+// Oracle is the perfect-information upper bound for ablations: it peeks at
+// the future of the price trace and answers 0 or 1 exactly. No real system
+// can implement it; it bounds how much better provisioning could get with a
+// perfect RevPred.
+type Oracle struct{}
+
+var _ Predictor = Oracle{}
+
+// Predict implements Predictor by consulting the trace's future.
+func (Oracle) Predict(g *market.Grid, i int, maxPrice float64) float64 {
+	if g.ExceedsWithin(i, maxPrice, HorizonMinutes) {
+		return 1
+	}
+	return 0
+}
+
+// TributaryModel re-implements the predictor of Tributary (Harlap et al.,
+// ATC'18) as the paper describes it: one LSTM consumes all sixty records
+// (the maximum price appended to every step), training maximum prices are
+// random deltas rather than Algorithm 2, and the loss is unweighted BCE
+// with no recalibration. The paper's RevPred differs in exactly those
+// places, which is what Fig. 10 measures.
+type TributaryModel struct {
+	Type   market.InstanceType
+	Hidden int
+
+	lstm *nn.StackedLSTM // over 60 × (6+1) inputs
+	head *nn.MLP
+}
+
+// Params returns all trainable parameters.
+func (m *TributaryModel) Params() []*nn.Param {
+	return append(m.lstm.Params(), m.head.Params()...)
+}
+
+// tributarySeq reshapes a Sample into the single-path input: history records
+// get the max price appended (it is known at request time), and the present
+// record forms the final step.
+func tributarySeq(s *Sample) [][]float64 {
+	maxPrice := s.Present[len(s.Present)-1]
+	seq := make([][]float64, 0, HistorySteps+1)
+	for _, h := range s.History {
+		step := make([]float64, 0, PresentFeatures)
+		step = append(step, h...)
+		step = append(step, maxPrice)
+		seq = append(seq, step)
+	}
+	seq = append(seq, append([]float64(nil), s.Present...))
+	return seq
+}
+
+func (m *TributaryModel) forward(s *Sample) (float64, *nn.StackedCache, *nn.MLPCache, [][]float64) {
+	seq := tributarySeq(s)
+	hs, hc := m.lstm.ForwardSeq(seq)
+	z, mc := m.head.Forward(hs[len(hs)-1])
+	return z[0], hc, mc, seq
+}
+
+// RawScore returns the network output for a sample.
+func (m *TributaryModel) RawScore(s *Sample) float64 {
+	z, _, _, _ := m.forward(s)
+	return nn.Logistic(z)
+}
+
+// Score is RawScore; Tributary applies no recalibration.
+func (m *TributaryModel) Score(s *Sample) float64 { return m.RawScore(s) }
+
+// Predict implements Predictor.
+func (m *TributaryModel) Predict(g *market.Grid, i int, maxPrice float64) float64 {
+	s, err := sampleAt(g, i, maxPrice)
+	if err != nil {
+		return 0.5
+	}
+	return m.Score(s)
+}
+
+// TrainTributary fits the Tributary baseline on grid minutes [from, to).
+func TrainTributary(g *market.Grid, from, to int, cfg Config) (*TributaryModel, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7b1b07a2))
+	samples, err := BuildSamples(g, from, to, cfg.Stride, DeltaRandom, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) < 2*cfg.BatchSize {
+		return nil, fmt.Errorf("revpred: only %d training samples; need at least %d", len(samples), 2*cfg.BatchSize)
+	}
+	m := &TributaryModel{
+		Type:   g.Type,
+		Hidden: cfg.Hidden,
+		lstm:   nn.NewStackedLSTM("trib", PresentFeatures, cfg.Hidden, cfg.Depth, rng),
+		head:   nn.NewMLP("tribHead", []int{cfg.Hidden, cfg.Hidden, 1}, nn.ReLU, nn.Identity, rng),
+	}
+	loss := nn.WeightedBCE{PosWeight: 1, NegWeight: 1}
+	opt := nn.NewAdam(cfg.LR)
+	params := m.Params()
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start+cfg.BatchSize <= len(idx); start += cfg.BatchSize {
+			nn.ZeroGrads(params)
+			for _, si := range idx[start : start+cfg.BatchSize] {
+				s := &samples[si]
+				z, hc, mc, seq := m.forward(s)
+				_, dz := loss.Loss(z, s.Label)
+				dLast := m.head.Backward(mc, []float64{dz / float64(cfg.BatchSize)})
+				m.lstm.BackwardSeq(hc, nn.LastHiddenGrad(len(seq), cfg.Hidden, dLast))
+			}
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
+		}
+	}
+	return m, nil
+}
+
+// LogRegModel is the logistic-regression baseline of Fig. 10: a linear model
+// over the present record only. It sees no history, which is precisely why
+// it trails both LSTMs.
+type LogRegModel struct {
+	Type market.InstanceType
+	lin  *nn.Dense
+}
+
+// Params returns the trainable parameters.
+func (m *LogRegModel) Params() []*nn.Param { return m.lin.Params() }
+
+// RawScore returns the logistic output for a sample.
+func (m *LogRegModel) RawScore(s *Sample) float64 {
+	z, _ := m.lin.Forward(s.Present)
+	return nn.Logistic(z[0])
+}
+
+// Score is RawScore.
+func (m *LogRegModel) Score(s *Sample) float64 { return m.RawScore(s) }
+
+// Predict implements Predictor.
+func (m *LogRegModel) Predict(g *market.Grid, i int, maxPrice float64) float64 {
+	s, err := sampleAt(g, i, maxPrice)
+	if err != nil {
+		return 0.5
+	}
+	return m.Score(s)
+}
+
+// TrainLogReg fits the logistic-regression baseline.
+func TrainLogReg(g *market.Grid, from, to int, cfg Config) (*LogRegModel, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x109e9))
+	samples, err := BuildSamples(g, from, to, cfg.Stride, DeltaRandom, rng)
+	if err != nil {
+		return nil, err
+	}
+	m := &LogRegModel{Type: g.Type, lin: nn.NewDense("logreg", PresentFeatures, 1, nn.Identity, rng)}
+	loss := nn.WeightedBCE{PosWeight: 1, NegWeight: 1}
+	opt := nn.NewAdam(cfg.LR * 10) // linear model tolerates a larger step
+	params := m.Params()
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	epochs := cfg.Epochs * 3
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start+cfg.BatchSize <= len(idx); start += cfg.BatchSize {
+			nn.ZeroGrads(params)
+			for _, si := range idx[start : start+cfg.BatchSize] {
+				s := &samples[si]
+				z, cache := m.lin.Forward(s.Present)
+				_, dz := loss.Loss(z[0], s.Label)
+				m.lin.Backward(cache, []float64{dz / float64(cfg.BatchSize)})
+			}
+			opt.Step(params)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,124 @@
+package revpred
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"spottune/internal/market"
+	"spottune/internal/stats"
+)
+
+// SampleScorer is any model that scores one assembled sample. All three
+// predictors in this package implement it.
+type SampleScorer interface {
+	Score(s *Sample) float64
+}
+
+var (
+	_ SampleScorer = (*Model)(nil)
+	_ SampleScorer = (*TributaryModel)(nil)
+	_ SampleScorer = (*LogRegModel)(nil)
+)
+
+// BuildEvalSamples assembles held-out samples over grid minutes [from, to)
+// with inference-style random maximum-price deltas, as the paper evaluates
+// all three predictors.
+func BuildEvalSamples(g *market.Grid, from, to, stride int, seed uint64) ([]Sample, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xe7a1))
+	return BuildSamples(g, from, to, stride, DeltaRandom, rng)
+}
+
+// Evaluate scores every sample with a 0.5 decision threshold and returns the
+// confusion-matrix summary (accuracy and F1 feed Fig. 10a/b).
+func Evaluate(m SampleScorer, samples []Sample) stats.BinaryScores {
+	var b stats.BinaryScores
+	for i := range samples {
+		s := &samples[i]
+		b.Observe(m.Score(s) >= 0.5, s.Label)
+	}
+	return b
+}
+
+// MarketSplit holds one market's train/test boundary in minute indices.
+type MarketSplit struct {
+	Grid      *market.Grid
+	TrainFrom int
+	TrainTo   int
+	TestFrom  int
+	TestTo    int
+}
+
+// NewSplit builds the paper's split: train on the first trainDays of the
+// grid, evaluate on the remainder (§IV-D trains on 04/26–05/04 and tests on
+// 05/05–05/07).
+func NewSplit(g *market.Grid, trainDays int) (MarketSplit, error) {
+	boundary := trainDays * 24 * 60
+	if boundary >= g.Len() {
+		return MarketSplit{}, fmt.Errorf("revpred: split at day %d beyond grid of %d minutes", trainDays, g.Len())
+	}
+	return MarketSplit{
+		Grid:      g,
+		TrainFrom: HistorySteps,
+		TrainTo:   boundary,
+		TestFrom:  boundary,
+		TestTo:    g.Len(),
+	}, nil
+}
+
+// CompareResult aggregates the three predictors' held-out scores for one
+// market.
+type CompareResult struct {
+	Market    string
+	RevPred   stats.BinaryScores
+	Tributary stats.BinaryScores
+	LogReg    stats.BinaryScores
+}
+
+// CompareOnMarket trains all three predictors on a split's training window
+// and evaluates them on its test window — one bar group of Fig. 10a/b.
+func CompareOnMarket(sp MarketSplit, cfg Config, evalStride int, seed uint64) (CompareResult, error) {
+	if evalStride <= 0 {
+		evalStride = cfg.withDefaults().Stride
+	}
+	rp, err := Train(sp.Grid, sp.TrainFrom, sp.TrainTo, cfg)
+	if err != nil {
+		return CompareResult{}, fmt.Errorf("revpred: training RevPred on %s: %w", sp.Grid.Type.Name, err)
+	}
+	trib, err := TrainTributary(sp.Grid, sp.TrainFrom, sp.TrainTo, cfg)
+	if err != nil {
+		return CompareResult{}, fmt.Errorf("revpred: training Tributary on %s: %w", sp.Grid.Type.Name, err)
+	}
+	lr, err := TrainLogReg(sp.Grid, sp.TrainFrom, sp.TrainTo, cfg)
+	if err != nil {
+		return CompareResult{}, fmt.Errorf("revpred: training LogReg on %s: %w", sp.Grid.Type.Name, err)
+	}
+	samples, err := BuildEvalSamples(sp.Grid, sp.TestFrom, sp.TestTo, evalStride, seed)
+	if err != nil {
+		return CompareResult{}, err
+	}
+	return CompareResult{
+		Market:    sp.Grid.Type.Name,
+		RevPred:   Evaluate(rp, samples),
+		Tributary: Evaluate(trib, samples),
+		LogReg:    Evaluate(lr, samples),
+	}, nil
+}
+
+// Aggregate merges per-market confusion matrices into overall scores.
+func Aggregate(results []CompareResult) (rev, trib, logreg stats.BinaryScores) {
+	for _, r := range results {
+		rev.TP += r.RevPred.TP
+		rev.FP += r.RevPred.FP
+		rev.TN += r.RevPred.TN
+		rev.FN += r.RevPred.FN
+		trib.TP += r.Tributary.TP
+		trib.FP += r.Tributary.FP
+		trib.TN += r.Tributary.TN
+		trib.FN += r.Tributary.FN
+		logreg.TP += r.LogReg.TP
+		logreg.FP += r.LogReg.FP
+		logreg.TN += r.LogReg.TN
+		logreg.FN += r.LogReg.FN
+	}
+	return rev, trib, logreg
+}

@@ -1,0 +1,346 @@
+// Package revpred implements RevPred, SpotTune's spot-instance revocation
+// probability predictor (§III-B), together with the two baselines the paper
+// compares against (a re-implementation of Tributary's predictor and plain
+// logistic regression) and the train/evaluate harness behind Fig. 10.
+//
+// One independent model is trained per spot market from that market's price
+// history. Given an instance type I, a maximum price b and a time t, a model
+// outputs P(I, b, t): the probability that the market price exceeds b —
+// i.e. the instance is revoked — within the next hour.
+package revpred
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"spottune/internal/market"
+	"spottune/internal/nn"
+)
+
+// HistorySteps is the number of past per-minute records the history branch
+// consumes (the paper uses the previous 59 minutes).
+const HistorySteps = 59
+
+// PresentFeatures is the present-record input width: the six engineered
+// features plus the maximum price.
+const PresentFeatures = market.FeatureCount + 1
+
+// HorizonMinutes is the prediction window: revoked within the next hour.
+const HorizonMinutes = 60
+
+// Config controls model capacity and training.
+type Config struct {
+	// Hidden is the LSTM/MLP width (default 24).
+	Hidden int
+	// Depth is the LSTM stack depth (default 3, as in the paper).
+	Depth int
+	// Epochs over the training window (default 3).
+	Epochs int
+	// BatchSize for Adam updates (default 32).
+	BatchSize int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Stride subsamples training minutes (default 2).
+	Stride int
+	// ClipNorm bounds the global gradient norm (default 5).
+	ClipNorm float64
+	// Seed drives weight init, shuffling and max-price deltas.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 24
+	}
+	if c.Depth <= 0 {
+		c.Depth = 3
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	if c.Stride <= 0 {
+		c.Stride = 2
+	}
+	if c.ClipNorm <= 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// Sample is one training/evaluation example.
+type Sample struct {
+	History  [][]float64 // HistorySteps × FeatureCount, normalized
+	Present  []float64   // PresentFeatures, normalized
+	MaxPrice float64     // raw USD/h, kept for diagnostics
+	Label    bool        // revoked within the horizon
+}
+
+// normalizeFeatures scales the six raw features into comparable ranges:
+// prices relative to the on-demand price, counts/durations relative to the
+// one-hour window, hour-of-day to [0,1].
+func normalizeFeatures(raw [market.FeatureCount]float64, it market.InstanceType) []float64 {
+	od := it.OnDemandPrice
+	return []float64{
+		raw[0] / od,
+		raw[1] / od,
+		raw[2] / 60.0,
+		raw[3] / 60.0,
+		raw[4],
+		raw[5] / 23.0,
+	}
+}
+
+// DeltaMode selects how the maximum-price delta over the current price is
+// generated when building samples.
+type DeltaMode int
+
+const (
+	// DeltaFluctuation uses Algorithm 2: the trimmed-mean absolute price
+	// variation over the past hour. RevPred trains with this mode so its
+	// samples sit near the revoked/not-revoked border.
+	DeltaFluctuation DeltaMode = iota + 1
+	// DeltaRandom draws uniformly from [0.00001, 0.2] USD, as Tributary
+	// does for training and every predictor does at inference time.
+	DeltaRandom
+	// DeltaMixed draws most samples at the Algorithm 2 border and the
+	// rest at random — the border samples sharpen the decision boundary
+	// (the paper's active-learning argument) while the random ones teach
+	// the model its sensitivity to the maximum price, which inference
+	// queries across the whole [0.00001, 0.2] range.
+	DeltaMixed
+)
+
+// mixedRandomFraction is the share of random-delta samples in DeltaMixed.
+const mixedRandomFraction = 0.35
+
+// randomDelta reproduces the paper's inference-time delta interval.
+func randomDelta(rng *rand.Rand) float64 {
+	return 0.00001 + rng.Float64()*(0.2-0.00001)
+}
+
+// BuildSamples walks grid minutes [from, to) with the given stride and emits
+// one labeled sample per step. from must leave room for the history window
+// and to for the label horizon.
+func BuildSamples(g *market.Grid, from, to, stride int, mode DeltaMode, rng *rand.Rand) ([]Sample, error) {
+	if from < HistorySteps {
+		from = HistorySteps
+	}
+	maxIdx := g.MaxLabelIndex(HorizonMinutes)
+	if to > maxIdx+1 {
+		to = maxIdx + 1
+	}
+	if from >= to {
+		return nil, fmt.Errorf("revpred: empty sample window [%d, %d)", from, to)
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	var samples []Sample
+	for i := from; i < to; i += stride {
+		var delta float64
+		switch mode {
+		case DeltaFluctuation:
+			delta = g.FluctuationDelta(i)
+		case DeltaRandom:
+			delta = randomDelta(rng)
+		case DeltaMixed:
+			if rng.Float64() < mixedRandomFraction {
+				delta = randomDelta(rng)
+			} else {
+				delta = g.FluctuationDelta(i)
+			}
+		default:
+			return nil, fmt.Errorf("revpred: unknown delta mode %d", mode)
+		}
+		b := g.Prices[i] + delta
+		hist := make([][]float64, HistorySteps)
+		for k := 0; k < HistorySteps; k++ {
+			hist[k] = normalizeFeatures(g.Features(i-HistorySteps+k), g.Type)
+		}
+		present := append(normalizeFeatures(g.Features(i), g.Type), b/g.Type.OnDemandPrice)
+		samples = append(samples, Sample{
+			History:  hist,
+			Present:  present,
+			MaxPrice: b,
+			Label:    g.ExceedsWithin(i, b, HorizonMinutes),
+		})
+	}
+	return samples, nil
+}
+
+// classBalance returns the positive and negative sample fractions (φ+, φ−).
+func classBalance(samples []Sample) (phiPos, phiNeg float64) {
+	pos := 0
+	for _, s := range samples {
+		if s.Label {
+			pos++
+		}
+	}
+	n := float64(len(samples))
+	if n == 0 {
+		return 0.5, 0.5
+	}
+	phiPos = float64(pos) / n
+	phiNeg = 1 - phiPos
+	return phiPos, phiNeg
+}
+
+// Model is a trained RevPred network for one spot market.
+type Model struct {
+	Type   market.InstanceType
+	Hidden int
+
+	hist    *nn.StackedLSTM // history branch: 59 × 6 features
+	present *nn.MLP         // present branch: 7 features → embedding
+	head    *nn.MLP         // concat → logit
+
+	// PhiPos/PhiNeg are the training-set class fractions used both for
+	// loss weighting and the Eq. 3 odds recalibration.
+	PhiPos, PhiNeg float64
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	ps := m.hist.Params()
+	ps = append(ps, m.present.Params()...)
+	ps = append(ps, m.head.Params()...)
+	return ps
+}
+
+// newModel wires the RevPred architecture: a three-tier LSTM over history,
+// three fully connected layers over the present record, and a joint head.
+func newModel(it market.InstanceType, cfg Config, rng *rand.Rand) *Model {
+	h := cfg.Hidden
+	return &Model{
+		Type:    it,
+		Hidden:  h,
+		hist:    nn.NewStackedLSTM("hist", market.FeatureCount, h, cfg.Depth, rng),
+		present: nn.NewMLP("present", []int{PresentFeatures, h, h, h}, nn.ReLU, nn.ReLU, rng),
+		head:    nn.NewMLP("head", []int{2 * h, h, 1}, nn.ReLU, nn.Identity, rng),
+	}
+}
+
+// forward runs one sample through the net and returns the logit plus caches.
+func (m *Model) forward(s *Sample) (float64, *nn.StackedCache, *nn.MLPCache, *nn.MLPCache) {
+	hs, hc := m.hist.ForwardSeq(s.History)
+	last := hs[len(hs)-1]
+	emb, pc := m.present.Forward(s.Present)
+	joint := make([]float64, 0, 2*m.Hidden)
+	joint = append(joint, last...)
+	joint = append(joint, emb...)
+	z, hcHead := m.head.Forward(joint)
+	return z[0], hc, pc, hcHead
+}
+
+// backward pushes dz through the net, accumulating gradients.
+func (m *Model) backward(s *Sample, hc *nn.StackedCache, pc *nn.MLPCache, hcHead *nn.MLPCache, dz float64) {
+	dJoint := m.head.Backward(hcHead, []float64{dz})
+	dLast := dJoint[:m.Hidden]
+	dEmb := dJoint[m.Hidden:]
+	m.present.Backward(pc, dEmb)
+	m.hist.BackwardSeq(hc, nn.LastHiddenGrad(HistorySteps, m.Hidden, dLast))
+}
+
+// RawScore returns the uncalibrated network output P̂ for a sample.
+func (m *Model) RawScore(s *Sample) float64 {
+	z, _, _, _ := m.forward(s)
+	return nn.Logistic(z)
+}
+
+// Calibrate undoes the class-weighted loss so the output is a usable
+// probability. Training with positive weight φ− and negative weight φ+
+// makes the loss minimizer satisfy odds(P̂) = (φ−/φ+)·odds(P), so the true
+// conditional is recovered by odds(P) = odds(P̂)·φ+/φ−.
+//
+// Note: the paper's Eq. 3 prints the reciprocal factor (φ−/φ+), which
+// re-applies the weighting instead of inverting it; with skewed classes
+// that pushes every score to one side of the 0.5 threshold. We implement
+// the mathematically consistent inversion and record the deviation in
+// DESIGN.md.
+func (m *Model) Calibrate(pHat float64) float64 {
+	num := pHat * m.PhiPos
+	den := num + (1-pHat)*m.PhiNeg
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Score returns the calibrated revocation probability for a sample.
+func (m *Model) Score(s *Sample) float64 { return m.Calibrate(m.RawScore(s)) }
+
+// Predict builds the feature sample for minute i of grid g with the given
+// maximum price and returns the calibrated revocation probability.
+func (m *Model) Predict(g *market.Grid, i int, maxPrice float64) float64 {
+	s, err := sampleAt(g, i, maxPrice)
+	if err != nil {
+		// Not enough history yet: fall back to the base rate.
+		return m.PhiPos
+	}
+	return m.Score(s)
+}
+
+// sampleAt assembles an unlabeled sample for inference.
+func sampleAt(g *market.Grid, i int, maxPrice float64) (*Sample, error) {
+	if i < HistorySteps || i >= g.Len() {
+		return nil, fmt.Errorf("revpred: minute %d outside usable range [%d, %d)", i, HistorySteps, g.Len())
+	}
+	hist := make([][]float64, HistorySteps)
+	for k := 0; k < HistorySteps; k++ {
+		hist[k] = normalizeFeatures(g.Features(i-HistorySteps+k), g.Type)
+	}
+	present := append(normalizeFeatures(g.Features(i), g.Type), maxPrice/g.Type.OnDemandPrice)
+	return &Sample{History: hist, Present: present, MaxPrice: maxPrice}, nil
+}
+
+// Train fits a RevPred model on grid minutes [from, to) (training split).
+// Maximum prices are generated per Algorithm 2 (fluctuation deltas, mixed
+// with a random-delta share so the model learns max-price sensitivity); the
+// loss is class-weighted BCE; gradients are norm-clipped; Adam optimizes.
+func Train(g *market.Grid, from, to int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5e7a11))
+	samples, err := BuildSamples(g, from, to, cfg.Stride, DeltaMixed, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) < 2*cfg.BatchSize {
+		return nil, fmt.Errorf("revpred: only %d training samples; need at least %d", len(samples), 2*cfg.BatchSize)
+	}
+	m := newModel(g.Type, cfg, rng)
+	m.PhiPos, m.PhiNeg = classBalance(samples)
+	if m.PhiPos == 0 || m.PhiNeg == 0 {
+		return nil, errors.New("revpred: training window has a single class; widen it or change the market")
+	}
+	// §III-B: positive class weighted by φ−, negative by φ+.
+	loss := nn.WeightedBCE{PosWeight: m.PhiNeg, NegWeight: m.PhiPos}
+	opt := nn.NewAdam(cfg.LR)
+	params := m.Params()
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start+cfg.BatchSize <= len(idx); start += cfg.BatchSize {
+			nn.ZeroGrads(params)
+			for _, si := range idx[start : start+cfg.BatchSize] {
+				s := &samples[si]
+				z, hc, pc, hcHead := m.forward(s)
+				_, dz := loss.Loss(z, s.Label)
+				m.backward(s, hc, pc, hcHead, dz/float64(cfg.BatchSize))
+			}
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestCOV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := COV(xs); got != 0 {
+		t.Errorf("COV of constants = %v, want 0", got)
+	}
+	if got := COV(nil); got != 0 {
+		t.Errorf("COV(nil) = %v, want 0", got)
+	}
+	// stddev 2, mean 5 -> 0.4
+	if got := COV([]float64{3, 7, 3, 7}); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("COV = %v, want 0.4", got)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	// 10 values; trim 20% both sides drops 2 low + 2 high.
+	xs := []float64{100, 1, 2, 3, 4, 5, 6, 7, 8, -50}
+	got, err := TrimmedMean(xs, 0.2, 0.2)
+	if err != nil {
+		t.Fatalf("TrimmedMean: %v", err)
+	}
+	want := Mean([]float64{2, 3, 4, 5, 6, 7})
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("TrimmedMean = %v, want %v", got, want)
+	}
+}
+
+func TestTrimmedMeanErrors(t *testing.T) {
+	if _, err := TrimmedMean(nil, 0.2, 0.2); err == nil {
+		t.Error("TrimmedMean(nil) did not error")
+	}
+	if _, err := TrimmedMean([]float64{1}, 0.6, 0.6); err == nil {
+		t.Error("TrimmedMean with trim sum >= 1 did not error")
+	}
+}
+
+func TestTrimmedMeanTinyInput(t *testing.T) {
+	// With 1-2 elements the trim windows collapse; must still return a value.
+	got, err := TrimmedMean([]float64{5}, 0.2, 0.2)
+	if err != nil || got != 5 {
+		t.Errorf("TrimmedMean([5]) = %v, %v", got, err)
+	}
+}
+
+func TestMinMaxArgMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1.5}
+	if m, err := Min(xs); err != nil || m != 1 {
+		t.Errorf("Min = %v, %v", m, err)
+	}
+	if m, err := Max(xs); err != nil || m != 4 {
+		t.Errorf("Max = %v, %v", m, err)
+	}
+	if got := ArgMin(xs); got != 1 {
+		t.Errorf("ArgMin = %d, want 1", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Errorf("ArgMin(nil) = %d, want -1", got)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) did not error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) did not error")
+	}
+}
+
+func TestBinaryScores(t *testing.T) {
+	var b BinaryScores
+	// 3 TP, 1 FP, 4 TN, 2 FN
+	for i := 0; i < 3; i++ {
+		b.Observe(true, true)
+	}
+	b.Observe(true, false)
+	for i := 0; i < 4; i++ {
+		b.Observe(false, false)
+	}
+	for i := 0; i < 2; i++ {
+		b.Observe(false, true)
+	}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", b.Total())
+	}
+	if got := b.Accuracy(); !almostEq(got, 0.7, 1e-12) {
+		t.Errorf("Accuracy = %v, want 0.7", got)
+	}
+	if got := b.Precision(); !almostEq(got, 0.75, 1e-12) {
+		t.Errorf("Precision = %v, want 0.75", got)
+	}
+	if got := b.Recall(); !almostEq(got, 0.6, 1e-12) {
+		t.Errorf("Recall = %v, want 0.6", got)
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if got := b.F1(); !almostEq(got, wantF1, 1e-12) {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestBinaryScoresEmpty(t *testing.T) {
+	var b BinaryScores
+	if b.Accuracy() != 0 || b.Precision() != 0 || b.Recall() != 0 || b.F1() != 0 {
+		t.Error("empty BinaryScores should report zeros")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := TopK(xs, 3)
+	want := []int{1, 3, 2}
+	if len(got) != 3 {
+		t.Fatalf("TopK len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := TopK(xs, 99); len(got) != len(xs) {
+		t.Errorf("TopK with k>n returned %d items", len(got))
+	}
+	if got := TopK(xs, -1); len(got) != 0 {
+		t.Errorf("TopK with k<0 returned %d items", len(got))
+	}
+}
+
+func TestTopKStableTies(t *testing.T) {
+	xs := []float64{2, 2, 2}
+	got := TopK(xs, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("TopK tie-break not stable: %v", got)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	truth := []float64{0.5, 0.2, 0.9, 0.4} // best is index 1
+	predGood := []float64{0.6, 0.1, 0.8, 0.5}
+	predBad := []float64{0.1, 0.9, 0.2, 0.3}
+	if !TopKAccuracy(predGood, truth, 1) {
+		t.Error("TopKAccuracy(good, k=1) = false, want true")
+	}
+	if TopKAccuracy(predBad, truth, 1) {
+		t.Error("TopKAccuracy(bad, k=1) = true, want false")
+	}
+	if !TopKAccuracy(predBad, truth, 4) {
+		t.Error("TopKAccuracy(bad, k=n) = false, want true")
+	}
+	if TopKAccuracy(nil, nil, 3) {
+		t.Error("TopKAccuracy on empty input = true")
+	}
+	if TopKAccuracy([]float64{1}, []float64{1, 2}, 1) {
+		t.Error("TopKAccuracy on mismatched input = true")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 4, 8}
+	got := Normalize(xs, 0)
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	if xs[0] != 2 {
+		t.Error("Normalize mutated its input")
+	}
+	// Degenerate refs leave values unchanged.
+	same := Normalize(xs, -1)
+	for i := range xs {
+		if same[i] != xs[i] {
+			t.Error("Normalize with bad ref changed values")
+		}
+	}
+}
+
+func TestMAERMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 4, 3}
+	mae, err := MAE(pred, truth)
+	if err != nil || !almostEq(mae, 2.0/3.0, 1e-12) {
+		t.Errorf("MAE = %v, %v", mae, err)
+	}
+	rmse, err := RMSE(pred, truth)
+	if err != nil || !almostEq(rmse, math.Sqrt(4.0/3.0), 1e-12) {
+		t.Errorf("RMSE = %v, %v", rmse, err)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("MAE length mismatch did not error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("RMSE empty did not error")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(1.1, 1.0, 1e-9); !almostEq(got, 0.1, 1e-9) {
+		t.Errorf("RelativeError = %v, want 0.1", got)
+	}
+	// Tiny truth falls back to eps denominator.
+	if got := RelativeError(0.5, 0, 0.5); !almostEq(got, 1.0, 1e-12) {
+		t.Errorf("RelativeError with eps = %v, want 1", got)
+	}
+}
+
+// Property: trimmed mean always lies within [min, max] of the input.
+func TestTrimmedMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes sane to avoid float overflow in sums.
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		tm, err := TrimmedMean(xs, 0.2, 0.2)
+		if err != nil {
+			return false
+		}
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return tm >= lo-1e-9 && tm <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accuracy and F1 always land in [0, 1].
+func TestBinaryScoresRangeProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		b := BinaryScores{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		acc, f1 := b.Accuracy(), b.F1()
+		return acc >= 0 && acc <= 1 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopK returns indices sorted by value.
+func TestTopKSortedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		k := len(xs) / 2
+		idx := TopK(xs, k)
+		for i := 1; i < len(idx); i++ {
+			if xs[idx[i-1]] > xs[idx[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package trial models one hyper-parameter trial as the orchestrator sees
+// it: a job that advances in steps whose duration depends on the instance
+// type it runs on (the performance matrix M of Algorithm 1), emits a
+// validation-metric curve, and checkpoints/restores through object storage.
+//
+// Simulated campaigns use Replay trials: the metric trajectory is recorded
+// once from a real pure-Go trainer (or synthesized) and replayed in virtual
+// time, so EarlyCurve is evaluated against genuine training dynamics while
+// multi-day campaigns finish in milliseconds.
+package trial
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"spottune/internal/earlycurve"
+	"spottune/internal/market"
+)
+
+// PerfModel is the ground-truth cost of one training step: seconds to run
+// one step of trial hp on the given instance type. Implementations add
+// step-level noise with a small coefficient of variation (the paper
+// validates COV < 0.1 in §IV-A5).
+type PerfModel interface {
+	StepSeconds(it market.InstanceType, hpID string, step int) float64
+}
+
+// Replay is a trial whose metric curve is precomputed. It tracks fractional
+// step progress so arbitrary time slices advance it deterministically.
+type Replay struct {
+	id       string
+	maxSteps int
+	curve    []earlycurve.MetricPoint // ground truth, steps ascending
+	perf     PerfModel
+	sizeMB   float64 // modeled checkpoint size
+
+	progress float64 // fractional completed steps
+}
+
+// NewReplay builds a replay trial. The curve must be non-empty, strictly
+// increasing in step, and its last point must be at maxSteps (the true final
+// metric).
+func NewReplay(id string, maxSteps int, curve []earlycurve.MetricPoint, perf PerfModel, checkpointMB float64) (*Replay, error) {
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("trial: %s has an empty curve", id)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Step <= curve[i-1].Step {
+			return nil, fmt.Errorf("trial: %s curve not increasing at %d", id, i)
+		}
+	}
+	if curve[len(curve)-1].Step != maxSteps {
+		return nil, fmt.Errorf("trial: %s curve ends at step %d, want maxSteps %d",
+			id, curve[len(curve)-1].Step, maxSteps)
+	}
+	if perf == nil {
+		return nil, fmt.Errorf("trial: %s has no perf model", id)
+	}
+	if checkpointMB <= 0 {
+		checkpointMB = 1
+	}
+	return &Replay{id: id, maxSteps: maxSteps, curve: curve, perf: perf, sizeMB: checkpointMB}, nil
+}
+
+// ID returns the trial identifier (the HP setting's ID).
+func (r *Replay) ID() string { return r.id }
+
+// MaxSteps returns max_trial_steps.
+func (r *Replay) MaxSteps() int { return r.maxSteps }
+
+// CheckpointMB returns the modeled checkpoint size.
+func (r *Replay) CheckpointMB() float64 { return r.sizeMB }
+
+// CompletedSteps returns whole completed steps.
+func (r *Replay) CompletedSteps() int { return int(r.progress) }
+
+// RunFor advances the trial on the given instance for at most seconds of
+// compute, stopping at stepLimit (or MaxSteps, whichever is lower). It
+// returns the whole steps completed in this slice and the seconds actually
+// consumed.
+func (r *Replay) RunFor(it market.InstanceType, seconds float64, stepLimit int) (steps int, used float64) {
+	if stepLimit <= 0 || stepLimit > r.maxSteps {
+		stepLimit = r.maxSteps
+	}
+	if seconds <= 0 || r.progress >= float64(stepLimit) {
+		return 0, 0
+	}
+	startWhole := int(r.progress)
+	remaining := seconds
+	for r.progress < float64(stepLimit) {
+		cur := int(r.progress)
+		sec := r.perf.StepSeconds(it, r.id, cur)
+		if sec <= 0 {
+			sec = 1e-6
+		}
+		frac := 1 - (r.progress - float64(cur)) // fraction of current step left
+		need := sec * frac
+		if need > remaining {
+			r.progress += remaining / sec
+			remaining = 0
+			break
+		}
+		r.progress = float64(cur + 1)
+		remaining -= need
+	}
+	if r.progress > float64(stepLimit) {
+		r.progress = float64(stepLimit)
+	}
+	return int(r.progress) - startWhole, seconds - remaining
+}
+
+// Points returns the metric points observed so far (curve entries at or
+// below the completed step count).
+func (r *Replay) Points() []earlycurve.MetricPoint {
+	done := r.CompletedSteps()
+	var out []earlycurve.MetricPoint
+	for _, p := range r.curve {
+		if p.Step > done {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TrueFinal returns the ground-truth final metric (the curve's last value).
+func (r *Replay) TrueFinal() float64 { return r.curve[len(r.curve)-1].Value }
+
+// MetricAtOrBefore returns the last ground-truth metric at or before step,
+// or ok=false when the curve has no point that early.
+func (r *Replay) MetricAtOrBefore(step int) (float64, bool) {
+	var (
+		val   float64
+		found bool
+	)
+	for _, p := range r.curve {
+		if p.Step > step {
+			break
+		}
+		val, found = p.Value, true
+	}
+	return val, found
+}
+
+// replayState is the gob checkpoint payload.
+type replayState struct {
+	ID       string
+	Progress float64
+}
+
+// Checkpoint serializes progress (SpotTune checkpoints on revocation
+// notices, hourly restarts, and early shutdowns).
+func (r *Replay) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(replayState{ID: r.id, Progress: r.progress}); err != nil {
+		return nil, fmt.Errorf("trial: encoding %s: %w", r.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore loads a Checkpoint blob. Progress can only move backward if the
+// checkpoint is older than current state — which is exactly what happens
+// when an instance dies without a checkpoint and the trial resumes from an
+// earlier one.
+func (r *Replay) Restore(data []byte) error {
+	var st replayState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("trial: decoding %s: %w", r.id, err)
+	}
+	if st.ID != r.id {
+		return fmt.Errorf("trial: checkpoint for %q restored into %q", st.ID, r.id)
+	}
+	if st.Progress < 0 || st.Progress > float64(r.maxSteps) {
+		return fmt.Errorf("trial: checkpoint progress %v out of range", st.Progress)
+	}
+	r.progress = st.Progress
+	return nil
+}
+
+// Converged reports whether the observed curve has plateaued (the special
+// case of §III-C: stop a trial that converges before θ·max_trial_steps).
+func (r *Replay) Converged(window int, tol float64) bool {
+	pts := r.Points()
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		values[i] = p.Value
+	}
+	return earlycurve.Converged(values, window, tol)
+}
+
+// NoisyPerf is a PerfModel with deterministic per-(instance, hp, step)
+// multiplicative noise around a base model, keeping COV small (<0.1) as the
+// paper measures.
+type NoisyPerf struct {
+	// Base returns noise-free seconds per step.
+	Base func(it market.InstanceType, hpID string) float64
+	// COV is the coefficient of variation of the noise (e.g. 0.05).
+	COV float64
+	// Seed decorrelates campaigns.
+	Seed uint64
+}
+
+var _ PerfModel = (*NoisyPerf)(nil)
+
+// StepSeconds implements PerfModel.
+func (n *NoisyPerf) StepSeconds(it market.InstanceType, hpID string, step int) float64 {
+	base := n.Base(it, hpID)
+	if n.COV <= 0 {
+		return base
+	}
+	z := hashGauss(n.Seed, it.Name, hpID, step)
+	f := 1 + n.COV*z
+	if f < 0.5 {
+		f = 0.5
+	}
+	return base * f
+}
+
+// hashGauss maps the tuple to a deterministic standard-normal-ish value via
+// a Box–Muller transform over two hash-derived uniforms.
+func hashGauss(seed uint64, inst, hp string, step int) float64 {
+	h := fnv64(seed, inst, hp, uint64(step))
+	u1 := float64(h>>11) / float64(1<<53)
+	h2 := fnv64(h, hp, inst, uint64(step)*2654435761)
+	u2 := float64(h2>>11) / float64(1<<53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func fnv64(seed uint64, a, b string, c uint64) uint64 {
+	h := uint64(1469598103934665603) ^ seed
+	mix := func(x byte) {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(a); i++ {
+		mix(a[i])
+	}
+	for i := 0; i < len(b); i++ {
+		mix(b[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(c >> (8 * i)))
+	}
+	return h
+}

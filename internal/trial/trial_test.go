@@ -1,0 +1,283 @@
+package trial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spottune/internal/earlycurve"
+	"spottune/internal/market"
+	"spottune/internal/stats"
+)
+
+var (
+	small = market.InstanceType{Name: "small", CPUs: 2, OnDemandPrice: 0.1}
+	big   = market.InstanceType{Name: "big", CPUs: 16, OnDemandPrice: 0.8}
+)
+
+// constPerf runs steps at a fixed rate per instance.
+type constPerf map[string]float64
+
+func (p constPerf) StepSeconds(it market.InstanceType, _ string, _ int) float64 {
+	return p[it.Name]
+}
+
+func mkCurve(maxSteps, every int) []earlycurve.MetricPoint {
+	var out []earlycurve.MetricPoint
+	for s := every; s <= maxSteps; s += every {
+		out = append(out, earlycurve.MetricPoint{Step: s, Value: 1 / float64(s)})
+	}
+	return out
+}
+
+func mkReplay(t *testing.T) *Replay {
+	t.Helper()
+	perf := constPerf{"small": 2.0, "big": 0.5}
+	r, err := NewReplay("hp1", 100, mkCurve(100, 10), perf, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewReplayValidation(t *testing.T) {
+	perf := constPerf{"small": 1}
+	if _, err := NewReplay("x", 100, nil, perf, 1); err == nil {
+		t.Error("empty curve accepted")
+	}
+	bad := []earlycurve.MetricPoint{{Step: 10, Value: 1}, {Step: 10, Value: 2}}
+	if _, err := NewReplay("x", 10, bad, perf, 1); err == nil {
+		t.Error("non-increasing curve accepted")
+	}
+	trunc := mkCurve(90, 10)
+	if _, err := NewReplay("x", 100, trunc, perf, 1); err == nil {
+		t.Error("curve not reaching maxSteps accepted")
+	}
+	if _, err := NewReplay("x", 100, mkCurve(100, 10), nil, 1); err == nil {
+		t.Error("nil perf accepted")
+	}
+}
+
+func TestRunForAdvancesByTime(t *testing.T) {
+	r := mkReplay(t)
+	steps, used := r.RunFor(small, 20, 0) // 2 s/step -> 10 steps
+	if steps != 10 || used != 20 {
+		t.Fatalf("RunFor = %d steps, %v used", steps, used)
+	}
+	if r.CompletedSteps() != 10 {
+		t.Fatalf("CompletedSteps = %d", r.CompletedSteps())
+	}
+	// Faster instance.
+	steps, _ = r.RunFor(big, 10, 0) // 0.5 s/step -> 20 steps
+	if steps != 20 {
+		t.Fatalf("big RunFor = %d steps", steps)
+	}
+}
+
+func TestRunForFractionalProgress(t *testing.T) {
+	r := mkReplay(t)
+	r.RunFor(small, 3, 0) // 1.5 steps
+	if r.CompletedSteps() != 1 {
+		t.Fatalf("CompletedSteps = %d, want 1", r.CompletedSteps())
+	}
+	r.RunFor(small, 1, 0) // completes step 2
+	if r.CompletedSteps() != 2 {
+		t.Fatalf("CompletedSteps = %d, want 2", r.CompletedSteps())
+	}
+}
+
+func TestRunForStopsAtLimit(t *testing.T) {
+	r := mkReplay(t)
+	steps, used := r.RunFor(small, 1e9, 30)
+	if steps != 30 {
+		t.Fatalf("steps = %d, want 30", steps)
+	}
+	if used >= 1e9 || used < 59 {
+		t.Fatalf("used = %v, want ~60", used)
+	}
+	// Already at limit: no movement.
+	steps, used = r.RunFor(small, 100, 30)
+	if steps != 0 || used != 0 {
+		t.Fatalf("at-limit RunFor = %d, %v", steps, used)
+	}
+	// Limit beyond maxSteps clamps to maxSteps.
+	steps, _ = r.RunFor(small, 1e9, 1000)
+	if r.CompletedSteps() != 100 {
+		t.Fatalf("CompletedSteps = %d, want 100", r.CompletedSteps())
+	}
+	_ = steps
+}
+
+func TestPointsVisibility(t *testing.T) {
+	r := mkReplay(t)
+	if got := r.Points(); len(got) != 0 {
+		t.Fatalf("fresh trial has %d points", len(got))
+	}
+	r.RunFor(small, 50, 0) // 25 steps
+	pts := r.Points()
+	if len(pts) != 2 { // steps 10, 20
+		t.Fatalf("points after 25 steps = %d, want 2", len(pts))
+	}
+	if pts[1].Step != 20 {
+		t.Fatalf("last visible point at %d", pts[1].Step)
+	}
+}
+
+func TestTrueFinalAndMetricAt(t *testing.T) {
+	r := mkReplay(t)
+	if got := r.TrueFinal(); got != 0.01 {
+		t.Fatalf("TrueFinal = %v", got)
+	}
+	v, ok := r.MetricAtOrBefore(35)
+	if !ok || v != 1.0/30 {
+		t.Fatalf("MetricAtOrBefore(35) = %v, %v", v, ok)
+	}
+	if _, ok := r.MetricAtOrBefore(5); ok {
+		t.Fatal("MetricAtOrBefore(5) found a point")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	r := mkReplay(t)
+	r.RunFor(small, 31, 0) // 15.5 steps
+	blob, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := mkReplay(t)
+	if err := r2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if r2.CompletedSteps() != r.CompletedSteps() {
+		t.Fatalf("restored steps %d, want %d", r2.CompletedSteps(), r.CompletedSteps())
+	}
+	// Restoring into a different trial is rejected.
+	perf := constPerf{"small": 1}
+	other, err := NewReplay("other", 100, mkCurve(100, 10), perf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(blob); err == nil {
+		t.Fatal("cross-trial restore accepted")
+	}
+}
+
+func TestRestoreRewindsProgress(t *testing.T) {
+	// An instance dying WITHOUT checkpoint loses work since the last one.
+	r := mkReplay(t)
+	r.RunFor(small, 40, 0) // 20 steps
+	blob, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunFor(small, 40, 0) // 40 steps now
+	if err := r.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CompletedSteps(); got != 20 {
+		t.Fatalf("progress after rewind = %d, want 20", got)
+	}
+}
+
+func TestConvergedDetection(t *testing.T) {
+	perf := constPerf{"small": 1}
+	flat := []earlycurve.MetricPoint{}
+	for s := 10; s <= 100; s += 10 {
+		flat = append(flat, earlycurve.MetricPoint{Step: s, Value: 0.5})
+	}
+	r, err := NewReplay("flat", 100, flat, perf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunFor(small, 80, 0)
+	if !r.Converged(5, 0.01) {
+		t.Error("flat curve not converged")
+	}
+	r2 := mkReplay(t)
+	r2.RunFor(small, 80, 0)
+	if r2.Converged(5, 0.01) {
+		t.Error("1/x curve wrongly converged early")
+	}
+}
+
+func TestNoisyPerfCOV(t *testing.T) {
+	base := func(it market.InstanceType, _ string) float64 {
+		if it.Name == "big" {
+			return 0.5
+		}
+		return 2.0
+	}
+	p := &NoisyPerf{Base: base, COV: 0.05, Seed: 7}
+	var xs []float64
+	for step := 0; step < 500; step++ {
+		xs = append(xs, p.StepSeconds(small, "hp1", step))
+	}
+	cov := stats.COV(xs)
+	if cov <= 0 || cov > 0.1 {
+		t.Fatalf("observed COV %v, want (0, 0.1] per §IV-A5", cov)
+	}
+	if m := stats.Mean(xs); math.Abs(m-2.0) > 0.05 {
+		t.Fatalf("noisy mean %v, want ~2.0", m)
+	}
+	// Deterministic.
+	again := p.StepSeconds(small, "hp1", 42)
+	if again != xs[42] {
+		t.Fatal("NoisyPerf not deterministic")
+	}
+	// Zero COV passes base through.
+	p0 := &NoisyPerf{Base: base}
+	if got := p0.StepSeconds(big, "hp", 0); got != 0.5 {
+		t.Fatalf("zero-COV StepSeconds = %v", got)
+	}
+}
+
+// Property: RunFor conserves time — used <= given, and total steps advance
+// monotonically regardless of slice sizes.
+func TestRunForConservationProperty(t *testing.T) {
+	f := func(slices []uint8) bool {
+		r, err := NewReplay("p", 50, mkCurve(50, 5), constPerf{"small": 1.5}, 1)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for _, s := range slices {
+			sec := float64(s%40) / 3
+			steps, used := r.RunFor(small, sec, 0)
+			if used > sec+1e-9 || steps < 0 {
+				return false
+			}
+			if r.CompletedSteps() < prev {
+				return false
+			}
+			prev = r.CompletedSteps()
+		}
+		return r.CompletedSteps() <= 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting a time budget into pieces yields the same progress as
+// spending it at once (determinism of fractional bookkeeping, no noise).
+func TestRunForSplitEquivalenceProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%60) / 4
+		b := float64(bRaw%60) / 4
+		one, err := NewReplay("p", 50, mkCurve(50, 5), constPerf{"small": 1.5}, 1)
+		if err != nil {
+			return false
+		}
+		two, err := NewReplay("p", 50, mkCurve(50, 5), constPerf{"small": 1.5}, 1)
+		if err != nil {
+			return false
+		}
+		one.RunFor(small, a+b, 0)
+		two.RunFor(small, a, 0)
+		two.RunFor(small, b, 0)
+		return one.CompletedSteps() == two.CompletedSteps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package spottune is a reproduction of "SpotTune: Leveraging Transient
+// Resources for Cost-efficient Hyper-parameter Tuning in the Public Cloud"
+// (Li et al., ICDCS 2020) as a self-contained Go library.
+//
+// SpotTune orchestrates hyper-parameter tuning (HPT) on revocable spot
+// instances. It combines three ideas:
+//
+//   - Fine-grained cost-aware provisioning: deploy each trial on the
+//     instance minimizing the expected per-step cost
+//     E[sCost] = M[inst][hp]·(1−p)·price, where p is a learned revocation
+//     probability and M an online-profiled performance matrix (Eq. 2).
+//   - RevPred: a per-market LSTM revocation predictor trained on price
+//     history with fluctuation-derived maximum prices (§III-B).
+//   - EarlyCurve: staged training-curve extrapolation that shuts down
+//     unpromising trials after θ·max_trial_steps steps (§III-C).
+//
+// This package is the public facade over the internal substrates: a
+// simulated transient cloud (synthetic spot markets, EC2-like
+// revocation/refund semantics, an S3-like object store), the Table II
+// workload suite backed by real pure-Go trainers, and runners for SpotTune
+// and the paper's Single-Spot baselines. Everything is deterministic given
+// a seed. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// Quickstart:
+//
+//	env, err := spottune.NewEnvironment(spottune.EnvOptions{Seed: 1})
+//	bench, err := spottune.BenchmarkByName("LoR", spottune.WorkloadConfig{Seed: 1, Scale: 0.5})
+//	curves, err := bench.RecordCurves() // or bench.SyntheticCurves(1) for a fast dry run
+//	report, err := env.RunSpotTune(bench, curves, spottune.CampaignOptions{Theta: 0.7})
+//	fmt.Printf("cost $%.3f in %v, best HP %s\n", report.NetCost, report.JCT, report.Best)
+package spottune
+
+import (
+	"spottune/internal/campaign"
+	"spottune/internal/core"
+	"spottune/internal/earlycurve"
+	"spottune/internal/market"
+	"spottune/internal/revpred"
+	"spottune/internal/workload"
+	"time"
+)
+
+// Re-exported types so downstream users need only this package.
+type (
+	// Report is a campaign summary (cost, JCT, refunds, rankings).
+	Report = core.Report
+	// Benchmark is one Table II workload with its HP grid.
+	Benchmark = workload.Benchmark
+	// Curves maps HP IDs to recorded metric trajectories.
+	Curves = workload.Curves
+	// WorkloadConfig scales benchmark datasets and horizons.
+	WorkloadConfig = workload.Config
+	// InstanceType describes one catalog entry (Table III).
+	InstanceType = market.InstanceType
+	// RevPredConfig tunes revocation-predictor training.
+	RevPredConfig = revpred.Config
+	// PredictorKind selects the provisioning-time revocation model.
+	PredictorKind = campaign.PredictorKind
+	// EnvOptions configures environment assembly.
+	EnvOptions = campaign.EnvOptions
+	// Environment is an assembled simulated cloud.
+	Environment = campaign.Environment
+	// CampaignOptions tunes one SpotTune run.
+	CampaignOptions = campaign.Options
+	// TrendPredictor extrapolates final metrics from partial curves.
+	TrendPredictor = earlycurve.TrendPredictor
+)
+
+// Predictor kinds (see the campaign package for semantics).
+const (
+	PredictorRevPred   = campaign.PredictorRevPred
+	PredictorTributary = campaign.PredictorTributary
+	PredictorLogReg    = campaign.PredictorLogReg
+	PredictorOracle    = campaign.PredictorOracle
+	PredictorConstant  = campaign.PredictorConstant
+	PredictorNone      = campaign.PredictorNone
+)
+
+// DefaultStart is the first timestamp of generated traces — the Kaggle
+// dataset's first day (2017-04-26, §IV-A1).
+func DefaultStart() time.Time { return campaign.DefaultStart() }
+
+// NewEnvironment generates markets and trains predictors per the options.
+func NewEnvironment(opts EnvOptions) (*Environment, error) {
+	return campaign.NewEnvironment(opts)
+}
+
+// TrueFinals exposes ground-truth final metrics for accuracy scoring
+// (Fig. 8c) plus the true best HP.
+func TrueFinals(b *Benchmark, curves Curves) (map[string]float64, string, error) {
+	return campaign.TrueFinals(b, curves)
+}
+
+// Suite returns all six Table II benchmarks.
+func Suite(cfg WorkloadConfig) []*Benchmark { return workload.Suite(cfg) }
+
+// BenchmarkByName returns one Table II benchmark by name
+// (LoR, SVM, GBTR, LiR, AlexNet, ResNet).
+func BenchmarkByName(name string, cfg WorkloadConfig) (*Benchmark, error) {
+	return workload.SuiteByName(name, cfg)
+}
+
+// EarlyCurvePredictor returns the paper's staged trend predictor.
+func EarlyCurvePredictor() TrendPredictor { return &earlycurve.Predictor{} }
+
+// SLAQPredictor returns the single-stage SLAQ baseline predictor (Fig. 11).
+func SLAQPredictor() TrendPredictor { return earlycurve.SLAQ{} }
