@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test test-short bench bench-campaign ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Heavy trainings and multi-seed sweeps are guarded by testing.Short().
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -run '^$$' -benchtime 1x .
+
+bench-campaign:
+	$(GO) test -bench 'BenchmarkCampaign' -run '^$$' -benchtime 5x .
+
+ci: vet build test-short bench-campaign

@@ -12,10 +12,13 @@ package spottune
 // `go run ./cmd/benchfigs -fig all`; see EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"spottune/internal/campaign"
+	"spottune/internal/cloudsim"
+	"spottune/internal/core"
 	"spottune/internal/earlycurve"
 	"spottune/internal/experiments"
 	"spottune/internal/market"
@@ -23,6 +26,7 @@ import (
 	"spottune/internal/nn"
 	"spottune/internal/revpred"
 	"spottune/internal/simclock"
+	"spottune/internal/trial"
 
 	"math/rand/v2"
 )
@@ -295,9 +299,10 @@ func BenchmarkRevPredInference(b *testing.B) {
 	}
 }
 
-// BenchmarkOrchestratorCampaign measures one full simulated SpotTune
-// campaign (16 trials, constant predictor).
-func BenchmarkOrchestratorCampaign(b *testing.B) {
+// campaignBenchEnv builds the shared fixture for the campaign benchmarks:
+// a 16-trial LoR workload over a 4-day constant-predictor environment.
+func campaignBenchEnv(b *testing.B) (*campaign.Environment, *Benchmark, Curves) {
+	b.Helper()
 	env, err := campaign.NewEnvironment(campaign.EnvOptions{
 		Seed: 1, Days: 6, TrainDays: 2, Predictor: campaign.PredictorConstant,
 	})
@@ -308,14 +313,186 @@ func BenchmarkOrchestratorCampaign(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	curves := bench.SyntheticCurves(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rep, err := env.RunSpotTune(bench, curves, campaign.Options{Theta: 0.7, Seed: uint64(i)})
+	return env, bench, bench.SyntheticCurves(1)
+}
+
+// benchConstPerf is a noise-free per-type seconds-per-step model for the
+// controlled campaign fixture.
+type benchConstPerf map[string]float64
+
+func (p benchConstPerf) StepSeconds(it market.InstanceType, _ string, _ int) float64 {
+	return p[it.Name]
+}
+
+// multiDayFixture is the static (read-only, reusable) part of the
+// controlled multi-day campaign: catalog, flat two-market traces, grids.
+type multiDayFixture struct {
+	cat    *market.Catalog
+	traces market.TraceSet
+	grids  map[string]*market.Grid
+	preds  map[string]revpred.Predictor
+	start  time.Time
+}
+
+var mdFixture *multiDayFixture
+
+func newMultiDayFixture(b testing.TB) *multiDayFixture {
+	b.Helper()
+	if mdFixture != nil {
+		return mdFixture
+	}
+	start := campaign.DefaultStart()
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "slow", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.1},
+		{Name: "fast", CPUs: 16, MemoryGB: 64, OnDemandPrice: 0.8},
+	})
+	gridStart := start.Add(-2 * time.Hour)
+	end := start.Add(14 * 24 * time.Hour)
+	f := &multiDayFixture{
+		cat: cat,
+		traces: market.TraceSet{
+			"slow": {Type: "slow", Records: []market.Record{{At: gridStart, Price: 0.02}}},
+			"fast": {Type: "fast", Records: []market.Record{{At: gridStart, Price: 0.2}}},
+		},
+		grids: map[string]*market.Grid{},
+		preds: map[string]revpred.Predictor{},
+		start: start,
+	}
+	for _, name := range []string{"slow", "fast"} {
+		it, _ := cat.Lookup(name)
+		g, err := market.NewGrid(it, f.traces[name], gridStart, end)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(rep.JCT.Hours(), "virtual_jct_hours")
+		f.grids[name] = g
+		f.preds[name] = revpred.ConstantPredictor(0)
+	}
+	mdFixture = f
+	return f
+}
+
+// run executes one controlled multi-day campaign (8 slow trials on the flat
+// two-market world — the paper's regime where Algorithm 1's polling loop
+// spins tens of thousands of no-op turns) under the given mode.
+func (f *multiDayFixture) run(b testing.TB, mode core.LoopMode) *core.Report {
+	b.Helper()
+	clk := simclock.NewVirtual(f.start)
+	cluster, err := cloudsim.NewCluster(clk, f.cat, f.traces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf := benchConstPerf{"slow": 32.0, "fast": 8.0}
+	var trials []*trial.Replay
+	const maxSteps, every = 12000, 100
+	for i := 0; i < 8; i++ {
+		var pts []earlycurve.MetricPoint
+		for s := every; s <= maxSteps; s += every {
+			pts = append(pts, earlycurve.MetricPoint{
+				Step:  s,
+				Value: 1/(0.05*float64(s)+1.2) + 0.1*float64(i+1),
+			})
+		}
+		tr, err := trial.NewReplay(fmt.Sprintf("hp-%d", i), maxSteps, pts, perf, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials = append(trials, tr)
+	}
+	prov, err := core.NewProvisioner(cluster, []string{"slow", "fast"}, f.grids, f.preds, 0, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orch, err := core.NewOrchestrator(cluster, cloudsim.NewObjectStore(), prov, trials, core.Config{
+		Mode: mode, Theta: 0.7, MCnt: 2, StartupDelay: 30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkCampaign measures one controlled multi-day SpotTune campaign
+// under both scheduler loops. The event-driven loop's whole point is the
+// loop_iters collapse — from one turn per PollInterval of virtual time to
+// one per real scheduling event — and the wall-clock speedup that follows
+// once the campaign is long enough for the polling loop to dominate.
+func BenchmarkCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode core.LoopMode
+	}{{"event", core.LoopEvent}, {"polling", core.LoopPolling}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := newMultiDayFixture(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := f.run(b, mode.mode)
+				b.ReportMetric(rep.JCT.Hours(), "virtual_jct_hours")
+				b.ReportMetric(float64(rep.LoopIterations), "loop_iters")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignEnv measures one full synthetic-environment campaign (16
+// trials, generated spot markets, constant predictor) under both loops —
+// the realistic short-campaign regime, where shared work (EarlyCurve fits,
+// Eq. 1-2 provisioning) bounds the achievable speedup.
+func BenchmarkCampaignEnv(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode core.LoopMode
+	}{{"event", core.LoopEvent}, {"polling", core.LoopPolling}} {
+		b.Run(mode.name, func(b *testing.B) {
+			env, bench, curves := campaignBenchEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := env.RunSpotTune(bench, curves, campaign.Options{
+					Theta: 0.7, Seed: uint64(i), Mode: mode.mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.JCT.Hours(), "virtual_jct_hours")
+				b.ReportMetric(float64(rep.LoopIterations), "loop_iters")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignSweep measures a 16-campaign θ/seed sweep through the
+// campaign.Sweep worker pool — the many-campaign scenario the event-driven
+// core exists for.
+func BenchmarkCampaignSweep(b *testing.B) {
+	env, bench, curves := campaignBenchEnv(b)
+	thetas := []float64{0.25, 0.5, 0.75, 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tasks []campaign.Task
+		for s := 0; s < 4; s++ {
+			for _, theta := range thetas {
+				theta, seed := theta, uint64(i*4+s)
+				tasks = append(tasks, campaign.Task{
+					Key: fmt.Sprintf("θ=%.2f/seed=%d", theta, seed),
+					Run: func(*rand.Rand) (*core.Report, error) {
+						return env.RunSpotTune(bench, curves, campaign.Options{Theta: theta, Seed: seed})
+					},
+				})
+			}
+		}
+		res := campaign.Sweep(tasks, campaign.SweepOptions{Seed: uint64(i)})
+		if err := campaign.FirstErr(res); err != nil {
+			b.Fatal(err)
+		}
+		iters := 0
+		for _, r := range res {
+			iters += r.Report.LoopIterations
+		}
+		b.ReportMetric(float64(len(res)), "campaigns")
+		b.ReportMetric(float64(iters)/float64(len(res)), "mean_loop_iters")
 	}
 }
 

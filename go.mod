@@ -1,0 +1,3 @@
+module spottune
+
+go 1.24

@@ -176,6 +176,9 @@ type Options struct {
 	MaxConcurrent int
 	Seed          uint64
 	Trend         earlycurve.TrendPredictor
+	// Mode selects the orchestrator's scheduling loop (discrete-event by
+	// default; core.LoopPolling for the legacy Algorithm 1 poll loop).
+	Mode core.LoopMode
 }
 
 // RunSpotTune executes one SpotTune campaign.
@@ -197,6 +200,7 @@ func (e *Environment) RunSpotTune(b *workload.Benchmark, curves workload.Curves,
 		return nil, err
 	}
 	orch, err := core.NewOrchestrator(cluster, store, prov, trials, core.Config{
+		Mode:          opt.Mode,
 		Theta:         opt.Theta,
 		MCnt:          opt.MCnt,
 		MaxConcurrent: opt.MaxConcurrent,

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"spottune/internal/core"
+)
+
+// Task is one independent campaign run inside a Sweep: a label for the
+// result row plus the closure that executes it. The rng passed to Run is the
+// task's private stream — derived from (sweep seed, task index), so results
+// do not depend on which worker picks the task up or in what order.
+type Task struct {
+	Key string
+	Run func(rng *rand.Rand) (*core.Report, error)
+}
+
+// SweepResult is one task's outcome, at the same index as its Task.
+type SweepResult struct {
+	Key    string
+	Report *core.Report
+	Err    error
+}
+
+// SweepOptions tunes Sweep execution.
+type SweepOptions struct {
+	// Workers caps concurrent campaigns (default GOMAXPROCS).
+	Workers int
+	// Seed is the base of every task's private rand stream.
+	Seed uint64
+}
+
+// Sweep runs the tasks on a worker pool and returns their results in task
+// order, regardless of scheduling. Campaigns are independent simulations —
+// each builds its own cluster, clock, and object store — so they parallelize
+// without shared mutable state; environments (markets, grids, trained
+// predictors) are read-only at run time and safe to share across workers.
+//
+// Determinism: the i-th task always receives rand.NewPCG(seed, i), and the
+// i-th result slot always holds the i-th task's outcome. A sweep over a
+// fixed environment and seed is therefore reproducible run to run and
+// identical to executing the tasks sequentially.
+func Sweep(tasks []Task, opt SweepOptions) []SweepResult {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]SweepResult, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				res := SweepResult{Key: t.Key}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							res.Err = fmt.Errorf("campaign: sweep task %q panicked: %v", t.Key, r)
+						}
+					}()
+					res.Report, res.Err = t.Run(rand.New(rand.NewPCG(opt.Seed, uint64(i))))
+				}()
+				results[i] = res
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// FirstErr returns the first failed result (in task order), or nil.
+func FirstErr(results []SweepResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("campaign: sweep %q: %w", r.Key, r.Err)
+		}
+	}
+	return nil
+}

@@ -429,3 +429,63 @@ func TestBillingInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ---------------------------------------------------------------- horizon
+
+func TestNextPriceTick(t *testing.T) {
+	c, clk := fixture(t)
+	at, ok := c.NextPriceTick("r4.large")
+	if !ok || !at.Equal(t0.Add(90*time.Minute)) {
+		t.Fatalf("NextPriceTick = %v,%v, want +90m", at, ok)
+	}
+	clk.AdvanceTo(t0.Add(95 * time.Minute))
+	at, ok = c.NextPriceTick("r4.large")
+	if !ok || !at.Equal(t0.Add(100*time.Minute)) {
+		t.Fatalf("NextPriceTick after spike = %v,%v, want +100m", at, ok)
+	}
+	clk.AdvanceTo(t0.Add(200 * time.Minute))
+	if _, ok := c.NextPriceTick("r4.large"); ok {
+		t.Fatal("flat-forever trace still reports a tick")
+	}
+	if _, ok := c.NextPriceTick("nope"); ok {
+		t.Fatal("unknown market reported a tick")
+	}
+	if at, ok := c.NextMarketTick(nil); ok || !at.IsZero() {
+		t.Fatal("NextMarketTick on quiescent markets reported a tick")
+	}
+}
+
+func TestNextInstanceEventAndInterestingAt(t *testing.T) {
+	c, clk := fixture(t)
+	if _, ok := c.NextInstanceEvent(); ok {
+		t.Fatal("no instances yet, but an instance event is pending")
+	}
+	inst, err := c.RequestSpot("r4.large", 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Price exceeds 0.1 at +90min, so the notice is due at +88min.
+	at, ok := c.NextInstanceEvent()
+	if !ok || !at.Equal(t0.Add(88*time.Minute)) {
+		t.Fatalf("NextInstanceEvent = %v,%v, want notice at +88m", at, ok)
+	}
+	if dl := inst.RefundDeadline(); !dl.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("RefundDeadline = %v", dl)
+	}
+	// The overall horizon is the earliest of refund boundary (+60m),
+	// notice (+88m), and price tick (+90m).
+	at, ok = c.NextInterestingAt(nil)
+	if !ok || !at.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("NextInterestingAt = %v,%v, want refund boundary", at, ok)
+	}
+	// After the notice fires the revocation remains the next instance event.
+	clk.AdvanceTo(t0.Add(89 * time.Minute))
+	at, ok = c.NextInstanceEvent()
+	if !ok || !at.Equal(t0.Add(90*time.Minute)) {
+		t.Fatalf("NextInstanceEvent after notice = %v,%v, want revoke at +90m", at, ok)
+	}
+	clk.AdvanceTo(t0.Add(91 * time.Minute))
+	if _, ok := c.NextInstanceEvent(); ok {
+		t.Fatal("revoked instance still reports pending events")
+	}
+}

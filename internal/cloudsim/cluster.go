@@ -86,8 +86,21 @@ type Instance struct {
 	EndedAt    time.Time
 	End        EndReason
 
+	// NoticeAt/RevokeAt are the already-determined future market events for
+	// this instance (zero when the trace never exceeds the maximum price).
+	// They let schedulers jump straight to the next interesting instant
+	// instead of sampling instance state on a poll grid.
+	NoticeAt time.Time
+	RevokeAt time.Time
+
 	noticeEv *simclock.Event
 	revokeEv *simclock.Event
+}
+
+// RefundDeadline is the end of the first-instance-hour window: a provider
+// revocation at or before it is fully refunded.
+func (i *Instance) RefundDeadline() time.Time {
+	return i.LaunchedAt.Add(RefundWindow)
 }
 
 // Running reports whether the instance is still usable (running or noticed).
@@ -241,6 +254,8 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 		if noticeAt.Before(now) {
 			noticeAt = now
 		}
+		inst.NoticeAt = noticeAt
+		inst.RevokeAt = exceedAt
 		inst.noticeEv = c.clk.Schedule(noticeAt, func(at time.Time) {
 			if !inst.Running() {
 				return

@@ -1,0 +1,106 @@
+package cloudsim
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the cluster's "next interesting instant" surface: instead of
+// being sampled every poll tick, the cluster tells schedulers when its state
+// can next change — the next price tick of a market, the next termination
+// notice or revocation of a running instance, or a refund-window boundary.
+// A discrete-event orchestrator advances the clock directly to the earliest
+// of these (or to its own trial triggers, whichever comes first).
+
+// NextPriceTick returns the first time strictly after the current instant at
+// which the market price of the given type changes, or ok=false when the
+// trace is flat for the rest of the simulation (or the type is unknown).
+func (c *Cluster) NextPriceTick(typeName string) (time.Time, bool) {
+	tr, ok := c.traces[typeName]
+	if !ok {
+		return time.Time{}, false
+	}
+	now := c.clk.Now()
+	n := len(tr.Records)
+	i := sort.Search(n, func(i int) bool { return tr.Records[i].At.After(now) })
+	if i >= n {
+		return time.Time{}, false
+	}
+	return tr.Records[i].At, true
+}
+
+// NextMarketTick returns the earliest upcoming price change across the given
+// type names (every market when names is nil), or ok=false when all traces
+// are flat from here on.
+func (c *Cluster) NextMarketTick(names []string) (time.Time, bool) {
+	if names == nil {
+		names = c.catalog.Names()
+	}
+	var best time.Time
+	found := false
+	for _, name := range names {
+		at, ok := c.NextPriceTick(name)
+		if ok && (!found || at.Before(best)) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// NextInstanceEvent returns the earliest pending notice or revocation among
+// running instances, or ok=false when no instance has a scheduled market
+// event. (These events also sit on the cluster's clock queue; this method
+// exposes them without firing anything.)
+func (c *Cluster) NextInstanceEvent() (time.Time, bool) {
+	now := c.clk.Now()
+	var best time.Time
+	found := false
+	consider := func(at time.Time) {
+		if at.IsZero() || at.Before(now) {
+			return
+		}
+		if !found || at.Before(best) {
+			best, found = at, true
+		}
+	}
+	for _, inst := range c.instances {
+		if !inst.Running() {
+			continue
+		}
+		if inst.State == StateRunning {
+			consider(inst.NoticeAt)
+		}
+		consider(inst.RevokeAt)
+	}
+	return best, found
+}
+
+// NextInterestingAt returns the earliest instant at which the cluster's
+// observable state can change: a price tick in one of the named markets
+// (all markets when names is nil), a pending notice or revocation, or a
+// running instance crossing its refund-window boundary. ok=false means the
+// cluster is fully quiescent from here on.
+func (c *Cluster) NextInterestingAt(names []string) (time.Time, bool) {
+	var best time.Time
+	found := false
+	consider := func(at time.Time, ok bool) {
+		if !ok {
+			return
+		}
+		if !found || at.Before(best) {
+			best, found = at, true
+		}
+	}
+	consider(c.NextMarketTick(names))
+	consider(c.NextInstanceEvent())
+	now := c.clk.Now()
+	for _, inst := range c.instances {
+		if !inst.Running() {
+			continue
+		}
+		if dl := inst.RefundDeadline(); dl.After(now) {
+			consider(dl, true)
+		}
+	}
+	return best, found
+}

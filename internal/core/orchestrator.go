@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"spottune/internal/cloudsim"
@@ -11,8 +12,29 @@ import (
 	"spottune/internal/trial"
 )
 
+// LoopMode selects how the orchestrator advances virtual time.
+type LoopMode int
+
+const (
+	// LoopEvent (the default) runs Algorithm 1 as a discrete-event loop:
+	// each assignment's next trigger time (trigger-step completion,
+	// θ-shutdown point, proactive-restart horizon, periodic-checkpoint
+	// tick, plateau step) is computed and the clock advances directly to
+	// the earliest one, or to the cluster's next interesting instant
+	// (notice, revocation, price tick), whichever comes first.
+	LoopEvent LoopMode = iota
+	// LoopPolling is the paper's literal Algorithm 1 loop: sample every
+	// assignment each PollInterval. Behavior matches LoopEvent up to
+	// poll-quantization differences (triggers are detected at most one
+	// PollInterval late). Kept for golden-equivalence tests and as the
+	// reference implementation.
+	LoopPolling
+)
+
 // Config tunes the orchestrator. Zero values select the paper's settings.
 type Config struct {
+	// Mode selects discrete-event (default) or polling execution.
+	Mode LoopMode
 	// Theta is the early-shutdown rate θ ∈ (0, 1] (Table I).
 	Theta float64
 	// MCnt is how many top-ranked models to continue training from
@@ -123,6 +145,15 @@ type assignment struct {
 	// revocation notice on this instance; they checkpoint periodically.
 	oversized  bool
 	lastCkptAt time.Time
+
+	// obsSecs/obsSteps accumulate this segment's compute and fractional
+	// step progress. The seconds-per-step sample (line 36 of Algorithm 1)
+	// is folded into the performance matrix once per segment: per-slice
+	// ratios with whole-step counts are biased whenever a scheduler slice
+	// is shorter than a step, and the bias would differ between polling
+	// and event-driven execution.
+	obsSecs  float64
+	obsSteps float64
 }
 
 // oversizedFor reports whether a checkpoint of the given size cannot be
@@ -148,6 +179,15 @@ type Orchestrator struct {
 	segments    []segment
 	deployments int
 	notices     int
+	iterations  int // scheduler loop turns across all phases
+
+	// noticedAt records each trial's most recent termination notice. A
+	// trial noticed at the current instant is not redeployed until one
+	// PollInterval later: an instance bought inside its market's doom
+	// window is noticed the moment it launches, and without this spacing
+	// the event loop would deploy-notice-requeue forever at one instant
+	// (the polling loop gets the same spacing for free from its sleep).
+	noticedAt map[string]time.Time
 
 	// ckptSetup/restoreSetup accumulate the fixed per-event costs that
 	// transfers alone do not capture (Fig. 12 accounting).
@@ -173,14 +213,15 @@ func NewOrchestrator(
 		return nil, errors.New("core: no trials submitted")
 	}
 	o := &Orchestrator{
-		cfg:      cfg.withDefaults(),
-		cluster:  cluster,
-		store:    store,
-		prov:     prov,
-		perf:     NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
-		trials:   make(map[string]*trial.Replay, len(trials)),
-		active:   make(map[string]*assignment),
-		finished: make(map[string]bool),
+		cfg:       cfg.withDefaults(),
+		cluster:   cluster,
+		store:     store,
+		prov:      prov,
+		perf:      NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
+		trials:    make(map[string]*trial.Replay, len(trials)),
+		active:    make(map[string]*assignment),
+		finished:  make(map[string]bool),
+		noticedAt: make(map[string]time.Time),
 	}
 	for _, tr := range trials {
 		if _, dup := o.trials[tr.ID()]; dup {
@@ -283,9 +324,10 @@ func (o *Orchestrator) Run() (*Report, error) {
 
 // runPhase processes the given trial IDs until each reaches its step limit
 // or converges, handling revocation notices, hourly restarts, and
-// (re)deployments.
+// (re)deployments. The execution strategy is selected by Config.Mode; both
+// strategies share the same trigger handling and deployment code, so they
+// differ only in how far the clock jumps between scheduler turns.
 func (o *Orchestrator) runPhase(ids []string, limit func(*trial.Replay) int) error {
-	clk := o.cluster.Clock()
 	o.phaseLimit = limit
 	o.active = make(map[string]*assignment)
 	o.waiting = nil
@@ -294,113 +336,257 @@ func (o *Orchestrator) runPhase(ids []string, limit func(*trial.Replay) int) err
 			o.waiting = append(o.waiting, id)
 		}
 	}
-	pending := len(o.waiting)
-	if pending == 0 {
+	if len(o.waiting) == 0 {
 		return nil
 	}
+	if o.cfg.Mode == LoopPolling {
+		return o.runPhasePolling()
+	}
+	return o.runPhaseEvent()
+}
 
+// runPhasePolling is the paper's literal Algorithm 1 loop: wake up every
+// PollInterval and sample everything.
+func (o *Orchestrator) runPhasePolling() error {
+	clk := o.cluster.Clock()
+	pending := len(o.waiting)
 	for iter := 0; ; iter++ {
 		// A week-long campaign polls ~60k times; 5M means livelock
 		// (e.g. a trial that can never recover past its checkpoint).
 		if iter > 5_000_000 {
 			return errors.New("core: orchestrator did not converge (runaway loop)")
 		}
+		o.iterations++
 		now := clk.Now()
-
-		// Advance running trials and evaluate their triggers.
-		for id, a := range o.active {
-			if a.dead {
-				continue
-			}
-			o.advance(a, now)
-			tr := a.tr
-			lim := limit(tr)
-			converged := tr.CompletedSteps() > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
-			switch {
-			case tr.CompletedSteps() >= lim || converged:
-				// Early shutdown / completion (lines 27–30).
-				o.checkpoint(a, now)
-				o.endAssignment(a, true)
-				o.finished[id] = true
-				pending--
-			case now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
-				// Hourly refund-farming restart (lines 31–34).
-				o.checkpoint(a, now)
-				o.endAssignment(a, true)
-				o.waiting = append(o.waiting, id)
-			case a.oversized && now.Sub(a.lastCkptAt) >= o.cfg.PeriodicCheckpoint:
-				// Periodic checkpointing: this trial's state cannot be
-				// saved inside the revocation notice, so snapshot on a
-				// schedule and accept losing at most one period.
-				o.checkpoint(a, now)
-			}
-		}
-		// Remove dead assignments.
-		for id, a := range o.active {
-			if a.dead {
-				delete(o.active, id)
-			}
-		}
-
+		o.handleTriggers(now, &pending)
 		if pending == 0 {
 			return nil
 		}
-
-		// Deploy waiting trials (lines 38–44).
-		for len(o.waiting) > 0 && len(o.active) < o.cfg.MaxConcurrent {
-			id := o.waiting[0]
-			tr := o.trials[id]
-			choice, err := o.prov.Best(func(tn string) float64 { return o.perf.Get(tn, id) })
-			if err != nil {
-				return fmt.Errorf("core: provisioning %s: %w", id, err)
-			}
-			a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps()}
-			inst, err := o.cluster.RequestSpot(choice.TypeName, choice.MaxPrice, func(_ *cloudsim.Instance, at time.Time) {
-				o.onNotice(a, at)
-			})
-			if err != nil {
-				// Market moved against us inside this tick; retry later.
-				break
-			}
-			o.deployments++
-			a.inst = inst
-			a.deployedAt = now
-			a.lastCkptAt = now
-			a.oversized = oversizedFor(tr.CheckpointMB(), inst.Type.CPUs)
-			busy := now.Add(o.cfg.StartupDelay)
-			// Oversized trials need a baseline recovery point before
-			// any revocation can strike: without it, a notice arriving
-			// before the first periodic snapshot would have nothing to
-			// rewind to.
-			if a.oversized && !o.store.Exists(ckptKey(id)) {
-				o.checkpoint(a, now)
-			}
-			// Restore from checkpoint when one exists (line 41 deploys
-			// either a fresh job or a checkpointed one).
-			if o.store.Exists(ckptKey(id)) {
-				blob, d, err := o.store.Get(ckptKey(id), inst.Type.CPUs)
-				if err != nil {
-					return fmt.Errorf("core: restoring %s: %w", id, err)
-				}
-				if err := tr.Restore(blob); err != nil {
-					return fmt.Errorf("core: restoring %s: %w", id, err)
-				}
-				a.stepsBefore = tr.CompletedSteps()
-				busy = busy.Add(d + o.cfg.RestoreSetup)
-				o.restoreSetup += o.cfg.RestoreSetup
-			}
-			a.busyAt = busy
-			a.lastAdvance = busy
-			o.active[id] = a
-			o.waiting = o.waiting[1:]
+		if _, _, err := o.deployWaiting(now); err != nil {
+			return err
 		}
-
 		clk.Sleep(o.cfg.PollInterval)
 	}
 }
 
+// runPhaseEvent is the discrete-event loop: each turn handles everything due
+// now, then advances the clock directly to the next instant at which any
+// trigger or cluster event can fire. Asymptotically the turn count is the
+// number of real events, not campaign-duration/PollInterval.
+func (o *Orchestrator) runPhaseEvent() error {
+	clk := o.cluster.Clock()
+	pending := len(o.waiting)
+	for iter := 0; ; iter++ {
+		if iter > 5_000_000 {
+			return errors.New("core: orchestrator did not converge (runaway loop)")
+		}
+		o.iterations++
+		now := clk.Now()
+		o.handleTriggers(now, &pending)
+		if pending == 0 {
+			return nil
+		}
+		retryAt, blocked, err := o.deployWaiting(now)
+		if err != nil {
+			return err
+		}
+		next, ok := o.nextWakeup(now, blocked)
+		if !retryAt.IsZero() && (!ok || retryAt.Before(next)) {
+			next, ok = retryAt, true
+		}
+		if !ok {
+			return errors.New("core: stalled with no future trigger (market quiescent while trials wait)")
+		}
+		// Advancing fires any notice/revocation events in (now, next], so
+		// the loop never skips past a cluster state change: nextWakeup
+		// bounds the hop by the clock's earliest scheduled event.
+		clk.AdvanceTo(next)
+	}
+}
+
+// handleTriggers advances every live assignment to now and applies Algorithm
+// 1's per-trial triggers, in submission order for determinism.
+func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
+	for _, id := range o.order {
+		a, ok := o.active[id]
+		if !ok || a.dead {
+			continue
+		}
+		o.advance(a, now)
+		tr := a.tr
+		lim := o.phaseLimit(tr)
+		// ConvergeStep is the minimal converging prefix, so anything short
+		// of it cannot be converged — the exact (O(curve)) re-check only
+		// runs once a trial actually reaches its plateau step.
+		converged := false
+		if cs, ok := tr.ConvergeStep(o.cfg.ConvergeWindow, o.cfg.ConvergeTol); ok && tr.CompletedSteps() >= cs {
+			converged = tr.CompletedSteps() > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
+		}
+		switch {
+		case tr.CompletedSteps() >= lim || converged:
+			// Early shutdown / completion (lines 27–30).
+			o.checkpoint(a, now)
+			o.endAssignment(a, true)
+			o.finished[id] = true
+			*pending--
+		case now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
+			// Hourly refund-farming restart (lines 31–34).
+			o.checkpoint(a, now)
+			o.endAssignment(a, true)
+			o.waiting = append(o.waiting, id)
+		case a.oversized && now.Sub(a.lastCkptAt) >= o.cfg.PeriodicCheckpoint:
+			// Periodic checkpointing: this trial's state cannot be
+			// saved inside the revocation notice, so snapshot on a
+			// schedule and accept losing at most one period.
+			o.checkpoint(a, now)
+		}
+	}
+	// Remove dead assignments.
+	for id, a := range o.active {
+		if a.dead {
+			delete(o.active, id)
+		}
+	}
+}
+
+// deployWaiting deploys waiting trials into free slots (lines 38–44). It
+// reports blocked=true when the spot market rejected a request (maximum
+// price below market), in which case the caller should retry after the next
+// price tick; a non-zero retryAt asks the caller to try again at that
+// instant (a trial noticed at the current instant is spaced out by one
+// PollInterval, matching the polling loop's cadence).
+func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked bool, err error) {
+	for len(o.waiting) > 0 && len(o.active) < o.cfg.MaxConcurrent {
+		id := o.waiting[0]
+		if t, ok := o.noticedAt[id]; ok && !t.Before(now) {
+			return now.Add(o.cfg.PollInterval), false, nil
+		}
+		tr := o.trials[id]
+		choice, err := o.prov.Best(func(tn string) float64 { return o.perf.Get(tn, id) })
+		if err != nil {
+			return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
+		}
+		a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps()}
+		inst, err := o.cluster.RequestSpot(choice.TypeName, choice.MaxPrice, func(_ *cloudsim.Instance, at time.Time) {
+			o.onNotice(a, at)
+		})
+		if err != nil {
+			// Market moved against us inside this tick; retry later.
+			return time.Time{}, true, nil
+		}
+		o.deployments++
+		a.inst = inst
+		a.deployedAt = now
+		a.lastCkptAt = now
+		a.oversized = oversizedFor(tr.CheckpointMB(), inst.Type.CPUs)
+		busy := now.Add(o.cfg.StartupDelay)
+		// Oversized trials need a baseline recovery point before
+		// any revocation can strike: without it, a notice arriving
+		// before the first periodic snapshot would have nothing to
+		// rewind to.
+		if a.oversized && !o.store.Exists(ckptKey(id)) {
+			o.checkpoint(a, now)
+		}
+		// Restore from checkpoint when one exists (line 41 deploys
+		// either a fresh job or a checkpointed one).
+		if o.store.Exists(ckptKey(id)) {
+			blob, d, err := o.store.Get(ckptKey(id), inst.Type.CPUs)
+			if err != nil {
+				return time.Time{}, false, fmt.Errorf("core: restoring %s: %w", id, err)
+			}
+			if err := tr.Restore(blob); err != nil {
+				return time.Time{}, false, fmt.Errorf("core: restoring %s: %w", id, err)
+			}
+			a.stepsBefore = tr.CompletedSteps()
+			busy = busy.Add(d + o.cfg.RestoreSetup)
+			o.restoreSetup += o.cfg.RestoreSetup
+		}
+		a.busyAt = busy
+		a.lastAdvance = busy
+		o.active[id] = a
+		o.waiting = o.waiting[1:]
+	}
+	return time.Time{}, false, nil
+}
+
+// stepTarget is the whole-step count at which the assignment's trial stops
+// in this phase: the phase limit, or the precomputed plateau step if that
+// comes first (§III-C's convergence special case).
+func (o *Orchestrator) stepTarget(tr *trial.Replay) int {
+	target := o.phaseLimit(tr)
+	if cs, ok := tr.ConvergeStep(o.cfg.ConvergeWindow, o.cfg.ConvergeTol); ok && cs < target {
+		target = cs
+	}
+	return target
+}
+
+// assignmentTrigger computes the next instant at which the assignment needs
+// attention: trigger-step completion (or plateau), the proactive-restart
+// horizon, or — for oversized trials — the next periodic-checkpoint tick.
+// Completion is only priced out as far as the earlier of those horizons, so
+// the per-trial step-cost prefix sums grow incrementally with actual
+// progress instead of being built for the whole trajectory up front.
+func (o *Orchestrator) assignmentTrigger(a *assignment) time.Time {
+	next := a.deployedAt.Add(o.cfg.RestartAfter)
+	if a.oversized {
+		if p := a.lastCkptAt.Add(o.cfg.PeriodicCheckpoint); p.Before(next) {
+			next = p
+		}
+	}
+	from := a.lastAdvance
+	if from.Before(a.busyAt) {
+		from = a.busyAt
+	}
+	if cap := next.Sub(from).Seconds(); cap >= 0 {
+		if need, ok := a.tr.SecondsToReachCapped(a.inst.Type, o.stepTarget(a.tr), cap); ok {
+			// Round up so the advance slice is never a hair short of the
+			// step boundary (RunFor snaps the residual dust).
+			t := from.Add(time.Duration(math.Ceil(need * float64(time.Second))))
+			if t.Before(next) {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// nextWakeup returns the earliest instant at which anything can happen: an
+// assignment trigger, a scheduled cluster event (notice/revocation), or —
+// when deployment is blocked on the market — the next price tick.
+func (o *Orchestrator) nextWakeup(now time.Time, blocked bool) (time.Time, bool) {
+	var best time.Time
+	found := false
+	consider := func(at time.Time) {
+		if !found || at.Before(best) {
+			best, found = at, true
+		}
+	}
+	for _, id := range o.order {
+		a, ok := o.active[id]
+		if !ok || a.dead {
+			continue
+		}
+		consider(o.assignmentTrigger(a))
+	}
+	if at, ok := o.cluster.Clock().NextEventTime(); ok {
+		consider(at)
+	}
+	if blocked {
+		// A rejected spot request can only succeed once the cluster's
+		// observable state changes: the next price tick in a pool market,
+		// a pending notice/revocation, or a refund-window boundary.
+		if at, ok := o.cluster.NextInterestingAt(o.prov.Pool()); ok {
+			consider(at)
+		}
+	}
+	if found && best.Before(now) {
+		best = now
+	}
+	return best, found
+}
+
 // advance runs the trial for the compute time elapsed since the last
-// advance, updating the performance matrix with the observed throughput.
+// advance, accumulating throughput for the per-segment observation.
 func (o *Orchestrator) advance(a *assignment, now time.Time) {
 	if a.dead || now.Before(a.busyAt) {
 		return
@@ -413,11 +599,20 @@ func (o *Orchestrator) advance(a *assignment, now time.Time) {
 	if secs <= 0 {
 		return
 	}
-	steps, used := a.tr.RunFor(a.inst.Type, secs, o.phaseLimit(a.tr))
+	before := a.tr.Progress()
+	_, used := a.tr.RunFor(a.inst.Type, secs, o.phaseLimit(a.tr))
 	a.lastAdvance = now
-	if steps > 0 && used > 0 {
-		o.perf.Observe(a.inst.Type.Name, a.tr.ID(), used/float64(steps))
+	a.obsSecs += used
+	a.obsSteps += a.tr.Progress() - before
+}
+
+// observeSegment folds the finished segment's measured seconds-per-step
+// into the performance matrix (line 36 of Algorithm 1).
+func (o *Orchestrator) observeSegment(a *assignment) {
+	if a.obsSteps > 1e-9 && a.obsSecs > 0 {
+		o.perf.Observe(a.inst.Type.Name, a.tr.ID(), a.obsSecs/a.obsSteps)
 	}
+	a.obsSecs, a.obsSteps = 0, 0
 }
 
 // onNotice handles a termination notice (lines 24–26): bring the trial up to
@@ -438,6 +633,7 @@ func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
 	a.dead = true
 	// The cluster revokes the instance itself two minutes later.
 	id := a.tr.ID()
+	o.noticedAt[id] = at
 	if !o.finished[id] {
 		o.waiting = append(o.waiting, id)
 	}
@@ -477,6 +673,7 @@ func (o *Orchestrator) endAssignment(a *assignment, terminate bool) {
 }
 
 func (o *Orchestrator) recordSegment(a *assignment) {
+	o.observeSegment(a)
 	steps := a.tr.CompletedSteps() - a.stepsBefore
 	if steps < 0 {
 		steps = 0
@@ -495,21 +692,11 @@ func rankByValue(vals map[string]float64) []string {
 	for id := range vals {
 		ids = append(ids, id)
 	}
-	less := func(i, j int) bool {
+	sort.SliceStable(ids, func(i, j int) bool {
 		if vals[ids[i]] != vals[ids[j]] {
 			return vals[ids[i]] < vals[ids[j]]
 		}
 		return ids[i] < ids[j]
-	}
-	sortSlice(ids, less)
+	})
 	return ids
-}
-
-func sortSlice(ids []string, less func(i, j int) bool) {
-	// Insertion sort keeps this dependency-light and stable; n <= dozens.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && less(j, j-1); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

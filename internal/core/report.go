@@ -35,6 +35,12 @@ type Report struct {
 	Notices     int
 	Revocations int
 
+	// LoopIterations counts scheduler turns across all phases: poll ticks
+	// in LoopPolling, discrete-event turns in LoopEvent. The event-driven
+	// loop's headline win is this number collapsing from
+	// campaign-duration/PollInterval to the real event count.
+	LoopIterations int
+
 	// PredictedFinals is the trend-predictor's final-metric estimate per
 	// HP; Ranked is ascending by prediction; Top the continued set; Best
 	// the finally selected HP (Fig. 8c feeds on these).
@@ -119,6 +125,7 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 		Deployments:      o.deployments,
 		Notices:          o.notices,
 		Revocations:      revocations,
+		LoopIterations:   o.iterations,
 		PredictedFinals:  predicted,
 		Ranked:           ranked,
 		Top:              top,

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"time"
 
@@ -155,12 +156,20 @@ type Fig7Row struct {
 
 // Fig7 runs the full cost/JCT/PCR comparison: SpotTune at θ=0.7 and θ=1.0
 // versus the cheapest and fastest single-spot baselines, on every workload.
+// The (workload × approach) grid fans out over a campaign.Sweep worker pool;
+// rows come back in the same deterministic order the sequential loop
+// produced them in.
 func Fig7(ctx *Context) ([]Fig7Row, error) {
 	env, err := ctx.Env(ctx.defaultKind())
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig7Row
+	type cell struct {
+		workload string
+		approach string
+	}
+	var cells []cell
+	var tasks []campaign.Task
 	for _, name := range ctx.Opts.Workloads {
 		bench, err := ctx.Bench(name)
 		if err != nil {
@@ -170,37 +179,40 @@ func Fig7(ctx *Context) ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		type runSpec struct {
+		for _, spec := range []struct {
 			label string
-			run   func() (*core.Report, error)
-		}
-		specs := []runSpec{
-			{ApproachSpotTune07, func() (*core.Report, error) {
+			run   func(*rand.Rand) (*core.Report, error)
+		}{
+			{ApproachSpotTune07, func(*rand.Rand) (*core.Report, error) {
 				return env.RunSpotTune(bench, curves, campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
 			}},
-			{ApproachSpotTune10, func() (*core.Report, error) {
+			{ApproachSpotTune10, func(*rand.Rand) (*core.Report, error) {
 				return env.RunSpotTune(bench, curves, campaign.Options{Theta: 1.0, Seed: ctx.Opts.Seed})
 			}},
-			{ApproachCheapest, func() (*core.Report, error) {
+			{ApproachCheapest, func(*rand.Rand) (*core.Report, error) {
 				return env.RunSingleSpot(bench, curves, "r4.large", ctx.Opts.Seed)
 			}},
-			{ApproachFastest, func() (*core.Report, error) {
+			{ApproachFastest, func(*rand.Rand) (*core.Report, error) {
 				return env.RunSingleSpot(bench, curves, "m4.4xlarge", ctx.Opts.Seed)
 			}},
+		} {
+			cells = append(cells, cell{workload: name, approach: spec.label})
+			tasks = append(tasks, campaign.Task{Key: name + "/" + spec.label, Run: spec.run})
 		}
-		for _, spec := range specs {
-			rep, err := spec.run()
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", name, spec.label, err)
-			}
-			rows = append(rows, Fig7Row{
-				Workload: name,
-				Approach: spec.label,
-				Cost:     rep.NetCost,
-				JCTHours: rep.JCT.Hours(),
-				Report:   rep,
-			})
+	}
+	results := campaign.Sweep(tasks, campaign.SweepOptions{Seed: ctx.Opts.Seed})
+	var rows []Fig7Row
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", res.Key, res.Err)
 		}
+		rows = append(rows, Fig7Row{
+			Workload: cells[i].workload,
+			Approach: cells[i].approach,
+			Cost:     res.Report.NetCost,
+			JCTHours: res.Report.JCT.Hours(),
+			Report:   res.Report,
+		})
 	}
 	return rows, nil
 }
@@ -248,14 +260,21 @@ type Fig8Accuracy struct {
 }
 
 // Fig8 sweeps θ from 0.1 to 1.0, measuring cost, JCT and EarlyCurve
-// selection accuracy against ground truth.
+// selection accuracy against ground truth. The (workload × θ) campaigns run
+// in parallel through campaign.Sweep with deterministic row ordering.
 func Fig8(ctx *Context) ([]Fig8Row, []Fig8Accuracy, error) {
 	env, err := ctx.Env(ctx.defaultKind())
 	if err != nil {
 		return nil, nil, err
 	}
-	var rows []Fig8Row
 	thetas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	type cell struct {
+		workload string
+		theta    float64
+		trueBest string
+	}
+	var cells []cell
+	var tasks []campaign.Task
 	for _, name := range ctx.Opts.Workloads {
 		bench, err := ctx.Bench(name)
 		if err != nil {
@@ -265,32 +284,43 @@ func Fig8(ctx *Context) ([]Fig8Row, []Fig8Accuracy, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		finals, trueBest, err := campaign.TrueFinals(bench, curves)
+		_, trueBest, err := campaign.TrueFinals(bench, curves)
 		if err != nil {
 			return nil, nil, err
 		}
-		_ = finals
 		for _, theta := range thetas {
-			rep, err := env.RunSpotTune(bench, curves, campaign.Options{Theta: theta, Seed: ctx.Opts.Seed})
-			if err != nil {
-				return nil, nil, fmt.Errorf("experiments: %s θ=%.1f: %w", name, theta, err)
-			}
-			top1 := len(rep.Ranked) > 0 && rep.Ranked[0] == trueBest
-			top3 := false
-			for _, id := range rep.Ranked[:minInt(3, len(rep.Ranked))] {
-				if id == trueBest {
-					top3 = true
-				}
-			}
-			rows = append(rows, Fig8Row{
-				Theta:    theta,
-				Workload: name,
-				Cost:     rep.NetCost,
-				JCTHours: rep.JCT.Hours(),
-				Top1:     top1,
-				Top3:     top3,
+			name, theta := name, theta
+			cells = append(cells, cell{workload: name, theta: theta, trueBest: trueBest})
+			tasks = append(tasks, campaign.Task{
+				Key: fmt.Sprintf("%s/θ=%.1f", name, theta),
+				Run: func(*rand.Rand) (*core.Report, error) {
+					return env.RunSpotTune(bench, curves, campaign.Options{Theta: theta, Seed: ctx.Opts.Seed})
+				},
 			})
 		}
+	}
+	results := campaign.Sweep(tasks, campaign.SweepOptions{Seed: ctx.Opts.Seed})
+	var rows []Fig8Row
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s: %w", res.Key, res.Err)
+		}
+		rep, c := res.Report, cells[i]
+		top1 := len(rep.Ranked) > 0 && rep.Ranked[0] == c.trueBest
+		top3 := false
+		for _, id := range rep.Ranked[:minInt(3, len(rep.Ranked))] {
+			if id == c.trueBest {
+				top3 = true
+			}
+		}
+		rows = append(rows, Fig8Row{
+			Theta:    c.theta,
+			Workload: c.workload,
+			Cost:     rep.NetCost,
+			JCTHours: rep.JCT.Hours(),
+			Top1:     top1,
+			Top3:     top3,
+		})
 	}
 	var acc []Fig8Accuracy
 	for _, theta := range thetas {

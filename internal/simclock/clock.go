@@ -1,16 +1,15 @@
 // Package simclock provides virtual and wall clocks plus a deterministic
-// event queue for discrete-event simulation.
+// discrete-event Engine for simulation.
 //
 // All SpotTune simulations run against a Clock interface so that an entire
 // multi-day hyper-parameter-tuning campaign can be replayed in milliseconds
 // of wall time while examples that drive real training use the wall clock
-// unchanged.
+// unchanged. The Virtual clock is a thin facade over the Engine; simulation
+// cores that know their next trigger time advance the Engine directly
+// instead of sleeping in fixed-size polls.
 package simclock
 
 import (
-	"container/heap"
-	"fmt"
-	"sync"
 	"time"
 )
 
@@ -35,27 +34,17 @@ func (Wall) Now() time.Time { return time.Now() }
 // Sleep implements Clock.
 func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
 
-// Virtual is a manually advanced clock with an attached event queue.
+// Virtual is a manually advanced clock over a discrete-event Engine.
 // The zero value is not usable; construct with NewVirtual.
 type Virtual struct {
-	mu     sync.Mutex
-	now    time.Time
-	events eventHeap
-	seq    uint64
+	Engine
 }
 
 var _ Clock = (*Virtual)(nil)
 
 // NewVirtual returns a virtual clock starting at the given instant.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
-}
-
-// Now implements Clock.
-func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return &Virtual{Engine: Engine{now: start}}
 }
 
 // Sleep advances the clock by d, firing any events scheduled in (now, now+d].
@@ -64,160 +53,18 @@ func (v *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	v.AdvanceTo(v.Now().Add(d))
-}
-
-// Event is a scheduled callback. The callback runs with the clock set to the
-// event's due time and must not block.
-type Event struct {
-	At time.Time
-	Fn func(now time.Time)
-
-	seq       uint64
-	cancelled bool
-	idx       int
-}
-
-// Cancel marks the event so that it will not fire. Safe to call multiple
-// times and after the event has fired (no-op).
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
-	}
-}
-
-// Schedule registers fn to run when the clock reaches at. Events scheduled
-// at or before the current time fire on the next Advance call. The returned
-// Event may be cancelled.
-func (v *Virtual) Schedule(at time.Time, fn func(now time.Time)) *Event {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.seq++
-	ev := &Event{At: at, Fn: fn, seq: v.seq}
-	heap.Push(&v.events, ev)
-	return ev
-}
-
-// ScheduleAfter registers fn to run d after the current time.
-func (v *Virtual) ScheduleAfter(d time.Duration, fn func(now time.Time)) *Event {
-	return v.Schedule(v.Now().Add(d), fn)
+	v.RunUntil(v.Now().Add(d))
 }
 
 // AdvanceTo moves the clock to target, firing all pending events with
 // At <= target in chronological (then insertion) order. If target is before
 // the current time, it is a no-op.
 func (v *Virtual) AdvanceTo(target time.Time) {
-	for {
-		v.mu.Lock()
-		if target.Before(v.now) {
-			v.mu.Unlock()
-			return
-		}
-		var next *Event
-		for v.events.Len() > 0 {
-			top := v.events[0]
-			if top.cancelled {
-				heap.Pop(&v.events)
-				continue
-			}
-			if top.At.After(target) {
-				break
-			}
-			next = heap.Pop(&v.events).(*Event)
-			break
-		}
-		if next == nil {
-			v.now = target
-			v.mu.Unlock()
-			return
-		}
-		if next.At.After(v.now) {
-			v.now = next.At
-		}
-		now := v.now
-		v.mu.Unlock()
-		// Fire outside the lock so the callback may schedule more events.
-		next.Fn(now)
-	}
-}
-
-// PendingEvents reports how many non-cancelled events are queued.
-func (v *Virtual) PendingEvents() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	n := 0
-	for _, e := range v.events {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
+	v.RunUntil(target)
 }
 
 // NextEventTime returns the due time of the earliest pending event, or
 // ok=false when the queue is empty.
 func (v *Virtual) NextEventTime() (at time.Time, ok bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for v.events.Len() > 0 {
-		top := v.events[0]
-		if top.cancelled {
-			heap.Pop(&v.events)
-			continue
-		}
-		return top.At, true
-	}
-	return time.Time{}, false
-}
-
-// RunUntilIdle fires all pending events regardless of their due time,
-// advancing the clock as it goes. It returns the number of events fired and
-// errors out after limit events to guard against runaway self-scheduling.
-func (v *Virtual) RunUntilIdle(limit int) (int, error) {
-	fired := 0
-	for {
-		at, ok := v.NextEventTime()
-		if !ok {
-			return fired, nil
-		}
-		if fired >= limit {
-			return fired, fmt.Errorf("simclock: exceeded %d events without becoming idle", limit)
-		}
-		v.AdvanceTo(at)
-		fired++
-	}
-}
-
-// eventHeap orders events by (At, seq) so same-instant events fire in
-// insertion order, keeping simulations deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At.Equal(h[j].At) {
-		return h[i].seq < h[j].seq
-	}
-	return h[i].At.Before(h[j].At)
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return v.Peek()
 }

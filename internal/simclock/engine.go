@@ -1,0 +1,230 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Engine is a deterministic discrete-event scheduler: a current instant plus
+// a priority queue of timed callbacks. It is the core the rest of the
+// simulator runs on — cloudsim schedules market events on it and the
+// orchestrator advances it directly to each next trigger instead of polling.
+//
+// Determinism guarantees:
+//
+//   - events fire in (due time, schedule order): two events due at the same
+//     instant fire in the order they were scheduled;
+//   - a callback observes the clock set exactly to its due time;
+//   - callbacks run one at a time, outside the engine lock, so they may
+//     schedule or cancel further events.
+//
+// The zero value is an engine starting at the zero time; NewEngine sets the
+// epoch explicitly. Engines are safe for concurrent use, though simulations
+// are typically single-threaded per engine.
+type Engine struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// NewEngine returns an engine whose clock starts at the given instant.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the engine's current instant.
+func (e *Engine) Now() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Event is a scheduled callback. The callback runs with the clock set to the
+// event's due time and must not block.
+type Event struct {
+	At time.Time
+	Fn func(now time.Time)
+
+	seq   uint64
+	idx   int // heap position; -1 once fired, cancelled, or popped
+	owner *Engine
+}
+
+// Cancel removes the event from its engine's queue so it will never fire.
+// Removal is O(log n) via the heap index. Safe to call on nil events,
+// multiple times, and after the event has fired (no-op).
+func (e *Event) Cancel() {
+	if e == nil || e.owner == nil {
+		return
+	}
+	e.owner.mu.Lock()
+	defer e.owner.mu.Unlock()
+	if e.idx >= 0 {
+		heap.Remove(&e.owner.events, e.idx)
+		e.idx = -1
+	}
+}
+
+// Schedule registers fn to run when the clock reaches at. Events scheduled
+// at or before the current instant fire on the next advance. The returned
+// Event may be cancelled.
+func (e *Engine) Schedule(at time.Time, fn func(now time.Time)) *Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq++
+	ev := &Event{At: at, Fn: fn, seq: e.seq, owner: e}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run d after the current instant.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func(now time.Time)) *Event {
+	return e.Schedule(e.Now().Add(d), fn)
+}
+
+// Peek returns the due time of the earliest pending event without firing
+// it, or ok=false when the queue is empty.
+func (e *Engine) Peek() (at time.Time, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.events) == 0 {
+		return time.Time{}, false
+	}
+	return e.events[0].At, true
+}
+
+// popNext removes and returns the earliest event, or nil when either the
+// queue is empty or the earliest event is due after limit (when bounded).
+func (e *Engine) popNext(bounded bool, limit time.Time) *Event {
+	if len(e.events) == 0 {
+		return nil
+	}
+	if bounded && e.events[0].At.After(limit) {
+		return nil
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	ev.idx = -1
+	return ev
+}
+
+// dispatch advances the clock to the event's due time (never backward) and
+// runs its callback outside the lock.
+func (e *Engine) dispatch(ev *Event) {
+	e.mu.Lock()
+	if ev.At.After(e.now) {
+		e.now = ev.At
+	}
+	now := e.now
+	e.fired++
+	e.mu.Unlock()
+	ev.Fn(now)
+}
+
+// Step fires exactly the earliest pending event, advancing the clock to its
+// due time. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	e.mu.Lock()
+	ev := e.popNext(false, time.Time{})
+	e.mu.Unlock()
+	if ev == nil {
+		return false
+	}
+	e.dispatch(ev)
+	return true
+}
+
+// RunUntil fires every event due at or before target in deterministic order,
+// leaves the clock at target, and returns the number of events fired. If
+// target is before the current instant it is a no-op.
+func (e *Engine) RunUntil(target time.Time) int {
+	fired := 0
+	for {
+		e.mu.Lock()
+		if target.Before(e.now) {
+			e.mu.Unlock()
+			return fired
+		}
+		ev := e.popNext(true, target)
+		if ev == nil {
+			e.now = target
+			e.mu.Unlock()
+			return fired
+		}
+		e.mu.Unlock()
+		e.dispatch(ev)
+		fired++
+	}
+}
+
+// RunUntilIdle fires all pending events regardless of their due time,
+// advancing the clock as it goes. It returns the number of events fired and
+// errors out after limit events to guard against runaway self-scheduling.
+func (e *Engine) RunUntilIdle(limit int) (int, error) {
+	fired := 0
+	for {
+		if _, ok := e.Peek(); !ok {
+			return fired, nil
+		}
+		if fired >= limit {
+			return fired, fmt.Errorf("simclock: exceeded %d events without becoming idle", limit)
+		}
+		e.Step()
+		fired++
+	}
+}
+
+// PendingEvents reports how many events are queued.
+func (e *Engine) PendingEvents() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.events)
+}
+
+// FiredEvents reports how many events have been dispatched over the
+// engine's lifetime — a cheap progress/efficiency counter for benchmarks.
+func (e *Engine) FiredEvents() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+// eventHeap orders events by (At, seq) so same-instant events fire in
+// insertion order, keeping simulations deterministic. The idx field is kept
+// current under Swap/Push/Pop so Cancel can remove mid-heap entries in
+// O(log n).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At.Equal(h[j].At) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].At.Before(h[j].At)
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.idx = -1
+	return ev
+}

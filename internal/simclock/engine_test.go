@@ -1,0 +1,155 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEnginePeekStep(t *testing.T) {
+	e := NewEngine(t0)
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek on empty engine reported an event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine fired")
+	}
+	var order []int
+	e.Schedule(t0.Add(2*time.Minute), func(time.Time) { order = append(order, 2) })
+	e.Schedule(t0.Add(time.Minute), func(time.Time) { order = append(order, 1) })
+	at, ok := e.Peek()
+	if !ok || !at.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("Peek = %v,%v, want earliest event", at, ok)
+	}
+	if !e.Step() {
+		t.Fatal("Step did not fire")
+	}
+	if got := e.Now(); !got.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("Step left clock at %v", got)
+	}
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("Step fired %v, want earliest first", order)
+	}
+	if e.PendingEvents() != 1 {
+		t.Fatalf("PendingEvents = %d after one Step", e.PendingEvents())
+	}
+}
+
+func TestEngineRunUntilBoundary(t *testing.T) {
+	e := NewEngine(t0)
+	hits := 0
+	e.Schedule(t0.Add(time.Minute), func(time.Time) { hits++ })
+	e.Schedule(t0.Add(2*time.Minute), func(time.Time) { hits++ })
+	// RunUntil is inclusive of events due exactly at the target.
+	if fired := e.RunUntil(t0.Add(time.Minute)); fired != 1 || hits != 1 {
+		t.Fatalf("RunUntil fired %d (hits %d), want 1", fired, hits)
+	}
+	if got := e.Now(); !got.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("clock at %v after RunUntil", got)
+	}
+	// A target in the past is a no-op.
+	if fired := e.RunUntil(t0); fired != 0 {
+		t.Fatalf("RunUntil(past) fired %d", fired)
+	}
+}
+
+// TestEngineSameInstantDeterminism pins the per-event determinism guarantee:
+// N events scheduled at one instant fire in schedule order, even when they
+// were pushed interleaved with events at other instants.
+func TestEngineSameInstantDeterminism(t *testing.T) {
+	e := NewEngine(t0)
+	at := t0.Add(time.Hour)
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Schedule(at, func(time.Time) { order = append(order, i) })
+		// Interleave decoys at other instants to churn the heap layout.
+		e.Schedule(at.Add(time.Duration(8-i)*time.Minute), func(time.Time) {})
+		e.Schedule(at.Add(-time.Duration(i+1)*time.Second), func(time.Time) {})
+	}
+	e.RunUntil(at)
+	if len(order) != 8 {
+		t.Fatalf("fired %d same-instant events, want 8", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+// TestEngineCancelDuringDispatch: a callback cancels a later event due at
+// the same instant; the cancelled event must not fire even though it was
+// already queued when dispatch began.
+func TestEngineCancelDuringDispatch(t *testing.T) {
+	e := NewEngine(t0)
+	at := t0.Add(time.Minute)
+	fired := make([]bool, 3)
+	var victim *Event
+	e.Schedule(at, func(time.Time) {
+		fired[0] = true
+		victim.Cancel()
+	})
+	victim = e.Schedule(at, func(time.Time) { fired[1] = true })
+	e.Schedule(at, func(time.Time) { fired[2] = true })
+	e.RunUntil(at)
+	if !fired[0] || fired[1] || !fired[2] {
+		t.Fatalf("fired = %v, want [true false true]", fired)
+	}
+	// Cancelling an already-fired event is a no-op.
+	victim.Cancel()
+}
+
+// TestEngineCancelIsEager: cancellation removes the event from the queue
+// immediately (O(log n) heap removal), so Peek/PendingEvents never see it.
+func TestEngineCancelIsEager(t *testing.T) {
+	e := NewEngine(t0)
+	evs := make([]*Event, 100)
+	for i := range evs {
+		evs[i] = e.Schedule(t0.Add(time.Duration(i+1)*time.Second), func(time.Time) {})
+	}
+	// Cancel a mid-heap slice, including the root.
+	for i := 0; i < 50; i++ {
+		evs[i].Cancel()
+		evs[i].Cancel() // double-cancel must be safe
+	}
+	if got := e.PendingEvents(); got != 50 {
+		t.Fatalf("PendingEvents = %d after cancellations, want 50", got)
+	}
+	at, ok := e.Peek()
+	if !ok || !at.Equal(t0.Add(51*time.Second)) {
+		t.Fatalf("Peek = %v, want first surviving event", at)
+	}
+	if fired := e.RunUntil(t0.Add(time.Hour)); fired != 50 {
+		t.Fatalf("fired %d, want the 50 survivors", fired)
+	}
+}
+
+func TestEngineCallbackReschedulesItself(t *testing.T) {
+	e := NewEngine(t0)
+	hits := 0
+	var rearm func(now time.Time)
+	rearm = func(now time.Time) {
+		hits++
+		if hits < 4 {
+			e.Schedule(now.Add(time.Minute), rearm)
+		}
+	}
+	e.Schedule(t0.Add(time.Minute), rearm)
+	if fired, err := e.RunUntilIdle(100); err != nil || fired != 4 {
+		t.Fatalf("RunUntilIdle = %d, %v", fired, err)
+	}
+	if hits != 4 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestEngineFiredEvents(t *testing.T) {
+	e := NewEngine(t0)
+	for i := 0; i < 5; i++ {
+		e.Schedule(t0.Add(time.Duration(i)*time.Second), func(time.Time) {})
+	}
+	e.RunUntil(t0.Add(time.Minute))
+	if got := e.FiredEvents(); got != 5 {
+		t.Fatalf("FiredEvents = %d, want 5", got)
+	}
+}

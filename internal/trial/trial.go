@@ -10,10 +10,10 @@
 package trial
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"spottune/internal/earlycurve"
 	"spottune/internal/market"
@@ -37,6 +37,25 @@ type Replay struct {
 	sizeMB   float64 // modeled checkpoint size
 
 	progress float64 // fractional completed steps
+
+	// cumSecs caches, per instance type, prefix sums of per-step seconds
+	// (cumSecs[t][k] = seconds for steps [0, k)). The perf model is a pure
+	// function of (type, hp, step), so the cache never invalidates; it
+	// turns SecondsToReach into O(1) after one O(maxSteps) build.
+	cumSecs map[string][]float64
+	// convergeAt caches ConvergeStep results per (window, tol) — the
+	// observed prefix is a pure function of the fixed curve.
+	convergeAt map[convKey]convVal
+}
+
+type convKey struct {
+	window int
+	tol    float64
+}
+
+type convVal struct {
+	step int
+	ok   bool
 }
 
 // NewReplay builds a replay trial. The curve must be non-empty, strictly
@@ -76,10 +95,58 @@ func (r *Replay) CheckpointMB() float64 { return r.sizeMB }
 // CompletedSteps returns whole completed steps.
 func (r *Replay) CompletedSteps() int { return int(r.progress) }
 
+// Progress returns fractional completed steps. Throughput accounting uses
+// it so partially completed steps are attributed to the compute that ran
+// them (whole-step counting over short slices biases seconds-per-step).
+func (r *Replay) Progress() float64 { return r.progress }
+
+// cumFor returns the per-step-seconds prefix sums for the given instance
+// type (cum[k] = seconds for steps [0, k)), extended on demand: the slice
+// grows until it covers uptoStep, or — when capSecs >= 0 — until the
+// cumulative total passes capSecs. The perf model is a pure function of
+// (type, hp, step), so entries never invalidate and every extension is paid
+// for once per (trial, type) across the whole campaign.
+func (r *Replay) cumFor(it market.InstanceType, uptoStep int, capSecs float64) []float64 {
+	if uptoStep > r.maxSteps {
+		uptoStep = r.maxSteps
+	}
+	cum := r.cumSecs[it.Name]
+	if cum == nil {
+		cum = make([]float64, 1, uptoStep+1)
+	}
+	for k := len(cum) - 1; k < uptoStep; k++ {
+		if capSecs >= 0 && cum[k] > capSecs {
+			break
+		}
+		sec := r.perf.StepSeconds(it, r.id, k)
+		if sec <= 0 {
+			sec = 1e-6
+		}
+		cum = append(cum, cum[k]+sec)
+	}
+	if r.cumSecs == nil {
+		r.cumSecs = make(map[string][]float64)
+	}
+	r.cumSecs[it.Name] = cum
+	return cum
+}
+
+// elapsedAt maps fractional progress to cumulative compute seconds on the
+// cum scale (linear interpolation inside the current step).
+func elapsedAt(cum []float64, p float64) float64 {
+	cur := int(p)
+	if cur >= len(cum)-1 {
+		return cum[len(cum)-1]
+	}
+	return cum[cur] + (p-float64(cur))*(cum[cur+1]-cum[cur])
+}
+
 // RunFor advances the trial on the given instance for at most seconds of
 // compute, stopping at stepLimit (or MaxSteps, whichever is lower). It
 // returns the whole steps completed in this slice and the seconds actually
-// consumed.
+// consumed. The advance is a binary search over the cached prefix sums —
+// O(log steps) per call after the one-time cum build — instead of a walk
+// over every step in the slice.
 func (r *Replay) RunFor(it market.InstanceType, seconds float64, stepLimit int) (steps int, used float64) {
 	if stepLimit <= 0 || stepLimit > r.maxSteps {
 		stepLimit = r.maxSteps
@@ -88,27 +155,118 @@ func (r *Replay) RunFor(it market.InstanceType, seconds float64, stepLimit int) 
 		return 0, 0
 	}
 	startWhole := int(r.progress)
-	remaining := seconds
-	for r.progress < float64(stepLimit) {
-		cur := int(r.progress)
-		sec := r.perf.StepSeconds(it, r.id, cur)
-		if sec <= 0 {
-			sec = 1e-6
-		}
-		frac := 1 - (r.progress - float64(cur)) // fraction of current step left
-		need := sec * frac
-		if need > remaining {
-			r.progress += remaining / sec
-			remaining = 0
+	cur := int(r.progress)
+	cum := r.cumFor(it, cur+1, -1) // cover the in-flight step
+	base := elapsedAt(cum, r.progress)
+	target := base + seconds
+	cum = r.cumFor(it, stepLimit, target) // extend only within the budget
+
+	var p float64
+	used = seconds
+	if i := sort.SearchFloat64s(cum, target); i >= len(cum) {
+		// Budget outruns everything built — only possible when the build
+		// reached stepLimit, i.e. the trial finishes the slice early.
+		p = float64(len(cum) - 1)
+		used = cum[len(cum)-1] - base
+	} else if cum[i] == target {
+		p = float64(i)
+	} else if i == 0 {
+		p = 0
+	} else {
+		p = float64(i-1) + (target-cum[i-1])/(cum[i]-cum[i-1])
+	}
+	// Snap progress sitting within float dust of a whole step onto it, so
+	// splitting a time budget across slices completes the same steps as
+	// spending it at once.
+	if sn := math.Round(p); sn != p && math.Abs(p-sn) < 1e-9 {
+		p = sn
+	}
+	if p > float64(stepLimit) {
+		p = float64(stepLimit)
+		used = cum[stepLimit] - base
+	}
+	if p < r.progress {
+		p = r.progress
+	}
+	r.progress = p
+	if used > seconds {
+		used = seconds
+	} else if used < 0 {
+		used = 0
+	}
+	return int(r.progress) - startWhole, used
+}
+
+// SecondsToReach returns the compute seconds needed on the given instance
+// to advance from the current progress to targetSteps whole steps, without
+// mutating the trial. It sums the same per-step costs RunFor consumes, so
+// RunFor(it, SecondsToReach(it, n), limit>=n) lands on step n (up to float
+// dust, which RunFor snaps over). A target at or below current progress
+// costs zero. Amortized O(1) via cached per-type prefix sums.
+func (r *Replay) SecondsToReach(it market.InstanceType, targetSteps int) float64 {
+	if targetSteps > r.maxSteps {
+		targetSteps = r.maxSteps
+	}
+	if r.progress >= float64(targetSteps) {
+		return 0
+	}
+	cum := r.cumFor(it, targetSteps, -1)
+	return cum[targetSteps] - elapsedAt(cum, r.progress)
+}
+
+// SecondsToReachCapped is SecondsToReach with an early exit: it reports
+// ok=false as soon as the needed time provably exceeds capSecs, building
+// prefix sums only that far. Schedulers use it to ask "does this trial
+// finish before its restart horizon?" without pricing the whole trajectory.
+func (r *Replay) SecondsToReachCapped(it market.InstanceType, targetSteps int, capSecs float64) (secs float64, ok bool) {
+	if targetSteps > r.maxSteps {
+		targetSteps = r.maxSteps
+	}
+	if r.progress >= float64(targetSteps) {
+		return 0, true
+	}
+	if capSecs < 0 {
+		return 0, false
+	}
+	cur := int(r.progress)
+	cum := r.cumFor(it, cur+1, -1)
+	base := elapsedAt(cum, r.progress)
+	cum = r.cumFor(it, targetSteps, base+capSecs)
+	if len(cum)-1 < targetSteps {
+		return 0, false // ran past the cap before reaching the target
+	}
+	need := cum[targetSteps] - base
+	if need > capSecs {
+		return 0, false
+	}
+	return need, true
+}
+
+// ConvergeStep returns the smallest whole-step count at which the observed
+// metric prefix satisfies Converged(window, tol), and whether any prefix
+// does. Because the observed prefix is a pure function of the completed step
+// count, this is precomputable: an event-driven orchestrator can treat the
+// convergence point as a step target instead of re-testing the curve on a
+// poll grid. Results are memoized per (window, tol).
+func (r *Replay) ConvergeStep(window int, tol float64) (int, bool) {
+	key := convKey{window: window, tol: tol}
+	if v, ok := r.convergeAt[key]; ok {
+		return v.step, v.ok
+	}
+	v := convVal{}
+	values := make([]float64, 0, len(r.curve))
+	for _, p := range r.curve {
+		values = append(values, p.Value)
+		if earlycurve.Converged(values, window, tol) {
+			v = convVal{step: p.Step, ok: true}
 			break
 		}
-		r.progress = float64(cur + 1)
-		remaining -= need
 	}
-	if r.progress > float64(stepLimit) {
-		r.progress = float64(stepLimit)
+	if r.convergeAt == nil {
+		r.convergeAt = make(map[convKey]convVal)
 	}
-	return int(r.progress) - startWhole, seconds - remaining
+	r.convergeAt[key] = v
+	return v.step, v.ok
 }
 
 // Points returns the metric points observed so far (curve entries at or
@@ -144,20 +302,22 @@ func (r *Replay) MetricAtOrBefore(step int) (float64, bool) {
 	return val, found
 }
 
-// replayState is the gob checkpoint payload.
-type replayState struct {
-	ID       string
-	Progress float64
-}
+// ckptMagic guards the checkpoint wire format: a version byte, the trial ID
+// (uvarint length prefix), and the progress float bits. Campaigns write a
+// checkpoint every hourly restart and revocation notice, so the codec is
+// hand-rolled — gob re-encodes type metadata on every call, which dominated
+// the simulator's per-segment cost.
+const ckptMagic = 0x51
 
 // Checkpoint serializes progress (SpotTune checkpoints on revocation
 // notices, hourly restarts, and early shutdowns).
 func (r *Replay) Checkpoint() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(replayState{ID: r.id, Progress: r.progress}); err != nil {
-		return nil, fmt.Errorf("trial: encoding %s: %w", r.id, err)
-	}
-	return buf.Bytes(), nil
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(r.id)+8)
+	buf = append(buf, ckptMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(r.id)))
+	buf = append(buf, r.id...)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.progress))
+	return buf, nil
 }
 
 // Restore loads a Checkpoint blob. Progress can only move backward if the
@@ -165,17 +325,29 @@ func (r *Replay) Checkpoint() ([]byte, error) {
 // when an instance dies without a checkpoint and the trial resumes from an
 // earlier one.
 func (r *Replay) Restore(data []byte) error {
-	var st replayState
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
-		return fmt.Errorf("trial: decoding %s: %w", r.id, err)
+	if len(data) < 2 || data[0] != ckptMagic {
+		return fmt.Errorf("trial: decoding %s: bad checkpoint header", r.id)
 	}
-	if st.ID != r.id {
-		return fmt.Errorf("trial: checkpoint for %q restored into %q", st.ID, r.id)
+	rest := data[1:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fmt.Errorf("trial: decoding %s: truncated checkpoint", r.id)
 	}
-	if st.Progress < 0 || st.Progress > float64(r.maxSteps) {
-		return fmt.Errorf("trial: checkpoint progress %v out of range", st.Progress)
+	rest = rest[k:]
+	// Compare against the remaining length without adding to n, which a
+	// malformed blob can place near 2^64 to overflow the bound check.
+	if n > uint64(len(rest)) || uint64(len(rest))-n < 8 {
+		return fmt.Errorf("trial: decoding %s: truncated checkpoint", r.id)
 	}
-	r.progress = st.Progress
+	id := string(rest[:n])
+	progress := math.Float64frombits(binary.BigEndian.Uint64(rest[n : n+8]))
+	if id != r.id {
+		return fmt.Errorf("trial: checkpoint for %q restored into %q", id, r.id)
+	}
+	if progress < 0 || progress > float64(r.maxSteps) || math.IsNaN(progress) {
+		return fmt.Errorf("trial: checkpoint progress %v out of range", progress)
+	}
+	r.progress = progress
 	return nil
 }
 

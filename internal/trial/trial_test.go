@@ -162,6 +162,29 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRestoreRejectsMalformedBlobs(t *testing.T) {
+	r := mkReplay(t)
+	good, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		{0x00},
+		{0x51},                    // header only
+		good[:len(good)-1],        // truncated float
+		append([]byte{0x51}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // 10-byte uvarint, no payload
+		// Uvarint length near 2^64: an additive bound check overflows and
+		// panics on the slice; Restore must return an error instead.
+		append(append([]byte{0x51}, 0xf8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), make([]byte, 16)...),
+	}
+	for i, blob := range bad {
+		if err := r.Restore(blob); err == nil {
+			t.Errorf("malformed blob %d accepted", i)
+		}
+	}
+}
+
 func TestRestoreRewindsProgress(t *testing.T) {
 	// An instance dying WITHOUT checkpoint loses work since the last one.
 	r := mkReplay(t)

@@ -18,9 +18,13 @@
 // simulated transient cloud (synthetic spot markets, EC2-like
 // revocation/refund semantics, an S3-like object store), the Table II
 // workload suite backed by real pure-Go trainers, and runners for SpotTune
-// and the paper's Single-Spot baselines. Everything is deterministic given
-// a seed. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// and the paper's Single-Spot baselines. The simulation core is
+// discrete-event end to end — the orchestrator advances the virtual clock
+// directly to each next trigger instead of polling, and Sweep fans
+// independent campaigns across a worker pool — so multi-day campaigns and
+// many-campaign studies replay in milliseconds. Everything is deterministic
+// given a seed. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for how to regenerate the paper's evaluation.
 //
 // Quickstart:
 //
@@ -65,6 +69,21 @@ type (
 	CampaignOptions = campaign.Options
 	// TrendPredictor extrapolates final metrics from partial curves.
 	TrendPredictor = earlycurve.TrendPredictor
+	// LoopMode selects the orchestrator's scheduling loop: discrete-event
+	// (the default) or the paper's literal polling loop.
+	LoopMode = core.LoopMode
+	// SweepTask is one independent campaign inside a Sweep.
+	SweepTask = campaign.Task
+	// SweepResult is one Sweep outcome, in task order.
+	SweepResult = campaign.SweepResult
+	// SweepOptions tunes Sweep parallelism and seeding.
+	SweepOptions = campaign.SweepOptions
+)
+
+// Orchestrator loop modes (see DESIGN.md for the equivalence guarantees).
+const (
+	LoopEvent   = core.LoopEvent
+	LoopPolling = core.LoopPolling
 )
 
 // Predictor kinds (see the campaign package for semantics).
@@ -99,6 +118,12 @@ func Suite(cfg WorkloadConfig) []*Benchmark { return workload.Suite(cfg) }
 // (LoR, SVM, GBTR, LiR, AlexNet, ResNet).
 func BenchmarkByName(name string, cfg WorkloadConfig) (*Benchmark, error) {
 	return workload.SuiteByName(name, cfg)
+}
+
+// Sweep runs independent campaigns on a worker pool with deterministic
+// result ordering and one private rand stream per task (see DESIGN.md).
+func Sweep(tasks []SweepTask, opt SweepOptions) []SweepResult {
+	return campaign.Sweep(tasks, opt)
 }
 
 // EarlyCurvePredictor returns the paper's staged trend predictor.
