@@ -17,8 +17,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Runs every benchmark once and exports the cross-policy provisioning study
+# as BENCH_policy.json (the CI benchmark-smoke artifact).
 bench:
 	$(GO) test -bench=. -run '^$$' -benchtime 1x .
+	$(GO) run ./cmd/benchfigs -fig none -quick -out results -policyjson BENCH_policy.json
 
 bench-campaign:
 	$(GO) test -bench 'BenchmarkCampaign' -run '^$$' -benchtime 5x .

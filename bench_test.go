@@ -180,6 +180,33 @@ func BenchmarkFig12Checkpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossPolicy runs the cross-policy provisioning study (every
+// registered policy on one workload through campaign.Sweep) and reports the
+// per-policy headline costs — the numbers `make bench` exports to
+// BENCH_policy.json.
+func BenchmarkCrossPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(experiments.Options{
+			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+		})
+		rows, err := experiments.CrossPolicy(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "policies")
+		for _, r := range rows {
+			switch r.Policy {
+			case PolicySpotTune:
+				b.ReportMetric(r.Cost, "spottune_cost_usd")
+			case PolicyOnDemand:
+				b.ReportMetric(r.Cost, "on_demand_cost_usd")
+			case PolicyMixedFleet:
+				b.ReportMetric(float64(r.OnDemandDeployments), "mixed_fleet_od_deploys")
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------- micro
 
 // BenchmarkMarketGenerate measures synthetic trace generation (one market,

@@ -8,6 +8,8 @@
 //	benchfigs -fig all -out results
 //	benchfigs -fig 7,9,12 -quick
 //	benchfigs -fig 10 -seed 3
+//	benchfigs -fig none -quick -policy                         # cross-policy study only
+//	benchfigs -fig none -quick -policyjson BENCH_policy.json   # + JSON artifact
 package main
 
 import (
@@ -34,6 +36,8 @@ func run() error {
 		scale    = flag.Float64("scale", 1.0, "workload scale (dataset sizes and horizons)")
 		quick    = flag.Bool("quick", false, "fast mode: synthetic curves, tiny predictors, short traces")
 		ablation = flag.Bool("ablation", false, "also run the predictor ablation (none vs trained vs oracle)")
+		policyS  = flag.Bool("policy", false, "also run the cross-policy provisioning study")
+		policyJS = flag.String("policyjson", "", "write the cross-policy study rows as JSON to this path (implies -policy)")
 	)
 	flag.Parse()
 
@@ -105,6 +109,11 @@ func run() error {
 			return fmt.Errorf("ablation: %w", err)
 		}
 	}
+	if *policyS || *policyJS != "" {
+		if err := runPolicyStudy(ctx, w, *policyJS); err != nil {
+			return fmt.Errorf("policy study: %w", err)
+		}
+	}
 	fmt.Printf("\nCSV outputs written to %s/\n", *outDir)
 	return nil
 }
@@ -112,6 +121,9 @@ func run() error {
 func parseFigs(s string) (map[int]bool, error) {
 	all := []int{1, 5, 6, 7, 8, 9, 10, 11, 12}
 	out := make(map[int]bool)
+	if s == "none" {
+		return out, nil
+	}
 	if s == "all" {
 		for _, f := range all {
 			out[f] = true

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -395,4 +396,71 @@ func runAblation(ctx *experiments.Context, w *writer) error {
 			r.Predictor, r.Workload, r.Cost, r.JCTHours, 100*r.FreeFrac, r.Refund)
 	}
 	return nil
+}
+
+// runPolicyStudy executes the cross-policy comparison (every registered
+// provisioning policy on one Table II workload through campaign.Sweep),
+// writes policy.csv, prints the ASCII comparison, and — when jsonPath is
+// non-empty — emits the rows as JSON (the CI benchmark-smoke artifact).
+func runPolicyStudy(ctx *experiments.Context, w *writer, jsonPath string) error {
+	rows, err := experiments.CrossPolicy(ctx)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy, r.Workload, f(r.Cost), f(r.JCTHours), f(r.RefundFrac),
+			fmt.Sprintf("%d", r.Deployments), fmt.Sprintf("%d", r.OnDemandDeployments),
+			fmt.Sprintf("%d", r.Notices),
+		})
+	}
+	if err := w.csv("policy.csv",
+		[]string{"policy", "workload", "cost_usd", "jct_hours", "refund_frac",
+			"deployments", "on_demand_deployments", "notices"}, out); err != nil {
+		return err
+	}
+	maxCost := 0.0
+	for _, r := range rows {
+		if r.Cost > maxCost {
+			maxCost = r.Cost
+		}
+	}
+	fmt.Printf("\n== Cross-policy study: %d provisioning policies on %s ==\n", len(rows), rows[0].Workload)
+	for _, r := range rows {
+		fmt.Printf("  %-17s cost $%7.3f %-24s JCT %6.2fh  refund %5.1f%%  od %d/%d\n",
+			r.Policy, r.Cost, bar(r.Cost, maxCost, 24), r.JCTHours,
+			100*r.RefundFrac, r.OnDemandDeployments, r.Deployments)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	type jsonRow struct {
+		Policy              string  `json:"policy"`
+		Workload            string  `json:"workload"`
+		CostUSD             float64 `json:"cost_usd"`
+		JCTHours            float64 `json:"jct_hours"`
+		RefundFrac          float64 `json:"refund_frac"`
+		Deployments         int     `json:"deployments"`
+		OnDemandDeployments int     `json:"on_demand_deployments"`
+		Notices             int     `json:"notices"`
+	}
+	jrows := make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		jrows = append(jrows, jsonRow{
+			Policy:              r.Policy,
+			Workload:            r.Workload,
+			CostUSD:             r.Cost,
+			JCTHours:            r.JCTHours,
+			RefundFrac:          r.RefundFrac,
+			Deployments:         r.Deployments,
+			OnDemandDeployments: r.OnDemandDeployments,
+			Notices:             r.Notices,
+		})
+	}
+	blob, err := json.MarshalIndent(jrows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
 }

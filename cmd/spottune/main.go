@@ -1,12 +1,16 @@
 // Command spottune runs one simulated hyper-parameter-tuning campaign and
-// prints its report: SpotTune itself or a Single-Spot baseline, over any of
-// the paper's Table II workloads.
+// prints its report: SpotTune itself, any registered provisioning policy,
+// or the legacy Single-Spot baseline loop, over any of the paper's Table II
+// workloads.
 //
 // Usage:
 //
 //	spottune -workload ResNet -theta 0.7
+//	spottune -workload SVM -policy spot-od-fallback
 //	spottune -workload LoR -baseline r4.large
 //	spottune -workload GBTR -theta 0.5 -pred oracle -real
+//
+// Run with -help to see the registered policies.
 package main
 
 import (
@@ -14,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"spottune/internal/campaign"
 	"spottune/internal/core"
+	"spottune/internal/policy"
 	"spottune/internal/workload"
 )
 
@@ -30,11 +36,13 @@ func main() {
 
 func run() error {
 	var (
-		wl       = flag.String("workload", "LoR", "Table II workload: LoR, SVM, GBTR, LiR, AlexNet, ResNet")
-		theta    = flag.Float64("theta", 0.7, "early-shutdown rate θ in (0, 1]")
-		mcnt     = flag.Int("mcnt", 3, "models continued to full training")
-		conc     = flag.Int("concurrent", 1, "max concurrently deployed trials")
-		baseline = flag.String("baseline", "", "run a Single-Spot baseline on this instance type instead of SpotTune")
+		wl      = flag.String("workload", "LoR", "Table II workload: LoR, SVM, GBTR, LiR, AlexNet, ResNet")
+		theta   = flag.Float64("theta", 0.7, "early-shutdown rate θ in (0, 1]")
+		mcnt    = flag.Int("mcnt", 3, "models continued to full training")
+		conc    = flag.Int("concurrent", 1, "max concurrently deployed trials")
+		polName = flag.String("policy", policy.SpotTuneName,
+			"provisioning policy: "+strings.Join(policy.Names(), ", "))
+		baseline = flag.String("baseline", "", "run the legacy Single-Spot baseline loop on this instance type instead of a policy")
 		pred     = flag.String("pred", "constant", "revocation predictor: revpred, tributary, logreg, oracle, constant, none")
 		seed     = flag.Uint64("seed", 1, "seed for markets, noise, and bids")
 		scale    = flag.Float64("scale", 0.5, "workload scale")
@@ -42,6 +50,15 @@ func run() error {
 		days     = flag.Int("days", 8, "days of market history to generate")
 		train    = flag.Int("train", 2, "days of history used to train predictors")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nRegistered provisioning policies:\n")
+		for _, info := range policy.Infos() {
+			fmt.Fprintf(out, "  %-18s %s\n", info.Name, info.Doc)
+		}
+	}
 	flag.Parse()
 
 	bench, err := workload.SuiteByName(*wl, workload.Config{Seed: *seed, Scale: *scale})
@@ -75,13 +92,18 @@ func run() error {
 
 	var rep *core.Report
 	if *baseline != "" {
+		if *polName != policy.SpotTuneName {
+			return fmt.Errorf("-baseline and -policy are mutually exclusive "+
+				"(the legacy baseline loop ignores policies; did you mean -policy %s alone?)", *polName)
+		}
 		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
 	} else {
-		rep, err = env.RunSpotTune(bench, curves, campaign.Options{
+		rep, err = env.RunPolicy(bench, curves, campaign.Options{
 			Theta:         *theta,
 			MCnt:          *mcnt,
 			MaxConcurrent: *conc,
 			Seed:          *seed,
+			Policy:        *polName,
 		})
 	}
 	if err != nil {
@@ -98,8 +120,8 @@ func printReport(rep *core.Report, bench *workload.Benchmark, curves workload.Cu
 		rep.NetCost, rep.GrossCost, rep.Refund, 100*rep.RefundFraction())
 	fmt.Printf("steps          %d total, %d free (%.1f%%)\n",
 		rep.TotalSteps, rep.FreeSteps, 100*rep.FreeStepFraction())
-	fmt.Printf("deployments    %d (%d notices, %d revocations)\n",
-		rep.Deployments, rep.Notices, rep.Revocations)
+	fmt.Printf("deployments    %d (%d on-demand, %d notices, %d revocations)\n",
+		rep.Deployments, rep.OnDemandDeployments, rep.Notices, rep.Revocations)
 	fmt.Printf("ckpt/restore   %v / %v (%.2f%% of JCT)\n",
 		rep.CheckpointTime.Round(time.Second), rep.RestoreTime.Round(time.Second),
 		100*rep.OverheadFraction())

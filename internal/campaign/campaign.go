@@ -7,12 +7,14 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/core"
 	"spottune/internal/earlycurve"
 	"spottune/internal/market"
+	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/simclock"
 	"spottune/internal/workload"
@@ -169,7 +171,7 @@ func (e *Environment) NewCluster() (*cloudsim.Cluster, error) {
 	return cloudsim.NewCluster(clk, e.Catalog, e.Traces)
 }
 
-// Options tunes one SpotTune run.
+// Options tunes one campaign run.
 type Options struct {
 	Theta         float64
 	MCnt          int
@@ -179,10 +181,43 @@ type Options struct {
 	// Mode selects the orchestrator's scheduling loop (discrete-event by
 	// default; core.LoopPolling for the legacy Algorithm 1 poll loop).
 	Mode core.LoopMode
+	// Policy is the provisioning policy's registry name (default
+	// policy.SpotTuneName — the paper's Eq. 1–2 provisioner).
+	Policy string
+	// PolicyParams tunes policy construction beyond the environment
+	// defaults (fallback thresholds, bid deltas). Pool, Seed, and RevProb
+	// are always supplied by the environment and override these fields.
+	PolicyParams policy.Params
 }
 
-// RunSpotTune executes one SpotTune campaign.
+// NewPolicy constructs a registered provisioning policy bound to this
+// environment's pool and trained revocation predictors.
+func (e *Environment) NewPolicy(name string, seed uint64, base policy.Params) (policy.Policy, error) {
+	if name == "" {
+		name = policy.SpotTuneName
+	}
+	// Fail fast on incomplete assembly (a missing grid or predictor would
+	// otherwise bias Eq. 2 instead of erroring).
+	if err := core.ValidatePoolWiring(e.Pool, e.Grids, e.Predictors); err != nil {
+		return nil, err
+	}
+	base.Pool = e.Pool
+	base.Seed = seed
+	base.RevProb = core.GridRevProb(e.Grids, e.Predictors)
+	return policy.New(name, base)
+}
+
+// RunSpotTune executes one SpotTune campaign (the "spottune" policy).
 func (e *Environment) RunSpotTune(b *workload.Benchmark, curves workload.Curves, opt Options) (*core.Report, error) {
+	opt.Policy = policy.SpotTuneName
+	return e.RunPolicy(b, curves, opt)
+}
+
+// RunPolicy executes one campaign under the provisioning policy named by
+// opt.Policy. Everything else — markets, trials, the Algorithm 1
+// orchestrator with checkpointing, restarts, and EarlyCurve shutdown — is
+// shared, so per-policy reports are directly comparable.
+func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, opt Options) (*core.Report, error) {
 	if b == nil {
 		return nil, errors.New("campaign: nil benchmark")
 	}
@@ -195,11 +230,13 @@ func (e *Environment) RunSpotTune(b *workload.Benchmark, curves workload.Curves,
 	if err != nil {
 		return nil, err
 	}
-	prov, err := core.NewProvisioner(cluster, e.Pool, e.Grids, e.Predictors, 0, 0, opt.Seed+0x51d)
+	// Seed offset matches the pre-policy provisioner wiring so the
+	// spottune policy reproduces historical RunSpotTune reports.
+	pol, err := e.NewPolicy(opt.Policy, opt.Seed+0x51d, opt.PolicyParams)
 	if err != nil {
 		return nil, err
 	}
-	orch, err := core.NewOrchestrator(cluster, store, prov, trials, core.Config{
+	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, core.Config{
 		Mode:          opt.Mode,
 		Theta:         opt.Theta,
 		MCnt:          opt.MCnt,
@@ -212,7 +249,32 @@ func (e *Environment) RunSpotTune(b *workload.Benchmark, curves workload.Curves,
 	return orch.Run()
 }
 
-// RunSingleSpot executes the Single-Spot Tune baseline on the given type.
+// PolicyTasks builds one Sweep task per policy name (every registered
+// policy when names is nil) over the same benchmark, curves, and options —
+// the policy-dimension sweep behind the cross-policy comparison study.
+func (e *Environment) PolicyTasks(b *workload.Benchmark, curves workload.Curves, names []string, opt Options) []Task {
+	if names == nil {
+		names = policy.Names()
+	}
+	tasks := make([]Task, 0, len(names))
+	for _, name := range names {
+		o := opt
+		o.Policy = name
+		tasks = append(tasks, Task{
+			Key: name,
+			Run: func(*rand.Rand) (*core.Report, error) {
+				return e.RunPolicy(b, curves, o)
+			},
+		})
+	}
+	return tasks
+}
+
+// RunSingleSpot executes the Single-Spot Tune baseline on the given type
+// via the legacy §IV-A4 loop (core.RunSingleSpot). The same strategies are
+// available as policies ("cheapest-spot"/"fastest-spot") over the shared
+// orchestrator through RunPolicy; golden tests in internal/core pin the two
+// implementations against each other.
 func (e *Environment) RunSingleSpot(b *workload.Benchmark, curves workload.Curves, typeName string, seed uint64) (*core.Report, error) {
 	if b == nil {
 		return nil, errors.New("campaign: nil benchmark")

@@ -1,10 +1,14 @@
 package campaign
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"spottune/internal/cloudsim"
+	"spottune/internal/core"
 	"spottune/internal/earlycurve"
+	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/workload"
 )
@@ -129,6 +133,135 @@ func TestRunNilBenchmark(t *testing.T) {
 	}
 	if _, err := env.RunSingleSpot(nil, nil, "r4.large", 1); err == nil {
 		t.Error("nil benchmark accepted")
+	}
+}
+
+// TestSpotTunePolicyReproducesProvisionerPath is the refactoring
+// acceptance gate: RunSpotTune — now routed through the policy engine —
+// must reproduce the pre-policy wiring (core.NewProvisioner +
+// core.NewOrchestrator over the same environment and seeds) bit-for-bit.
+func TestSpotTunePolicyReproducesProvisionerPath(t *testing.T) {
+	env := quickEnv(t, PredictorConstant)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 5, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(5)
+	opt := Options{Theta: 0.7, Seed: 5}
+
+	viaPolicy, err := env.RunSpotTune(bench, curves, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy wiring, reconstructed verbatim.
+	cluster, err := env.NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := bench.Trials(curves, opt.Seed+0xbead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := core.NewProvisioner(cluster, env.Pool, env.Grids, env.Predictors, 0, 0, opt.Seed+0x51d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch, err := core.NewOrchestrator(cluster, cloudsim.NewObjectStore(), prov, trials, core.Config{
+		Theta: opt.Theta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaProvisioner, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(viaPolicy, viaProvisioner) {
+		t.Errorf("policy-path report diverges from provisioner path:\n%+v\nvs\n%+v",
+			viaPolicy, viaProvisioner)
+	}
+}
+
+// TestEveryPolicyDeterministicReplay: each registered policy must replay
+// bit-identically under a fixed seed — the property Sweep-based studies
+// depend on.
+func TestEveryPolicyDeterministicReplay(t *testing.T) {
+	env := quickEnv(t, PredictorConstant)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 6, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(6)
+	for _, name := range policy.Names() {
+		opt := Options{Theta: 0.7, Seed: 6, Policy: name}
+		a, err := env.RunPolicy(bench, curves, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := env.RunPolicy(bench, curves, opt)
+		if err != nil {
+			t.Fatalf("%s replay: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: replay diverges (%v/$%.6f vs %v/$%.6f)",
+				name, a.JCT, a.NetCost, b.JCT, b.NetCost)
+		}
+		if a.NetCost <= 0 || len(a.Ranked) != 16 || a.Best == "" {
+			t.Errorf("%s: degenerate report: cost %v, %d ranked, best %q",
+				name, a.NetCost, len(a.Ranked), a.Best)
+		}
+	}
+}
+
+// TestPolicyTasksSweep fans the policy dimension through the Sweep pool.
+func TestPolicyTasksSweep(t *testing.T) {
+	env := quickEnv(t, PredictorConstant)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 7, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(7)
+	tasks := env.PolicyTasks(bench, curves, nil, Options{Theta: 0.7, Seed: 7})
+	if len(tasks) < 6 {
+		t.Fatalf("only %d policy tasks", len(tasks))
+	}
+	results := Sweep(tasks, SweepOptions{Seed: 7})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Key != policy.Names()[i] {
+			t.Errorf("result %d key %q, want %q", i, res.Key, policy.Names()[i])
+		}
+		if res.Report.NetCost <= 0 {
+			t.Errorf("%s: cost %v", res.Key, res.Report.NetCost)
+		}
+	}
+	// Sequential rerun must reproduce the parallel sweep exactly.
+	for i, res := range results {
+		o := Options{Theta: 0.7, Seed: 7, Policy: res.Key}
+		rep, err := env.RunPolicy(bench, curves, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, results[i].Report) {
+			t.Errorf("%s: sweep result differs from sequential run", res.Key)
+		}
+	}
+}
+
+// TestRunPolicyUnknownName surfaces registry misses.
+func TestRunPolicyUnknownName(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	if _, err := env.RunPolicy(bench, curves, Options{Policy: "nope", Seed: 1}); err == nil {
+		t.Fatal("unknown policy accepted")
 	}
 }
 

@@ -1,0 +1,210 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spottune/internal/market"
+	"spottune/internal/simclock"
+)
+
+// This file pins the boundary semantics provisioning policies rely on: the
+// first-hour refund rule exactly at the window edge, notices landing while
+// an on-demand swap is in flight, and the next-interesting-instant horizon
+// over a mixed spot/on-demand fleet.
+
+// mixedFixture builds a two-market cluster: spot market "spiky" (0.02,
+// exceeding a 0.1 bid exactly at t0+spikeAt) and flat "calm" (0.05), both
+// with on-demand quotes.
+func mixedFixture(t *testing.T, spikeAt time.Duration) (*Cluster, *simclock.Virtual) {
+	t.Helper()
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "spiky", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+		{Name: "calm", CPUs: 4, MemoryGB: 16, OnDemandPrice: 0.4},
+	})
+	traces := market.TraceSet{
+		"spiky": {Type: "spiky", Records: []market.Record{
+			{At: t0, Price: 0.02},
+			{At: t0.Add(spikeAt), Price: 0.9},
+		}},
+		"calm": {Type: "calm", Records: []market.Record{{At: t0, Price: 0.05}}},
+	}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+// TestRefundExactlyAtFirstHourBoundary: a provider revocation at precisely
+// LaunchedAt + RefundWindow is still inside the window (dur <= RefundWindow
+// is inclusive) and must be fully refunded — the boundary the hourly
+// proactive-restart strategy and refund-farming policies bank on.
+func TestRefundExactlyAtFirstHourBoundary(t *testing.T) {
+	c, clk := mixedFixture(t, RefundWindow) // price exceeds bid at exactly +1h
+	inst, err := c.RequestSpot("spiky", 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.RefundDeadline().Equal(t0.Add(RefundWindow)) {
+		t.Fatalf("refund deadline %v", inst.RefundDeadline())
+	}
+	clk.AdvanceTo(t0.Add(RefundWindow + time.Minute))
+	if inst.State != StateRevoked {
+		t.Fatalf("state %v, want revoked", inst.State)
+	}
+	led := c.Ledger()
+	if len(led.Records) != 1 {
+		t.Fatalf("ledger has %d records", len(led.Records))
+	}
+	u := led.Records[0]
+	if !u.Ended.Equal(t0.Add(RefundWindow)) {
+		t.Fatalf("ended at %v, want the exact boundary", u.Ended)
+	}
+	if u.GrossCost <= 0 {
+		t.Fatal("no gross cost accrued over a full hour")
+	}
+	if u.Refunded != u.GrossCost {
+		t.Fatalf("refund %v != gross %v at the exact boundary", u.Refunded, u.GrossCost)
+	}
+	if led.TotalNet() != 0 {
+		t.Fatalf("net cost %v, want 0", led.TotalNet())
+	}
+}
+
+// TestNoRefundOneTickPastBoundary: one second past the window, the refund
+// is gone entirely — the rule is a cliff, not a proration.
+func TestNoRefundOneTickPastBoundary(t *testing.T) {
+	c, clk := mixedFixture(t, RefundWindow+time.Second)
+	if _, err := c.RequestSpot("spiky", 0.1, nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.AdvanceTo(t0.Add(RefundWindow + time.Minute))
+	u := c.Ledger().Records[0]
+	if u.Refunded != 0 {
+		t.Fatalf("refund %v for a revocation past the first hour", u.Refunded)
+	}
+}
+
+// TestNoticeDuringOnDemandSwap: a fallback policy that swaps a trial to
+// on-demand while its doomed spot instance is still inside the two-minute
+// notice window must see independent lifecycles — the notice/revocation
+// settles the spot instance (with its refund) while the on-demand instance
+// keeps running, unrevocable, billed at the fixed quote.
+func TestNoticeDuringOnDemandSwap(t *testing.T) {
+	c, clk := mixedFixture(t, 30*time.Minute)
+	noticed := false
+	spot, err := c.RequestSpot("spiky", 0.1, func(_ *Instance, _ time.Time) {
+		noticed = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance into the notice window (notice at +28min), then swap.
+	clk.AdvanceTo(t0.Add(29 * time.Minute))
+	if !noticed || spot.State != StateNoticed {
+		t.Fatalf("spot not noticed at +29min (state %v)", spot.State)
+	}
+	od, err := c.RequestOnDemand("calm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.NoticeAt != (time.Time{}) || od.RevokeAt != (time.Time{}) {
+		t.Fatal("on-demand instance has scheduled market events")
+	}
+	// The pending revocation fires at +30min; the swap target is untouched.
+	clk.AdvanceTo(t0.Add(31 * time.Minute))
+	if spot.State != StateRevoked {
+		t.Fatalf("spot state %v, want revoked", spot.State)
+	}
+	if !od.Running() {
+		t.Fatal("on-demand instance affected by the spot revocation")
+	}
+	clk.AdvanceTo(t0.Add(90 * time.Minute))
+	if err := c.Terminate(od.ID); err != nil {
+		t.Fatal(err)
+	}
+	led := c.Ledger()
+	if len(led.Records) != 2 {
+		t.Fatalf("ledger has %d records", len(led.Records))
+	}
+	var spotU, odU Usage
+	for _, u := range led.Records {
+		if u.InstanceID == od.ID {
+			odU = u
+		} else {
+			spotU = u
+		}
+	}
+	// Spot: revoked inside the first hour — fully refunded.
+	if spotU.End != EndRevoked || spotU.Refunded != spotU.GrossCost || spotU.GrossCost <= 0 {
+		t.Fatalf("spot usage %+v", spotU)
+	}
+	// On-demand: fixed quote for 61 minutes, never refunded.
+	wantOD := 0.4 * (61.0 / 60.0)
+	if math.Abs(odU.GrossCost-wantOD) > 1e-9 || odU.Refunded != 0 {
+		t.Fatalf("on-demand usage %+v, want gross %v", odU, wantOD)
+	}
+}
+
+// TestNextInterestingAtMixedFleet: the horizon over a mixed fleet is set by
+// spot members alone — an on-demand instance contributes neither market
+// events nor a refund-window boundary.
+func TestNextInterestingAtMixedFleet(t *testing.T) {
+	c, clk := mixedFixture(t, 30*time.Minute)
+	if _, err := c.RequestOnDemand("calm"); err != nil {
+		t.Fatal(err)
+	}
+	// Only the on-demand instance runs: the calm market is flat forever
+	// and the spiky market still ticks at +30min, so restricting the pool
+	// to "calm" must report full quiescence despite the running instance.
+	if at, ok := c.NextInterestingAt([]string{"calm"}); ok {
+		t.Fatalf("on-demand-only fleet reported interesting instant %v", at)
+	}
+	// Across all markets the spiky price tick is the only upcoming event.
+	at, ok := c.NextInterestingAt(nil)
+	if !ok || !at.Equal(t0.Add(30*time.Minute)) {
+		t.Fatalf("NextInterestingAt = %v/%v, want spiky tick at +30min", at, ok)
+	}
+
+	// Add a spot member: now its notice, revocation, and refund deadline
+	// all enter the horizon; the earliest is the notice at +28min.
+	spot, err := c.RequestSpot("spiky", 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok = c.NextInterestingAt(nil)
+	if !ok || !at.Equal(t0.Add(28*time.Minute)) {
+		t.Fatalf("mixed fleet horizon = %v/%v, want notice at +28min", at, ok)
+	}
+	if ev, ok := c.NextInstanceEvent(); !ok || !ev.Equal(t0.Add(28*time.Minute)) {
+		t.Fatalf("NextInstanceEvent = %v/%v", ev, ok)
+	}
+	// After the spot instance settles, the fleet is on-demand only again:
+	// quiescent on the calm pool even though an instance is still running.
+	clk.AdvanceTo(t0.Add(31 * time.Minute))
+	if spot.State != StateRevoked {
+		t.Fatalf("spot state %v", spot.State)
+	}
+	if at, ok := c.NextInterestingAt([]string{"calm"}); ok {
+		t.Fatalf("post-revocation fleet reported interesting instant %v", at)
+	}
+}
+
+// TestOnDemandQuotes covers the quote surface policies price fallbacks
+// against.
+func TestOnDemandQuotes(t *testing.T) {
+	c, _ := mixedFixture(t, time.Hour)
+	od, err := c.OnDemandPrice("spiky")
+	if err != nil || od != 0.2 {
+		t.Fatalf("OnDemandPrice(spiky) = %v/%v", od, err)
+	}
+	if _, err := c.OnDemandPrice("nope"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if now := c.Now(); !now.Equal(t0) {
+		t.Fatalf("Now() = %v", now)
+	}
+}

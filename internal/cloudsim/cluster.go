@@ -193,6 +193,11 @@ func NewCluster(clk *simclock.Virtual, cat *market.Catalog, traces market.TraceS
 // Clock exposes the cluster's virtual clock.
 func (c *Cluster) Clock() *simclock.Virtual { return c.clk }
 
+// Now is the current virtual instant (shorthand for Clock().Now(); with
+// CurrentPrice, AvgPriceLastHour, and OnDemandPrice it makes the cluster a
+// policy.MarketView).
+func (c *Cluster) Now() time.Time { return c.clk.Now() }
+
 // Catalog exposes the instance catalog.
 func (c *Cluster) Catalog() *market.Catalog { return c.catalog }
 
@@ -218,6 +223,16 @@ func (c *Cluster) AvgPriceLastHour(typeName string) (float64, error) {
 	}
 	now := c.clk.Now()
 	return tr.AvgOver(now.Add(-time.Hour), now)
+}
+
+// OnDemandPrice returns the fixed hourly on-demand quote for a type — the
+// reliable-capacity price provisioning policies weigh spot bids against.
+func (c *Cluster) OnDemandPrice(typeName string) (float64, error) {
+	it, ok := c.catalog.Lookup(typeName)
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: unknown instance type %q", typeName)
+	}
+	return it.OnDemandPrice, nil
 }
 
 // ErrPriceAboveMax is returned when a spot request's maximum price is below

@@ -95,7 +95,11 @@ func (c *Cluster) NextInterestingAt(names []string) (time.Time, bool) {
 	consider(c.NextInstanceEvent())
 	now := c.clk.Now()
 	for _, inst := range c.instances {
-		if !inst.Running() {
+		if !inst.Running() || inst.OnDemand {
+			// On-demand instances are never revoked and never refunded,
+			// so neither market events nor the refund-window boundary
+			// make them interesting; a mixed spot/on-demand fleet's
+			// horizon is set by its spot members alone.
 			continue
 		}
 		if dl := inst.RefundDeadline(); dl.After(now) {

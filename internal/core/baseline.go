@@ -35,6 +35,13 @@ func (c SingleSpotConfig) withDefaults() SingleSpotConfig {
 }
 
 // RunSingleSpot executes the baseline campaign and returns its report.
+//
+// This is the legacy §IV-A4 loop, kept as the reference implementation the
+// baselines-as-policies golden tests compare against: the same strategies
+// run through the shared orchestrator as the "cheapest-spot" and
+// "fastest-spot" policies, which inherit its full trial accounting
+// (startup delays, checkpoints, per-segment throughput observations)
+// instead of re-implementing a parallel campaign loop here.
 func RunSingleSpot(cluster *cloudsim.Cluster, trials []*trial.Replay, cfg SingleSpotConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if len(trials) == 0 {

@@ -9,6 +9,7 @@ import (
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/earlycurve"
+	"spottune/internal/policy"
 	"spottune/internal/trial"
 )
 
@@ -162,13 +163,19 @@ func oversizedFor(ckptMB float64, cpus int) bool {
 	return ckptMB > cloudsim.MaxModelSizeMB(cpus)
 }
 
-// Orchestrator drives one HPT campaign per Algorithm 1.
+// Orchestrator drives one HPT campaign per Algorithm 1. Deployment
+// decisions are delegated to a provisioning policy (internal/policy): the
+// paper's Eq. 1–2 provisioner by default, or any registered alternative —
+// including policies that rent reliable on-demand capacity alongside (or
+// instead of) revocable spot instances.
 type Orchestrator struct {
-	cfg     Config
-	cluster *cloudsim.Cluster
-	store   *cloudsim.ObjectStore
-	prov    *Provisioner
-	perf    *PerfMatrix
+	cfg      Config
+	cluster  *cloudsim.Cluster
+	store    *cloudsim.ObjectStore
+	pol      policy.Policy
+	pool     []string
+	approach string
+	perf     *PerfMatrix
 
 	trials   map[string]*trial.Replay
 	order    []string // submission order
@@ -176,10 +183,19 @@ type Orchestrator struct {
 	active   map[string]*assignment
 	finished map[string]bool
 
-	segments    []segment
-	deployments int
-	notices     int
-	iterations  int // scheduler loop turns across all phases
+	segments      []segment
+	deployments   int
+	odDeployments int
+	notices       int
+	iterations    int // scheduler loop turns across all phases
+
+	// deployCount/spotFailures feed policy.TrialInfo: total deployments
+	// per trial, and the consecutive spot segments that ended in a
+	// revocation notice (cleared when a spot segment ends cleanly —
+	// completion or proactive restart — but not by on-demand segments,
+	// which say nothing about the spot market).
+	deployCount  map[string]int
+	spotFailures map[string]int
 
 	// noticedAt records each trial's most recent termination notice. A
 	// trial noticed at the current instant is not redeployed until one
@@ -198,7 +214,8 @@ type Orchestrator struct {
 	phaseLimit func(*trial.Replay) int
 }
 
-// NewOrchestrator wires a campaign over the given trials.
+// NewOrchestrator wires a campaign over the given trials using the paper's
+// Eq. 1–2 provisioner (the "spottune" policy the Provisioner wraps).
 func NewOrchestrator(
 	cluster *cloudsim.Cluster,
 	store *cloudsim.ObjectStore,
@@ -206,22 +223,50 @@ func NewOrchestrator(
 	trials []*trial.Replay,
 	cfg Config,
 ) (*Orchestrator, error) {
-	if cluster == nil || store == nil || prov == nil {
+	if prov == nil {
 		return nil, errors.New("core: orchestrator needs a cluster, store, and provisioner")
+	}
+	return NewPolicyOrchestrator(cluster, store, prov.pol, prov.Pool(), trials, cfg)
+}
+
+// NewPolicyOrchestrator wires a campaign whose deployment decisions come
+// from the given provisioning policy over the given instance pool.
+func NewPolicyOrchestrator(
+	cluster *cloudsim.Cluster,
+	store *cloudsim.ObjectStore,
+	pol policy.Policy,
+	pool []string,
+	trials []*trial.Replay,
+	cfg Config,
+) (*Orchestrator, error) {
+	if cluster == nil || store == nil || pol == nil {
+		return nil, errors.New("core: orchestrator needs a cluster, store, and policy")
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("core: empty instance pool")
 	}
 	if len(trials) == 0 {
 		return nil, errors.New("core: no trials submitted")
 	}
+	approach := "Policy(" + pol.Name() + ")"
+	if pol.Name() == policy.SpotTuneName {
+		// The spottune policy is SpotTune — keep the paper's label.
+		approach = "SpotTune"
+	}
 	o := &Orchestrator{
-		cfg:       cfg.withDefaults(),
-		cluster:   cluster,
-		store:     store,
-		prov:      prov,
-		perf:      NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
-		trials:    make(map[string]*trial.Replay, len(trials)),
-		active:    make(map[string]*assignment),
-		finished:  make(map[string]bool),
-		noticedAt: make(map[string]time.Time),
+		cfg:          cfg.withDefaults(),
+		cluster:      cluster,
+		store:        store,
+		pol:          pol,
+		pool:         append([]string(nil), pool...),
+		approach:     approach,
+		perf:         NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
+		trials:       make(map[string]*trial.Replay, len(trials)),
+		active:       make(map[string]*assignment),
+		finished:     make(map[string]bool),
+		noticedAt:    make(map[string]time.Time),
+		deployCount:  make(map[string]int),
+		spotFailures: make(map[string]int),
 	}
 	for _, tr := range trials {
 		if _, dup := o.trials[tr.ID()]; dup {
@@ -307,17 +352,7 @@ func (o *Orchestrator) Run() (*Report, error) {
 	}
 
 	// Final selection: best observed metric among the continued models.
-	best := ""
-	bestVal := math.Inf(1)
-	for _, id := range top {
-		pts := o.trials[id].Points()
-		if len(pts) == 0 {
-			continue
-		}
-		if v := pts[len(pts)-1].Value; v < bestVal {
-			best, bestVal = id, v
-		}
-	}
+	best := o.bestByLastPoint(top)
 
 	return o.buildReport(start, predicted, ranked, top, best), nil
 }
@@ -429,8 +464,11 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 			o.endAssignment(a, true)
 			o.finished[id] = true
 			*pending--
-		case now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
-			// Hourly refund-farming restart (lines 31–34).
+		case !a.inst.OnDemand && now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
+			// Hourly refund-farming restart (lines 31–34). Spot only:
+			// on-demand instances are never refunded, so restarting them
+			// would buy nothing but checkpoint/redeploy overhead — they
+			// run until their trial-side trigger instead.
 			o.checkpoint(a, now)
 			o.endAssignment(a, true)
 			o.waiting = append(o.waiting, id)
@@ -456,25 +494,58 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 // instant (a trial noticed at the current instant is spaced out by one
 // PollInterval, matching the polling loop's cadence).
 func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked bool, err error) {
+	incumbent := ""
+	if len(o.waiting) > 0 {
+		incumbent = o.incumbentBest()
+	}
 	for len(o.waiting) > 0 && len(o.active) < o.cfg.MaxConcurrent {
 		id := o.waiting[0]
 		if t, ok := o.noticedAt[id]; ok && !t.Before(now) {
 			return now.Add(o.cfg.PollInterval), false, nil
 		}
 		tr := o.trials[id]
-		choice, err := o.prov.Best(func(tn string) float64 { return o.perf.Get(tn, id) })
+		req, err := o.pol.Decide(policy.Context{
+			Market: o.cluster,
+			Trial: policy.TrialInfo{
+				ID:             id,
+				CompletedSteps: tr.CompletedSteps(),
+				MaxSteps:       tr.MaxSteps(),
+				Deployments:    o.deployCount[id],
+				SpotFailures:   o.spotFailures[id],
+				Incumbent:      id == incumbent,
+			},
+			ActiveOnDemand: o.activeOnDemand(),
+			SecPerStep:     func(tn string) float64 { return o.perf.Get(tn, id) },
+		})
 		if err != nil {
 			return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
 		}
 		a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps()}
-		inst, err := o.cluster.RequestSpot(choice.TypeName, choice.MaxPrice, func(_ *cloudsim.Instance, at time.Time) {
-			o.onNotice(a, at)
-		})
-		if err != nil {
-			// Market moved against us inside this tick; retry later.
-			return time.Time{}, true, nil
+		var inst *cloudsim.Instance
+		if req.OnDemand {
+			inst, err = o.cluster.RequestOnDemand(req.TypeName)
+			if err != nil {
+				// On-demand requests only fail on unknown types — a
+				// policy configuration error, not market state.
+				return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
+			}
+			o.odDeployments++
+		} else {
+			inst, err = o.cluster.RequestSpot(req.TypeName, req.MaxPrice, func(_ *cloudsim.Instance, at time.Time) {
+				o.onNotice(a, at)
+			})
+			if errors.Is(err, cloudsim.ErrPriceAboveMax) {
+				// Market moved against us inside this tick; retry later.
+				return time.Time{}, true, nil
+			}
+			if err != nil {
+				// Anything else (unknown type from a custom policy) is a
+				// configuration error — surface it instead of spinning.
+				return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
+			}
 		}
 		o.deployments++
+		o.deployCount[id]++
 		a.inst = inst
 		a.deployedAt = now
 		a.lastCkptAt = now
@@ -522,14 +593,18 @@ func (o *Orchestrator) stepTarget(tr *trial.Replay) int {
 
 // assignmentTrigger computes the next instant at which the assignment needs
 // attention: trigger-step completion (or plateau), the proactive-restart
-// horizon, or — for oversized trials — the next periodic-checkpoint tick.
-// Completion is only priced out as far as the earlier of those horizons, so
-// the per-trial step-cost prefix sums grow incrementally with actual
-// progress instead of being built for the whole trajectory up front.
+// horizon (spot only — on-demand instances have no refund to farm), or —
+// for oversized trials — the next periodic-checkpoint tick. Completion is
+// only priced out as far as the earlier of those horizons, so the per-trial
+// step-cost prefix sums grow incrementally with actual progress instead of
+// being built for the whole trajectory up front.
 func (o *Orchestrator) assignmentTrigger(a *assignment) time.Time {
-	next := a.deployedAt.Add(o.cfg.RestartAfter)
+	var next time.Time
+	if !a.inst.OnDemand {
+		next = a.deployedAt.Add(o.cfg.RestartAfter)
+	}
 	if a.oversized {
-		if p := a.lastCkptAt.Add(o.cfg.PeriodicCheckpoint); p.Before(next) {
+		if p := a.lastCkptAt.Add(o.cfg.PeriodicCheckpoint); next.IsZero() || p.Before(next) {
 			next = p
 		}
 	}
@@ -537,12 +612,16 @@ func (o *Orchestrator) assignmentTrigger(a *assignment) time.Time {
 	if from.Before(a.busyAt) {
 		from = a.busyAt
 	}
-	if cap := next.Sub(from).Seconds(); cap >= 0 {
+	cap := math.Inf(1)
+	if !next.IsZero() {
+		cap = next.Sub(from).Seconds()
+	}
+	if cap >= 0 {
 		if need, ok := a.tr.SecondsToReachCapped(a.inst.Type, o.stepTarget(a.tr), cap); ok {
 			// Round up so the advance slice is never a hair short of the
 			// step boundary (RunFor snaps the residual dust).
 			t := from.Add(time.Duration(math.Ceil(need * float64(time.Second))))
-			if t.Before(next) {
+			if next.IsZero() || t.Before(next) {
 				next = t
 			}
 		}
@@ -557,6 +636,9 @@ func (o *Orchestrator) nextWakeup(now time.Time, blocked bool) (time.Time, bool)
 	var best time.Time
 	found := false
 	consider := func(at time.Time) {
+		if at.IsZero() {
+			return
+		}
 		if !found || at.Before(best) {
 			best, found = at, true
 		}
@@ -575,7 +657,7 @@ func (o *Orchestrator) nextWakeup(now time.Time, blocked bool) (time.Time, bool)
 		// A rejected spot request can only succeed once the cluster's
 		// observable state changes: the next price tick in a pool market,
 		// a pending notice/revocation, or a refund-window boundary.
-		if at, ok := o.cluster.NextInterestingAt(o.prov.Pool()); ok {
+		if at, ok := o.cluster.NextInterestingAt(o.pool); ok {
 			consider(at)
 		}
 	}
@@ -625,6 +707,7 @@ func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
 		return
 	}
 	o.notices++
+	o.spotFailures[a.tr.ID()]++
 	o.advance(a, at)
 	if !a.oversized {
 		o.checkpoint(a, at)
@@ -664,6 +747,11 @@ func (o *Orchestrator) endAssignment(a *assignment, terminate bool) {
 	}
 	o.recordSegment(a)
 	a.dead = true
+	if a.inst != nil && !a.inst.OnDemand {
+		// A spot segment that ended without a notice is evidence the
+		// market is livable; clear the trial's failure streak.
+		delete(o.spotFailures, a.tr.ID())
+	}
 	if terminate && a.inst != nil && a.inst.Running() {
 		// Termination failures would mean double bookkeeping bugs.
 		if err := o.cluster.Terminate(a.inst.ID); err != nil {
@@ -683,6 +771,44 @@ func (o *Orchestrator) recordSegment(a *assignment) {
 		instID = a.inst.ID
 	}
 	o.segments = append(o.segments, segment{instanceID: instID, trialID: a.tr.ID(), steps: steps})
+}
+
+// activeOnDemand counts live assignments on on-demand capacity (fed to
+// policies so fleet-level pins stay bounded).
+func (o *Orchestrator) activeOnDemand() int {
+	n := 0
+	for _, a := range o.active {
+		if !a.dead && a.inst != nil && a.inst.OnDemand {
+			n++
+		}
+	}
+	return n
+}
+
+// bestByLastPoint returns the trial among ids whose last observed metric is
+// lowest (ties by list order), or "" when none has reported a point — the
+// campaign leaderboard rule, shared by the final selection and the
+// incumbent pin.
+func (o *Orchestrator) bestByLastPoint(ids []string) string {
+	best := ""
+	bestVal := math.Inf(1)
+	for _, id := range ids {
+		p, ok := o.trials[id].LastPoint()
+		if !ok {
+			continue
+		}
+		if p.Value < bestVal {
+			best, bestVal = id, p.Value
+		}
+	}
+	return best
+}
+
+// incumbentBest returns the trial whose last observed metric currently
+// leads the campaign, or "" before any trial has reported a point.
+// MixedFleet-style policies pin it on reliable capacity.
+func (o *Orchestrator) incumbentBest() string {
+	return o.bestByLastPoint(o.order)
 }
 
 // rankByValue returns IDs sorted ascending by value (ties by ID for

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spottune/internal/policy"
+)
+
+// worldPolicy constructs a registered policy bound to a testWorld's grids
+// and predictors — the same wiring NewProvisioner uses internally.
+func worldPolicy(t *testing.T, w *testWorld, name string, pool []string, seed uint64) policy.Policy {
+	t.Helper()
+	pol, err := policy.New(name, policy.Params{
+		Pool:    pool,
+		Seed:    seed,
+		RevProb: GridRevProb(w.grids, w.preds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// TestGoldenSpotTunePolicyBitForBit: the extracted "spottune" policy run
+// through NewPolicyOrchestrator must reproduce the legacy
+// Provisioner-constructed orchestrator bit-for-bit — same report, same
+// per-trial step counts — on identically seeded worlds. This is the
+// refactoring contract: Eq. 1–2 moved packages without changing a single
+// decision.
+func TestGoldenSpotTunePolicyBitForBit(t *testing.T) {
+	for _, spiky := range []bool{false, true} {
+		pool := []string{"slow", "fast"}
+		cfg := orchCfg(0.7)
+
+		wa := newWorld(t, spiky)
+		trialsA := mkTrials(t, wa, 4, 200, 20)
+		prov, err := NewProvisioner(wa.cluster, pool, wa.grids, wa.preds, 0, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orchA, err := NewOrchestrator(wa.cluster, wa.store, prov, trialsA, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repA, err := orchA.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wb := newWorld(t, spiky)
+		trialsB := mkTrials(t, wb, 4, 200, 20)
+		orchB, err := NewPolicyOrchestrator(wb.cluster, wb.store,
+			worldPolicy(t, wb, policy.SpotTuneName, pool, 7), pool, trialsB, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repB, err := orchB.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(repA, repB) {
+			t.Errorf("spiky=%v: spottune-as-policy diverges from provisioner path:\n%+v\nvs\n%+v",
+				spiky, repA, repB)
+		}
+		for i := range trialsA {
+			if a, b := trialsA[i].CompletedSteps(), trialsB[i].CompletedSteps(); a != b {
+				t.Errorf("spiky=%v: trial %s steps %d vs %d", spiky, trialsA[i].ID(), a, b)
+			}
+		}
+	}
+}
+
+// baselineCfg is the orchestrator configuration that makes a Single-Spot
+// policy comparable to the legacy RunSingleSpot loop: θ=1 (train everything
+// fully), no proactive restarts (the baseline never restarts), and the
+// standard startup delay.
+func baselineCfg() Config {
+	cfg := orchCfg(1.0)
+	cfg.MCnt = 3
+	cfg.RestartAfter = 500 * time.Hour
+	return cfg
+}
+
+// assertBaselineGolden checks a baseline-as-policy report against the
+// legacy RunSingleSpot reference: identical step counts, rankings, and
+// selections, with time/cost differing only by the orchestrator's explicit
+// per-deployment overheads (startup delay, redeploy spacing) that the
+// legacy chunked loop never modeled.
+func assertBaselineGolden(t *testing.T, pol, ref *Report, cfg Config) {
+	t.Helper()
+	if pol.TotalSteps != ref.TotalSteps {
+		t.Errorf("steps: policy %d vs reference %d", pol.TotalSteps, ref.TotalSteps)
+	}
+	if !reflect.DeepEqual(pol.Ranked, ref.Ranked) {
+		t.Errorf("ranking: policy %v vs reference %v", pol.Ranked, ref.Ranked)
+	}
+	if !reflect.DeepEqual(pol.Top, ref.Top) {
+		t.Errorf("top: policy %v vs reference %v", pol.Top, ref.Top)
+	}
+	if pol.Best != ref.Best {
+		t.Errorf("best: policy %q vs reference %q", pol.Best, ref.Best)
+	}
+	if !reflect.DeepEqual(pol.PredictedFinals, ref.PredictedFinals) {
+		t.Errorf("finals: policy %v vs reference %v", pol.PredictedFinals, ref.PredictedFinals)
+	}
+	if pol.Refund != 0 || pol.FreeSteps != 0 {
+		t.Errorf("never-revoked baseline earned refunds: %v / %d free steps", pol.Refund, pol.FreeSteps)
+	}
+	// Per deployment the orchestrator adds boot time and (on redeploys)
+	// restore/poll spacing; the chunked reference loop adds none of it.
+	slack := time.Duration(pol.Deployments)*(cfg.StartupDelay+cfg.PollInterval) +
+		pol.RestoreTime + pol.CheckpointTime + time.Minute
+	if diff := pol.JCT - ref.JCT; diff < -slack || diff > slack {
+		t.Errorf("JCT diverges beyond overhead: policy %v vs reference %v (slack %v)",
+			pol.JCT, ref.JCT, slack)
+	}
+	if ref.NetCost > 0 {
+		// Flat-price worlds bill proportionally to instance time, so the
+		// cost gap is bounded by the same overhead share.
+		rel := (pol.NetCost - ref.NetCost) / ref.NetCost
+		bound := slack.Seconds()/ref.JCT.Seconds() + 0.02
+		if rel < -bound || rel > bound {
+			t.Errorf("cost diverges %.1f%% (bound %.1f%%): policy %v vs reference %v",
+				100*rel, 100*bound, pol.NetCost, ref.NetCost)
+		}
+	}
+}
+
+// TestGoldenBaselinePoliciesMatchRunSingleSpot pins the baselines-as-
+// policies against the legacy §IV-A4 loop they replace: the cheapest-spot
+// and fastest-spot policies, run through the shared event-driven
+// orchestrator, must reproduce RunSingleSpot's rankings and work exactly
+// and its time/cost up to the orchestrator's explicit overheads — the trial
+// accounting that had drifted between the two code paths.
+func TestGoldenBaselinePoliciesMatchRunSingleSpot(t *testing.T) {
+	cases := []struct {
+		polName  string
+		typeName string
+	}{
+		{policy.CheapestName, "slow"}, // lowest on-demand price in the fixture
+		{policy.FastestName, "fast"},  // fewest seconds per step
+	}
+	for _, tc := range cases {
+		t.Run(tc.polName, func(t *testing.T) {
+			pool := []string{"slow", "fast"}
+
+			wRef := newWorld(t, false)
+			refTrials := mkTrials(t, wRef, 3, 100, 10)
+			ref, err := RunSingleSpot(wRef.cluster, refTrials, SingleSpotConfig{TypeName: tc.typeName})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wPol := newWorld(t, false)
+			polTrials := mkTrials(t, wPol, 3, 100, 10)
+			cfg := baselineCfg()
+			orch, err := NewPolicyOrchestrator(wPol.cluster, wPol.store,
+				worldPolicy(t, wPol, tc.polName, pool, 7), pool, polTrials, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := orch.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The policy must have made the same static choice the legacy
+			// baseline was configured with.
+			if rep.Notices != 0 || rep.Revocations != 0 {
+				t.Fatalf("never-revoked baseline was revoked: %d notices", rep.Notices)
+			}
+			for i := range polTrials {
+				if a, b := polTrials[i].CompletedSteps(), refTrials[i].CompletedSteps(); a != b {
+					t.Errorf("trial %s steps %d vs %d", polTrials[i].ID(), a, b)
+				}
+			}
+			assertBaselineGolden(t, rep, ref, cfg)
+		})
+	}
+}
+
+// TestOnDemandPolicyNeverRevoked: on the spiky market that revokes every
+// near-market spot bid, the on-demand policy completes without a single
+// notice and pays the fixed quote.
+func TestOnDemandPolicyNeverRevoked(t *testing.T) {
+	w := newWorld(t, true)
+	pool := []string{"slow", "fast"}
+	trials := mkTrials(t, w, 2, 300, 25)
+	orch, err := NewPolicyOrchestrator(w.cluster, w.store,
+		worldPolicy(t, w, policy.OnDemandName, pool, 7), pool, trials, orchCfg(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.CompletedSteps() != tr.MaxSteps() {
+			t.Fatalf("trial %s incomplete at %d", tr.ID(), tr.CompletedSteps())
+		}
+	}
+	if rep.Notices != 0 || rep.Revocations != 0 || rep.Refund != 0 {
+		t.Fatalf("on-demand campaign saw spot events: %+v", rep)
+	}
+	if rep.OnDemandDeployments != rep.Deployments || rep.Deployments == 0 {
+		t.Fatalf("deployments %d, on-demand %d — want all on-demand",
+			rep.Deployments, rep.OnDemandDeployments)
+	}
+	if rep.NetCost <= 0 {
+		t.Fatal("on-demand campaign cost nothing")
+	}
+	if rep.Approach != "Policy(on-demand)" {
+		t.Fatalf("approach %q", rep.Approach)
+	}
+}
+
+// TestFallbackPolicySurvivesStormViaOnDemand: in a market that revokes
+// near-market bids within minutes, the fallback policy must end up renting
+// on-demand capacity (after its failure budget) and still finish — with
+// dramatically fewer notices than the doomed pure-spot strategy.
+func TestFallbackPolicySurvivesStormViaOnDemand(t *testing.T) {
+	pool := []string{"slow"}
+	w := stormWorld(t, 8*time.Minute, 5*time.Minute)
+	trials := mkTrials(t, w, 2, 300, 25)
+	// The constant-0 predictor never flags a doom window, so only the
+	// failure streak can trigger the fallback.
+	orch, err := NewPolicyOrchestrator(w.cluster, w.store,
+		worldPolicy(t, w, policy.FallbackName, pool, 7), pool, trials, orchCfg(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.CompletedSteps() != tr.MaxSteps() {
+			t.Fatalf("storm stalled trial %s at %d", tr.ID(), tr.CompletedSteps())
+		}
+	}
+	if rep.OnDemandDeployments == 0 {
+		t.Fatal("fallback never swapped to on-demand in a revocation storm")
+	}
+	if rep.OnDemandDeployments >= rep.Deployments {
+		t.Fatalf("fallback never tried spot: %d/%d", rep.OnDemandDeployments, rep.Deployments)
+	}
+	if rep.Notices == 0 {
+		t.Fatal("storm fixture produced no notices; test broken")
+	}
+}
+
+// TestFallbackDoomWindowSkipsSpotEntirely: with a predictor that always
+// forecasts near-certain revocation, the fallback policy goes straight to
+// on-demand without burning a single failed spot attempt.
+func TestFallbackDoomWindowSkipsSpotEntirely(t *testing.T) {
+	w := newWorld(t, true)
+	pool := []string{"slow"}
+	trials := mkTrials(t, w, 1, 200, 20)
+	pol, err := policy.New(policy.FallbackName, policy.Params{
+		Pool: pool,
+		Seed: 7,
+		RevProb: func(string, time.Time, float64) float64 {
+			return 0.95
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch, err := NewPolicyOrchestrator(w.cluster, w.store, pol, pool, trials, orchCfg(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OnDemandDeployments != rep.Deployments {
+		t.Fatalf("doom window still tried spot: %d/%d", rep.OnDemandDeployments, rep.Deployments)
+	}
+	if rep.Notices != 0 {
+		t.Fatalf("on-demand segments got noticed: %d", rep.Notices)
+	}
+}
+
+// TestMixedFleetPinsIncumbentOnDemand: with concurrent slots and trials
+// long enough to redeploy at hourly restarts, the mixed fleet must split —
+// the incumbent-best trial on reliable capacity, the explorers on spot —
+// and the campaign must finish with both kinds of deployment on the books.
+func TestMixedFleetPinsIncumbentOnDemand(t *testing.T) {
+	w := newWorld(t, false)
+	pool := []string{"slow", "fast"}
+	// ~2.2h per trial on the cheap instance: several restart decisions
+	// fire after the leaderboard has formed.
+	trials := mkTrials(t, w, 3, 2000, 100)
+	cfg := orchCfg(1.0)
+	cfg.MaxConcurrent = 2
+	orch, err := NewPolicyOrchestrator(w.cluster, w.store,
+		worldPolicy(t, w, policy.MixedFleetName, pool, 7), pool, trials, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.CompletedSteps() != tr.MaxSteps() {
+			t.Fatalf("trial %s incomplete", tr.ID())
+		}
+	}
+	if rep.OnDemandDeployments == 0 {
+		t.Fatal("mixed fleet never pinned the incumbent on on-demand")
+	}
+	if rep.OnDemandDeployments >= rep.Deployments {
+		t.Fatalf("mixed fleet ran no spot explorers: %d/%d",
+			rep.OnDemandDeployments, rep.Deployments)
+	}
+	if rep.Best != idFor(0) {
+		t.Fatalf("best = %q", rep.Best)
+	}
+}
+
+// TestPolicyOrchestratorValidation covers the new constructor's error
+// surface.
+func TestPolicyOrchestratorValidation(t *testing.T) {
+	w := newWorld(t, false)
+	pool := []string{"slow", "fast"}
+	trials := mkTrials(t, w, 1, 50, 10)
+	pol := worldPolicy(t, w, policy.SpotTuneName, pool, 1)
+	if _, err := NewPolicyOrchestrator(nil, w.store, pol, pool, trials, Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := NewPolicyOrchestrator(w.cluster, w.store, nil, pool, trials, Config{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewPolicyOrchestrator(w.cluster, w.store, pol, nil, trials, Config{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewPolicyOrchestrator(w.cluster, w.store, pol, pool, nil, Config{}); err == nil {
+		t.Error("no trials accepted")
+	}
+}

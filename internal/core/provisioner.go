@@ -1,27 +1,28 @@
-// Package core implements SpotTune itself: the fine-grained cost-aware
-// Provisioner (Eq. 1–2 of the paper), the Algorithm 1 Orchestrator with
+// Package core implements SpotTune itself: the Algorithm 1 Orchestrator with
 // notice-driven checkpointing, hourly refund-farming restarts and
-// EarlyCurve-based early shutdown, the Single-Spot baselines of §IV-A4, and
-// campaign reports.
+// EarlyCurve-based early shutdown, driven by a pluggable provisioning policy
+// (the paper's Eq. 1–2 provisioner is policy "spottune"); plus the legacy
+// Single-Spot baseline loop of §IV-A4 and campaign reports.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"sort"
+	"time"
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/market"
+	"spottune/internal/policy"
 	"spottune/internal/revpred"
 )
 
 // Default bid-delta interval (Algorithm 1 line 4): the maximum price is the
 // current market price plus a uniform delta from this range, in USD.
 const (
-	DefaultDeltaLow  = 0.00001
-	DefaultDeltaHigh = 0.2
+	DefaultDeltaLow  = policy.DefaultDeltaLow
+	DefaultDeltaHigh = policy.DefaultDeltaHigh
 )
 
 // Choice is the provisioning decision for one deployment.
@@ -33,17 +34,50 @@ type Choice struct {
 	StepCost float64 // Eq. 2 expected cost per step (relative units)
 }
 
-// Provisioner selects the instance with the least expected step cost:
-// E[sCost] = M[inst][hp] · (1 − p) · price (Eq. 2), where p comes from a
-// revocation predictor and price is the trailing-hour average.
+// ValidatePoolWiring checks that every pool member has a feature grid and a
+// revocation predictor — the fail-fast guard for Eq. 1–2 wiring, shared by
+// the Provisioner and campaign-level policy construction (GridRevProb
+// silently predicts 0 for unknown markets, which would bias selection
+// instead of erroring).
+func ValidatePoolWiring(pool []string, grids map[string]*market.Grid, predictors map[string]revpred.Predictor) error {
+	for _, name := range pool {
+		if _, ok := grids[name]; !ok {
+			return fmt.Errorf("core: no market grid for pool member %q", name)
+		}
+		if _, ok := predictors[name]; !ok {
+			return fmt.Errorf("core: no revocation predictor for pool member %q", name)
+		}
+	}
+	return nil
+}
+
+// GridRevProb builds a policy.RevProbFunc over per-market feature grids and
+// trained revocation predictors — the Eq. 1 probability term. Markets
+// without a grid entry (or instants outside the grid) predict 0.
+func GridRevProb(grids map[string]*market.Grid, predictors map[string]revpred.Predictor) policy.RevProbFunc {
+	return func(typeName string, at time.Time, maxPrice float64) float64 {
+		grid, ok := grids[typeName]
+		if !ok {
+			return 0
+		}
+		pred, ok := predictors[typeName]
+		if !ok {
+			return 0
+		}
+		if idx, err := grid.Index(at); err == nil {
+			return pred.Predict(grid, idx, maxPrice)
+		}
+		return 0
+	}
+}
+
+// Provisioner is the paper's Eq. 1–2 provisioner behind its original API: a
+// thin shell over the extracted "spottune" policy (internal/policy), kept so
+// existing callers and the legacy NewOrchestrator signature keep working.
 type Provisioner struct {
-	pool       []string
-	cluster    *cloudsim.Cluster
-	grids      map[string]*market.Grid
-	predictors map[string]revpred.Predictor
-	deltaLow   float64
-	deltaHigh  float64
-	rng        *rand.Rand
+	pool    []string
+	cluster *cloudsim.Cluster
+	pol     policy.Policy
 }
 
 // NewProvisioner wires the provisioner. Every pool member needs a grid and a
@@ -59,76 +93,40 @@ func NewProvisioner(
 	if len(pool) == 0 {
 		return nil, errors.New("core: empty instance pool")
 	}
-	for _, name := range pool {
-		if _, ok := grids[name]; !ok {
-			return nil, fmt.Errorf("core: no market grid for pool member %q", name)
-		}
-		if _, ok := predictors[name]; !ok {
-			return nil, fmt.Errorf("core: no revocation predictor for pool member %q", name)
-		}
+	if err := ValidatePoolWiring(pool, grids, predictors); err != nil {
+		return nil, err
 	}
-	if deltaHigh <= 0 {
-		deltaLow, deltaHigh = DefaultDeltaLow, DefaultDeltaHigh
-	}
-	if deltaLow < 0 || deltaLow >= deltaHigh {
-		return nil, fmt.Errorf("core: invalid delta interval [%v, %v]", deltaLow, deltaHigh)
+	pol, err := policy.New(policy.SpotTuneName, policy.Params{
+		Pool:      pool,
+		Seed:      seed,
+		RevProb:   GridRevProb(grids, predictors),
+		DeltaLow:  deltaLow,
+		DeltaHigh: deltaHigh,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Provisioner{
-		pool:       append([]string(nil), pool...),
-		cluster:    cluster,
-		grids:      grids,
-		predictors: predictors,
-		deltaLow:   deltaLow,
-		deltaHigh:  deltaHigh,
-		rng:        rand.New(rand.NewPCG(seed, 0x9e0715)),
+		pool:    append([]string(nil), pool...),
+		cluster: cluster,
+		pol:     pol,
 	}, nil
 }
 
 // Best implements getBestInst of Algorithm 1: secPerStep supplies the
 // current M[inst][hp] estimate for the trial being deployed.
 func (p *Provisioner) Best(secPerStep func(typeName string) float64) (Choice, error) {
-	now := p.cluster.Clock().Now()
-	best := Choice{StepCost: math.Inf(1)}
-	for _, name := range p.pool {
-		cur, err := p.cluster.CurrentPrice(name)
-		if err != nil {
-			return Choice{}, err
-		}
-		delta := p.deltaLow + p.rng.Float64()*(p.deltaHigh-p.deltaLow)
-		maxPrice := cur + delta
-		grid := p.grids[name]
-		prob := 0.0
-		if idx, err := grid.Index(now); err == nil {
-			prob = p.predictors[name].Predict(grid, idx, maxPrice)
-		}
-		if prob < 0 {
-			prob = 0
-		} else if prob > 1 {
-			prob = 1
-		}
-		avg, err := p.cluster.AvgPriceLastHour(name)
-		if err != nil {
-			return Choice{}, err
-		}
-		// Eq. 2, plus a small undamped term so near-certain revocations
-		// (p → 1, expected cost → 0) still tie-break toward the
-		// cheap-and-fast choice instead of argmin order.
-		raw := secPerStep(name) * avg
-		sCost := raw*(1-prob) + 0.02*raw
-		if sCost < best.StepCost {
-			best = Choice{
-				TypeName: name,
-				MaxPrice: maxPrice,
-				RevProb:  prob,
-				AvgPrice: avg,
-				StepCost: sCost,
-			}
-		}
+	req, err := p.pol.Decide(policy.Context{Market: p.cluster, SecPerStep: secPerStep})
+	if err != nil {
+		return Choice{}, err
 	}
-	if math.IsInf(best.StepCost, 1) {
-		return Choice{}, errors.New("core: no viable instance in pool")
-	}
-	return best, nil
+	return Choice{
+		TypeName: req.TypeName,
+		MaxPrice: req.MaxPrice,
+		RevProb:  req.RevProb,
+		AvgPrice: req.AvgPrice,
+		StepCost: req.StepCost,
+	}, nil
 }
 
 // Pool returns the instance type names the provisioner chooses from.

@@ -31,9 +31,12 @@ type Report struct {
 	RestoreTime    time.Duration
 
 	// Deployments/Notices/Revocations count orchestration events.
-	Deployments int
-	Notices     int
-	Revocations int
+	// OnDemandDeployments is the subset of Deployments that rented
+	// reliable on-demand capacity (mixed-fleet and fallback policies).
+	Deployments         int
+	OnDemandDeployments int
+	Notices             int
+	Revocations         int
 
 	// LoopIterations counts scheduler turns across all phases: poll ticks
 	// in LoopPolling, discrete-event turns in LoopEvent. The event-driven
@@ -112,24 +115,25 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 	}
 	stats := o.store.Stats()
 	return &Report{
-		Approach:         "SpotTune",
-		Theta:            o.cfg.Theta,
-		JCT:              clk.Now().Sub(start) - (cloudsim.NoticeLeadTime + time.Minute),
-		GrossCost:        led.TotalGross(),
-		Refund:           led.TotalRefunded(),
-		NetCost:          led.TotalNet(),
-		TotalSteps:       total,
-		FreeSteps:        free,
-		CheckpointTime:   stats.PutTime + o.ckptSetup,
-		RestoreTime:      stats.GetTime + o.restoreSetup,
-		Deployments:      o.deployments,
-		Notices:          o.notices,
-		Revocations:      revocations,
-		LoopIterations:   o.iterations,
-		PredictedFinals:  predicted,
-		Ranked:           ranked,
-		Top:              top,
-		Best:             best,
-		PerfObservations: o.perf.Snapshot(),
+		Approach:            o.approach,
+		Theta:               o.cfg.Theta,
+		JCT:                 clk.Now().Sub(start) - (cloudsim.NoticeLeadTime + time.Minute),
+		GrossCost:           led.TotalGross(),
+		Refund:              led.TotalRefunded(),
+		NetCost:             led.TotalNet(),
+		TotalSteps:          total,
+		FreeSteps:           free,
+		CheckpointTime:      stats.PutTime + o.ckptSetup,
+		RestoreTime:         stats.GetTime + o.restoreSetup,
+		Deployments:         o.deployments,
+		OnDemandDeployments: o.odDeployments,
+		Notices:             o.notices,
+		Revocations:         revocations,
+		LoopIterations:      o.iterations,
+		PredictedFinals:     predicted,
+		Ranked:              ranked,
+		Top:                 top,
+		Best:                best,
+		PerfObservations:    o.perf.Snapshot(),
 	}
 }

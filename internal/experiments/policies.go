@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"spottune/internal/campaign"
+	"spottune/internal/core"
+	"spottune/internal/policy"
+)
+
+// CrossPolicyRow is one provisioning policy's campaign outcome on the study
+// workload — the cost/JCT comparison the policy engine exists for.
+type CrossPolicyRow struct {
+	Policy              string
+	Workload            string
+	Cost                float64
+	JCTHours            float64
+	RefundFrac          float64
+	Deployments         int
+	OnDemandDeployments int
+	Notices             int
+	Report              *core.Report
+}
+
+// CrossPolicy runs every registered provisioning policy (SpotTune, the
+// Single-Spot baselines, on-demand only, spot-with-on-demand-fallback, and
+// the DeepVM-style mixed fleet) on one Table II workload — the first of
+// Options.Workloads — at θ=0.7, fanned out through the campaign.Sweep
+// worker pool. Rows come back in registry-name order; everything is
+// deterministic given the seed.
+func CrossPolicy(ctx *Context) ([]CrossPolicyRow, error) {
+	if len(ctx.Opts.Workloads) == 0 {
+		return nil, errors.New("experiments: no study workload configured")
+	}
+	name := ctx.Opts.Workloads[0]
+	env, err := ctx.Env(ctx.defaultKind())
+	if err != nil {
+		return nil, err
+	}
+	bench, err := ctx.Bench(name)
+	if err != nil {
+		return nil, err
+	}
+	curves, err := ctx.Curves(name)
+	if err != nil {
+		return nil, err
+	}
+	names := policy.Names()
+	tasks := env.PolicyTasks(bench, curves, names, campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
+	results := campaign.Sweep(tasks, campaign.SweepOptions{Seed: ctx.Opts.Seed})
+	rows := make([]CrossPolicyRow, 0, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", res.Key, res.Err)
+		}
+		rep := res.Report
+		rows = append(rows, CrossPolicyRow{
+			Policy:              names[i],
+			Workload:            name,
+			Cost:                rep.NetCost,
+			JCTHours:            rep.JCT.Hours(),
+			RefundFrac:          rep.RefundFraction(),
+			Deployments:         rep.Deployments,
+			OnDemandDeployments: rep.OnDemandDeployments,
+			Notices:             rep.Notices,
+			Report:              rep,
+		})
+	}
+	return rows, nil
+}

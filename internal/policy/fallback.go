@@ -1,0 +1,51 @@
+package policy
+
+func init() {
+	Register(FallbackName,
+		"AutoSpotting-style: Eq. 2 spot until K failures or a doom window, then on-demand; back to spot when calm",
+		func(p Params) (Policy, error) {
+			return &fallback{
+				spotChooser:   newSpotChooser(p),
+				fallbackAfter: p.FallbackAfter,
+				doomProb:      p.DoomProb,
+				calmProb:      p.CalmProb,
+			}, nil
+		})
+}
+
+// fallback rides spot capacity (chosen like SpotTune's Eq. 2) until the
+// market turns hostile — the trial has accumulated FallbackAfter consecutive
+// noticed spot segments, or the predicted revocation probability of the best
+// spot candidate is inside the doom window — then swaps the trial to
+// on-demand via the cluster's RequestOnDemand path. It swaps back to spot
+// once the market looks calm again: the predicted probability is at or below
+// CalmProb and the candidate's current price is not spiking above its
+// trailing-hour average (the observable signal that works even under an
+// uninformative predictor). The failure streak only clears when a spot
+// segment survives, so a failed retry swaps straight back.
+type fallback struct {
+	spotChooser
+	fallbackAfter int
+	doomProb      float64
+	calmProb      float64
+}
+
+func (f *fallback) Name() string { return FallbackName }
+
+func (f *fallback) Decide(ctx Context) (Request, error) {
+	spot, err := f.bestSpot(ctx)
+	if err != nil {
+		return Request{}, err
+	}
+	cur, err := ctx.Market.CurrentPrice(spot.TypeName)
+	if err != nil {
+		return Request{}, err
+	}
+	calm := spot.RevProb <= f.calmProb && cur <= spot.AvgPrice*1.01
+	doomed := spot.RevProb >= f.doomProb
+	trapped := ctx.Trial.SpotFailures >= f.fallbackAfter && !calm
+	if doomed || trapped {
+		return bestOnDemand(ctx, f.pool)
+	}
+	return spot, nil
+}

@@ -283,6 +283,19 @@ func (r *Replay) Points() []earlycurve.MetricPoint {
 	return out
 }
 
+// LastPoint returns the most recent observed metric point (ok=false before
+// the first observation). O(log curve) and allocation-free — the
+// leaderboard accessor schedulers may call on every deployment decision,
+// unlike Points(), which copies the whole observed prefix.
+func (r *Replay) LastPoint() (earlycurve.MetricPoint, bool) {
+	done := r.CompletedSteps()
+	i := sort.Search(len(r.curve), func(i int) bool { return r.curve[i].Step > done })
+	if i == 0 {
+		return earlycurve.MetricPoint{}, false
+	}
+	return r.curve[i-1], true
+}
+
 // TrueFinal returns the ground-truth final metric (the curve's last value).
 func (r *Replay) TrueFinal() float64 { return r.curve[len(r.curve)-1].Value }
 

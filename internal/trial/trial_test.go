@@ -171,8 +171,8 @@ func TestRestoreRejectsMalformedBlobs(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{0x00},
-		{0x51},                    // header only
-		good[:len(good)-1],        // truncated float
+		{0x51},             // header only
+		good[:len(good)-1], // truncated float
 		append([]byte{0x51}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // 10-byte uvarint, no payload
 		// Uvarint length near 2^64: an additive bound check overflows and
 		// panics on the slice; Restore must return an error instead.

@@ -16,9 +16,14 @@
 //
 // This package is the public facade over the internal substrates: a
 // simulated transient cloud (synthetic spot markets, EC2-like
-// revocation/refund semantics, an S3-like object store), the Table II
-// workload suite backed by real pure-Go trainers, and runners for SpotTune
-// and the paper's Single-Spot baselines. The simulation core is
+// revocation/refund semantics, on-demand capacity, an S3-like object
+// store), the Table II workload suite backed by real pure-Go trainers, and
+// runners for SpotTune and the paper's Single-Spot baselines. Provisioning
+// is a pluggable policy engine: Eq. 1–2 is the "spottune" policy, and the
+// registry also ships Single-Spot baselines, a pure on-demand strategy, an
+// AutoSpotting-style spot-with-on-demand fallback, and a DeepVM-style mixed
+// fleet — all runnable through the same orchestrator and comparable via
+// Environment.RunPolicy or policy-dimension sweeps. The simulation core is
 // discrete-event end to end — the orchestrator advances the virtual clock
 // directly to each next trigger instead of polling, and Sweep fans
 // independent campaigns across a worker pool — so multi-day campaigns and
@@ -40,6 +45,7 @@ import (
 	"spottune/internal/core"
 	"spottune/internal/earlycurve"
 	"spottune/internal/market"
+	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/workload"
 	"time"
@@ -78,6 +84,13 @@ type (
 	SweepResult = campaign.SweepResult
 	// SweepOptions tunes Sweep parallelism and seeding.
 	SweepOptions = campaign.SweepOptions
+	// ProvisioningPolicy decides deployments: spot (with a maximum price)
+	// or on-demand, per trial, given market state and the perf matrix.
+	ProvisioningPolicy = policy.Policy
+	// PolicyParams tunes provisioning-policy construction.
+	PolicyParams = policy.Params
+	// PolicyInfo names one registered policy with its one-line doc.
+	PolicyInfo = policy.Info
 )
 
 // Orchestrator loop modes (see DESIGN.md for the equivalence guarantees).
@@ -95,6 +108,31 @@ const (
 	PredictorConstant  = campaign.PredictorConstant
 	PredictorNone      = campaign.PredictorNone
 )
+
+// Registered provisioning-policy names (Environment.RunPolicy /
+// CampaignOptions.Policy). PolicySpotTune is the paper's Eq. 1–2
+// provisioner and the default.
+const (
+	PolicySpotTune   = policy.SpotTuneName
+	PolicyCheapest   = policy.CheapestName
+	PolicyFastest    = policy.FastestName
+	PolicyOnDemand   = policy.OnDemandName
+	PolicyFallback   = policy.FallbackName
+	PolicyMixedFleet = policy.MixedFleetName
+)
+
+// Policies lists registered provisioning-policy names, sorted.
+func Policies() []string { return policy.Names() }
+
+// PolicyInfos lists registered policies with their one-line docs.
+func PolicyInfos() []PolicyInfo { return policy.Infos() }
+
+// RegisterPolicy adds a custom provisioning policy to the registry under a
+// unique name, making it available to RunPolicy, policy sweeps, and the
+// cross-policy study.
+func RegisterPolicy(name, doc string, factory func(PolicyParams) (ProvisioningPolicy, error)) {
+	policy.Register(name, doc, factory)
+}
 
 // DefaultStart is the first timestamp of generated traces — the Kaggle
 // dataset's first day (2017-04-26, §IV-A1).
