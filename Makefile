@@ -17,10 +17,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Runs every benchmark once and exports the cross-policy provisioning study
-# as BENCH_policy.json (the CI benchmark-smoke artifact).
+# Runs every benchmark once, exports the cross-policy provisioning study as
+# BENCH_policy.json, and re-measures the micro benchmarks with -benchmem
+# into BENCH_perf.json (ns/op + allocs/op, diffed against the committed
+# pre-optimization baseline in BENCH_baseline.json). Both JSON
+# artifacts are uploaded by CI.
+# The micro-bench output goes through a temp file, not a pipe, so a failing
+# benchmark binary fails the recipe instead of being masked by benchperf's
+# exit status.
 bench:
 	$(GO) test -bench=. -run '^$$' -benchtime 1x .
+	$(GO) test -bench '^(BenchmarkLSTMForwardBackward|BenchmarkRevPredInference|BenchmarkEarlyCurveFit|BenchmarkMarketGenerate|BenchmarkEventQueue|BenchmarkGBTRound)$$' -run '^$$' -benchmem -benchtime 100x . > BENCH_perf.txt
+	$(GO) run ./cmd/benchperf -baseline BENCH_baseline.json -out BENCH_perf.json < BENCH_perf.txt
+	rm -f BENCH_perf.txt
 	$(GO) run ./cmd/benchfigs -fig none -quick -out results -policyjson BENCH_policy.json
 
 bench-campaign:

@@ -4,7 +4,10 @@ package spottune
 // micro-benchmarks of the core substrates. Figure benchmarks run the same
 // experiment code as cmd/benchfigs at reduced scale and report the headline
 // quantities via b.ReportMetric, so `go test -bench` regenerates the
-// paper-facing numbers:
+// paper-facing numbers. Experiment fixtures (market generation, predictor
+// training — built lazily by the memoizing Context on first use) are warmed
+// by one untimed run before b.ResetTimer, so ns/op measures the experiment,
+// not fixture assembly:
 //
 //	go test -bench=Fig -benchmem
 //
@@ -55,8 +58,12 @@ func BenchmarkFig1SpotPrices(b *testing.B) {
 // BenchmarkFig5Curves records the example validation-loss curves with the
 // real pure-Go trainers.
 func BenchmarkFig5Curves(b *testing.B) {
+	ctx := experiments.NewContext(experiments.Options{Seed: 1, Scale: 0.2, Workloads: []string{"LoR", "ResNet"}})
+	if _, err := experiments.Fig5(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(experiments.Options{Seed: 1, Scale: 0.2, Workloads: []string{"LoR", "ResNet"}})
 		res, err := experiments.Fig5(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -69,6 +76,10 @@ func BenchmarkFig5Curves(b *testing.B) {
 // online-profiling claim of §IV-A5).
 func BenchmarkFig6Profiling(b *testing.B) {
 	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig6(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig6(ctx)
 		if err != nil {
@@ -81,8 +92,12 @@ func BenchmarkFig6Profiling(b *testing.B) {
 // BenchmarkFig7Campaign runs the four-approach cost/JCT/PCR comparison on
 // two workloads at reduced scale.
 func BenchmarkFig7Campaign(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig7(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(benchOpts())
 		rows, err := experiments.Fig7(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -100,10 +115,14 @@ func BenchmarkFig7Campaign(b *testing.B) {
 
 // BenchmarkFig8ThetaSweep sweeps θ over one workload.
 func BenchmarkFig8ThetaSweep(b *testing.B) {
+	ctx := experiments.NewContext(experiments.Options{
+		Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+	})
+	if _, _, err := experiments.Fig8(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(experiments.Options{
-			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
-		})
 		_, acc, err := experiments.Fig8(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -114,8 +133,12 @@ func BenchmarkFig8ThetaSweep(b *testing.B) {
 
 // BenchmarkFig9Refund measures the refunded-resource contribution at θ=0.7.
 func BenchmarkFig9Refund(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig7(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(benchOpts())
 		rows, err := experiments.Fig7(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -132,8 +155,12 @@ func BenchmarkFig9Refund(b *testing.B) {
 // BenchmarkFig10RevPred trains and scores the three revocation predictors
 // on every market (tiny capacity).
 func BenchmarkFig10RevPred(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig10(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(benchOpts())
 		res, err := experiments.Fig10(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -146,8 +173,12 @@ func BenchmarkFig10RevPred(b *testing.B) {
 // BenchmarkFig11EarlyCurve compares EarlyCurve and SLAQ across the 16
 // ResNet configurations.
 func BenchmarkFig11EarlyCurve(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig11(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(benchOpts())
 		res, err := experiments.Fig11(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -165,8 +196,12 @@ func BenchmarkFig11EarlyCurve(b *testing.B) {
 
 // BenchmarkFig12Checkpoint measures checkpoint-restore overhead share.
 func BenchmarkFig12Checkpoint(b *testing.B) {
+	ctx := experiments.NewContext(benchOpts())
+	if _, err := experiments.Fig7(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(benchOpts())
 		rows, err := experiments.Fig7(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -185,10 +220,14 @@ func BenchmarkFig12Checkpoint(b *testing.B) {
 // per-policy headline costs — the numbers `make bench` exports to
 // BENCH_policy.json.
 func BenchmarkCrossPolicy(b *testing.B) {
+	ctx := experiments.NewContext(experiments.Options{
+		Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+	})
+	if _, err := experiments.CrossPolicy(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(experiments.Options{
-			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
-		})
 		rows, err := experiments.CrossPolicy(ctx)
 		if err != nil {
 			b.Fatal(err)
@@ -224,7 +263,8 @@ func BenchmarkMarketGenerate(b *testing.B) {
 }
 
 // BenchmarkLSTMForwardBackward measures one RevPred-shaped LSTM training
-// step (59 timesteps, 6 features, hidden 24, depth 3).
+// step (59 timesteps, 6 features, hidden 24, depth 3) through the reusable
+// BPTT workspace, exactly as revpred.Train drives it.
 func BenchmarkLSTMForwardBackward(b *testing.B) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	l := nn.NewStackedLSTM("b", 6, 24, 3, rng)
@@ -235,12 +275,14 @@ func BenchmarkLSTMForwardBackward(b *testing.B) {
 			xs[t][j] = rng.Float64()
 		}
 	}
+	ws := nn.NewWorkspace()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hs, cache := l.ForwardSeq(xs)
+		ws.Reset()
+		hs, cache := l.ForwardSeqWS(ws, xs)
 		last := hs[len(hs)-1]
-		l.BackwardSeq(cache, nn.LastHiddenGrad(59, 24, last))
+		l.BackwardSeqWS(ws, cache, nn.LastHiddenGradWS(ws, 59, 24, last))
 	}
 }
 
@@ -454,6 +496,7 @@ func BenchmarkCampaign(b *testing.B) {
 	}{{"event", core.LoopEvent}, {"polling", core.LoopPolling}} {
 		b.Run(mode.name, func(b *testing.B) {
 			f := newMultiDayFixture(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rep := f.run(b, mode.mode)
@@ -475,6 +518,7 @@ func BenchmarkCampaignEnv(b *testing.B) {
 	}{{"event", core.LoopEvent}, {"polling", core.LoopPolling}} {
 		b.Run(mode.name, func(b *testing.B) {
 			env, bench, curves := campaignBenchEnv(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rep, err := env.RunSpotTune(bench, curves, campaign.Options{
@@ -496,6 +540,7 @@ func BenchmarkCampaignEnv(b *testing.B) {
 func BenchmarkCampaignSweep(b *testing.B) {
 	env, bench, curves := campaignBenchEnv(b)
 	thetas := []float64{0.25, 0.5, 0.75, 1.0}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var tasks []campaign.Task
@@ -526,10 +571,14 @@ func BenchmarkCampaignSweep(b *testing.B) {
 // BenchmarkAblationPredictors compares Eq. 2 with no prediction, the
 // session predictor, and the oracle.
 func BenchmarkAblationPredictors(b *testing.B) {
+	ctx := experiments.NewContext(experiments.Options{
+		Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+	})
+	if _, err := experiments.PredictorAblation(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext(experiments.Options{
-			Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
-		})
 		rows, err := experiments.PredictorAblation(ctx)
 		if err != nil {
 			b.Fatal(err)

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spottune/internal/experiments"
@@ -38,8 +40,36 @@ func run() error {
 		ablation = flag.Bool("ablation", false, "also run the predictor ablation (none vs trained vs oracle)")
 		policyS  = flag.Bool("policy", false, "also run the cross-policy provisioning study")
 		policyJS = flag.String("policyjson", "", "write the cross-policy study rows as JSON to this path (implies -policy)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchfigs: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfigs: memprofile:", err)
+			}
+		}()
+	}
 
 	want, err := parseFigs(*figFlag)
 	if err != nil {

@@ -1,0 +1,141 @@
+// Command benchperf converts `go test -bench -benchmem` output (read from
+// stdin) into a machine-readable BENCH_perf.json artifact: ns/op, B/op and
+// allocs/op per micro benchmark, plus any custom b.ReportMetric values.
+// When a baseline file is supplied (the committed pre-optimization numbers
+// in BENCH_baseline.json), the artifact also records per-benchmark
+// speedup and allocation-reduction factors, so CI artifacts carry the
+// before/after evidence directly.
+//
+// Usage:
+//
+//	go test -bench '...' -run '^$' -benchmem . | benchperf -out BENCH_perf.json
+//	go test -bench '...' -run '^$' -benchmem . | benchperf -baseline BENCH_baseline.json -out BENCH_perf.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured numbers.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Delta is the before/after comparison against the recorded baseline.
+type Delta struct {
+	SpeedupNs    float64 `json:"speedup_ns"`              // baseline ns / current ns
+	AllocsFactor float64 `json:"allocs_factor,omitempty"` // baseline allocs / current allocs
+}
+
+// Report is the BENCH_perf.json schema.
+type Report struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Baseline   map[string]Result `json:"baseline,omitempty"`
+	VsBaseline map[string]Delta  `json:"vs_baseline,omitempty"`
+}
+
+// benchLine matches `BenchmarkName[-procs]   N   12345 ns/op   <rest>`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPart matches one `<value> <unit>` pair from the tail of a line.
+var metricPart = regexp.MustCompile(`([0-9.eE+-]+) (\S+)`)
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_perf.json", "output JSON path")
+		baseline = flag.String("baseline", "", "baseline JSON (same schema) to diff against")
+	)
+	flag.Parse()
+	if err := run(*out, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, baselinePath string) error {
+	rep := Report{
+		Note:       "ns/op, B/op, allocs/op per micro benchmark; vs_baseline.speedup_ns = baseline/current (higher is faster)",
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: echo the raw benchmark output
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns}
+		for _, part := range metricPart.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(part[1], 64)
+			if err != nil {
+				continue
+			}
+			switch part[2] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[part[2]] = v
+			}
+		}
+		rep.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.VsBaseline = map[string]Delta{}
+		for name, cur := range rep.Benchmarks {
+			b, ok := base.Benchmarks[name]
+			if !ok || cur.NsPerOp == 0 {
+				continue
+			}
+			d := Delta{SpeedupNs: b.NsPerOp / cur.NsPerOp}
+			if cur.AllocsPerOp > 0 && b.AllocsPerOp > 0 {
+				d.AllocsFactor = b.AllocsPerOp / cur.AllocsPerOp
+			}
+			rep.VsBaseline[name] = d
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(blob, '\n'), 0o644)
+}

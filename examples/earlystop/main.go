@@ -52,10 +52,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Observe only θ·maxSteps, as SpotTune's Orchestrator would.
-		tr.RunSteps(int(theta * maxSteps))
+		// Observe θ·maxSteps in streaming chunks, refitting as points
+		// arrive — the Tracker re-solves only the growing tail stage per
+		// refit (and skips refits entirely when no new points landed),
+		// exactly how the Orchestrator consumes EarlyCurve.
+		tracker := ec.NewTracker()
+		var pred float64
+		target := int(theta * maxSteps)
+		for done := 0; done < target; {
+			chunk := 50
+			if done+chunk > target {
+				chunk = target - done
+			}
+			tr.RunSteps(chunk)
+			done += chunk
+			pred, err = tracker.PredictFinal(tr.Curve(), maxSteps)
+		}
 		observed := tr.Curve()
-		pred, err := ec.PredictFinal(observed, maxSteps)
 		if err != nil {
 			log.Fatal(err)
 		}

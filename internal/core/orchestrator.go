@@ -210,6 +210,14 @@ type Orchestrator struct {
 	ckptSetup    time.Duration
 	restoreSetup time.Duration
 
+	// trend holds per-trial incremental EarlyCurve trackers (lazily built
+	// when cfg.Trend is the production Predictor). A tracker memoizes its
+	// last staged fit, so repeated progress evaluations over an unchanged
+	// curve return the cached extrapolation and an appended curve re-solves
+	// only the growing tail stage — bit-identical to a cold refit either
+	// way. Custom TrendPredictors bypass this and are called directly.
+	trend map[string]earlycurve.TrendPredictor
+
 	// phaseLimit is the active phase's per-trial step cap.
 	phaseLimit func(*trial.Replay) int
 }
@@ -316,7 +324,7 @@ func (o *Orchestrator) Run() (*Report, error) {
 			// case): the last observation is the final metric.
 			val = points[len(points)-1].Value
 		} else {
-			val, err = o.cfg.Trend.PredictFinal(points, tr.MaxSteps())
+			val, err = o.trendFor(id).PredictFinal(points, tr.MaxSteps())
 			if err != nil {
 				// Not enough curve to fit (revocation-heavy runs): fall
 				// back to the last observation, pessimistically inflated.
@@ -578,6 +586,26 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 		o.waiting = o.waiting[1:]
 	}
 	return time.Time{}, false, nil
+}
+
+// trendFor returns the trend predictor to use for one trial: a per-trial
+// incremental Tracker when the configured predictor is the production
+// EarlyCurve (warm-starting refits and skipping them outright when no new
+// points arrived), or the configured TrendPredictor as-is otherwise.
+func (o *Orchestrator) trendFor(id string) earlycurve.TrendPredictor {
+	p, ok := o.cfg.Trend.(*earlycurve.Predictor)
+	if !ok {
+		return o.cfg.Trend
+	}
+	if o.trend == nil {
+		o.trend = make(map[string]earlycurve.TrendPredictor)
+	}
+	t, ok := o.trend[id]
+	if !ok {
+		t = p.NewTracker()
+		o.trend[id] = t
+	}
+	return t
 }
 
 // stepTarget is the whole-step count at which the assignment's trial stops

@@ -165,12 +165,31 @@ const minStagePoints = 4
 // given detector for stage boundaries. Points must be in increasing step
 // order.
 func FitCurve(points []MetricPoint, det Detector) (*Fit, error) {
+	f, _, err := fitCurveReuse(points, det, nil)
+	return f, err
+}
+
+// trackedStage is one fitted stage annotated with the point-index range it
+// was fitted over, so an incremental refit can prove a cached fit is still
+// exact (same segment of an append-only stream ⇒ same fitStage output,
+// bit for bit) and reuse it without running the solver.
+type trackedStage struct {
+	startIdx, endIdx   int // point-index range [startIdx, endIdx)
+	startStep, endStep int // step values at the range edges, for validation
+	fit                StageFit
+}
+
+// fitCurveReuse is FitCurve with a stage-fit memo: any stage whose point
+// range matches a previous fit's exactly is copied instead of re-solved.
+// fitStage is a pure function of its segment, so the result is bit-identical
+// to a cold fit — the memo changes cost, never values.
+func fitCurveReuse(points []MetricPoint, det Detector, prev []trackedStage) (*Fit, []trackedStage, error) {
 	if len(points) < minStagePoints {
-		return nil, fmt.Errorf("%w: %d", ErrTooFewPoints, len(points))
+		return nil, nil, fmt.Errorf("%w: %d", ErrTooFewPoints, len(points))
 	}
 	for i := 1; i < len(points); i++ {
 		if points[i].Step <= points[i-1].Step {
-			return nil, fmt.Errorf("earlycurve: points not strictly increasing at %d", i)
+			return nil, nil, fmt.Errorf("earlycurve: points not strictly increasing at %d", i)
 		}
 	}
 	values := make([]float64, len(points))
@@ -187,21 +206,49 @@ func FitCurve(points []MetricPoint, det Detector) (*Fit, error) {
 		merged = append(merged, b)
 	}
 	f := &Fit{}
+	tracked := make([]trackedStage, 0, len(merged))
 	for si, start := range merged {
 		end := len(points)
 		if si+1 < len(merged) {
 			end = merged[si+1]
 		}
 		seg := points[start:end]
-		sf, err := fitStage(seg)
-		if err != nil {
-			return nil, fmt.Errorf("earlycurve: fitting stage %d: %w", si, err)
+		sf, ok := reuseStage(prev, si, start, end, seg)
+		if !ok {
+			var err error
+			sf, err = fitStage(seg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("earlycurve: fitting stage %d: %w", si, err)
+			}
 		}
 		sf.L = seg[0].Step
 		sf.R = seg[len(seg)-1].Step + 1
 		f.Stages = append(f.Stages, sf)
+		tracked = append(tracked, trackedStage{
+			startIdx:  start,
+			endIdx:    end,
+			startStep: seg[0].Step,
+			endStep:   seg[len(seg)-1].Step,
+			fit:       sf,
+		})
 	}
-	return f, nil
+	return f, tracked, nil
+}
+
+// reuseStage reports whether the si-th previous stage covered exactly the
+// same segment and returns its fit if so. Index bounds alone identify the
+// segment on an append-only stream; the edge steps double-check that the
+// caller really is appending, not rewriting.
+func reuseStage(prev []trackedStage, si, start, end int, seg []MetricPoint) (StageFit, bool) {
+	if si >= len(prev) {
+		return StageFit{}, false
+	}
+	p := prev[si]
+	if p.startIdx != start || p.endIdx != end ||
+		p.startStep != seg[0].Step || p.endStep != seg[len(seg)-1].Step {
+		return StageFit{}, false
+	}
+	return p.fit, true
 }
 
 // fitStage fits 1/(a0·k'² + a1·k' + a2) + a3 with non-negative coefficients
@@ -224,12 +271,10 @@ func fitStage(seg []MetricPoint) (StageFit, error) {
 		}
 		return 1/den + u[3]*u[3]
 	}
-	resid := func(u []float64) []float64 {
-		out := make([]float64, len(ks))
+	resid := func(u []float64, out []float64) {
 		for i := range ks {
 			out[i] = model(u, ks[i]) - ys[i]
 		}
-		return out
 	}
 	// Initialization: plateau a3 slightly below the smallest observed
 	// value; a2 matches the first point's height above the plateau.
@@ -241,7 +286,7 @@ func fitStage(seg []MetricPoint) (StageFit, error) {
 		math.Sqrt(1 / gap),
 		math.Sqrt(a3 + 1e-12),
 	}
-	res, err := fit.LevenbergMarquardt(resid, init, fit.LMOptions{MaxIterations: 300})
+	res, err := fit.LevenbergMarquardtInto(resid, len(ks), init, fit.LMOptions{MaxIterations: 300})
 	if err != nil {
 		return StageFit{}, err
 	}
@@ -299,6 +344,18 @@ func (p *Predictor) PredictFinal(points []MetricPoint, finalStep int) (float64, 
 	if err != nil {
 		return 0, err
 	}
+	return guardedPredict(f, points, finalStep)
+}
+
+// NewTracker returns an incremental predictor for one append-only metric
+// stream, seeded with this predictor's detector settings.
+func (p *Predictor) NewTracker() *Tracker {
+	return &Tracker{Detector: p.Detector}
+}
+
+// guardedPredict extrapolates the fitted curve to finalStep and applies the
+// tail sanity guards shared by Predictor and Tracker.
+func guardedPredict(f *Fit, points []MetricPoint, finalStep int) (float64, error) {
 	pred, err := f.Predict(finalStep)
 	if err != nil {
 		return 0, err
@@ -338,6 +395,58 @@ func (p *Predictor) PredictFinal(points []MetricPoint, finalStep int) (float64, 
 		pred = floor
 	}
 	return pred, nil
+}
+
+// Tracker is an incremental TrendPredictor for one append-only metric
+// stream — the orchestrator keeps one per trial. Two exact optimizations
+// sit behind the TrendPredictor interface:
+//
+//   - When no new points arrived since the previous call (same length, same
+//     last point, same finalStep), the cached prediction is returned and no
+//     refit runs at all.
+//   - When points were appended, only stages whose segment changed are
+//     re-solved; settled stages (everything but the growing tail stage, as
+//     long as boundary detection kept them intact) reuse the previous fit.
+//
+// fitStage is a pure function of its segment, so both paths return results
+// bit-identical to a cold Predictor.PredictFinal with the same detector.
+// Tracker assumes the point stream is append-only; a rewritten history is
+// detected via boundary/step mismatches and simply refits from scratch.
+type Tracker struct {
+	// Detector tunes stage detection; zero value uses paper defaults.
+	Detector Detector
+
+	lastLen   int
+	lastStep  int
+	lastValue float64
+	lastFinal int
+	pred      float64
+	err       error
+	stages    []trackedStage
+}
+
+var _ TrendPredictor = (*Tracker)(nil)
+
+// PredictFinal implements TrendPredictor incrementally.
+func (t *Tracker) PredictFinal(points []MetricPoint, finalStep int) (float64, error) {
+	n := len(points)
+	if n > 0 && n == t.lastLen && finalStep == t.lastFinal &&
+		points[n-1].Step == t.lastStep && points[n-1].Value == t.lastValue {
+		return t.pred, t.err
+	}
+	f, tracked, err := fitCurveReuse(points, t.Detector.withDefaults(), t.stages)
+	if err != nil {
+		t.stages = nil
+		t.pred, t.err = 0, err
+	} else {
+		t.stages = tracked
+		t.pred, t.err = guardedPredict(f, points, finalStep)
+	}
+	t.lastLen, t.lastFinal = n, finalStep
+	if n > 0 {
+		t.lastStep, t.lastValue = points[n-1].Step, points[n-1].Value
+	}
+	return t.pred, t.err
 }
 
 // tailSlope is the least-squares per-step slope over the given points.

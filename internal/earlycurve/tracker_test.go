@@ -1,0 +1,111 @@
+package earlycurve
+
+import (
+	"math"
+	"testing"
+)
+
+// trackerCurve builds a noiseless two-stage rational-decay curve of n
+// points (stage switch at half).
+func trackerCurve(n int) []MetricPoint {
+	pts := make([]MetricPoint, n)
+	for k := 1; k <= n; k++ {
+		v := 1/(0.05*float64(k)+1.2) + 0.8
+		if k >= n/2 {
+			v = 1/(2.0*float64(k-n/2+1)+5.0) + 0.2
+		}
+		pts[k-1] = MetricPoint{Step: k, Value: v}
+	}
+	return pts
+}
+
+// TestTrackerMatchesColdFitBitForBit: streaming prefixes through a Tracker
+// must reproduce the cold predictor exactly — stage reuse is memoization,
+// not approximation.
+func TestTrackerMatchesColdFitBitForBit(t *testing.T) {
+	curve := trackerCurve(160)
+	cold := &Predictor{}
+	tr := cold.NewTracker()
+	for n := minStagePoints; n <= len(curve); n += 7 {
+		prefix := curve[:n]
+		want, wantErr := cold.PredictFinal(prefix, 300)
+		got, gotErr := tr.PredictFinal(prefix, 300)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("n=%d: err mismatch: cold %v, tracker %v", n, wantErr, gotErr)
+		}
+		if wantErr == nil && got != want {
+			t.Fatalf("n=%d: tracker %v != cold %v", n, got, want)
+		}
+	}
+}
+
+// TestTrackerSkipsRefitWhenUnchanged: same points, same finalStep → cached
+// answer without touching the stage list.
+func TestTrackerSkipsRefitWhenUnchanged(t *testing.T) {
+	curve := trackerCurve(80)
+	tr := (&Predictor{}).NewTracker()
+	first, err := tr.PredictFinal(curve, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stagesBefore := tr.stages
+	again, err := tr.PredictFinal(curve, 200)
+	if err != nil || again != first {
+		t.Fatalf("cached call changed answer: %v vs %v (err %v)", again, first, err)
+	}
+	if &stagesBefore[0] != &tr.stages[0] {
+		t.Fatal("unchanged call rebuilt the stage list")
+	}
+	// A different finalStep must bypass the memo (but may reuse stages).
+	other, err := tr.PredictFinal(curve, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == first {
+		t.Log("different horizon produced same prediction (plateaued curve) — acceptable")
+	}
+}
+
+// TestTrackerReusesSettledStages: appending points must re-solve only the
+// growing tail stage once earlier stages have settled.
+func TestTrackerReusesSettledStages(t *testing.T) {
+	curve := trackerCurve(160)
+	tr := (&Predictor{}).NewTracker()
+	if _, err := tr.PredictFinal(curve[:150], 300); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.stages) < 2 {
+		t.Skipf("detector found %d stages; need 2 to observe reuse", len(tr.stages))
+	}
+	firstStage := tr.stages[0].fit
+	if _, err := tr.PredictFinal(curve[:156], 300); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.stages) < 2 {
+		t.Fatal("stage structure collapsed on append")
+	}
+	if tr.stages[0].fit != firstStage {
+		t.Fatal("settled first stage was re-fitted (or changed) on append")
+	}
+}
+
+// TestTrackerHandlesErrorThenRecovers: too-few-points errors are cached and
+// cleared once enough points arrive.
+func TestTrackerHandlesErrorThenRecovers(t *testing.T) {
+	curve := trackerCurve(80)
+	tr := (&Predictor{}).NewTracker()
+	if _, err := tr.PredictFinal(curve[:2], 200); err == nil {
+		t.Fatal("expected ErrTooFewPoints")
+	}
+	// Cached error on the identical call.
+	if _, err := tr.PredictFinal(curve[:2], 200); err == nil {
+		t.Fatal("expected cached error")
+	}
+	got, err := tr.PredictFinal(curve, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) {
+		t.Fatal("NaN after recovery")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"spottune/internal/kernels"
 )
 
 // Matrix is a dense row-major matrix.
@@ -45,14 +47,7 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("fit: MulVec dim mismatch: %d cols vs %d vec", m.Cols, len(x))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	kernels.MatVec(out, m.Data, m.Rows, m.Cols, x)
 	return out, nil
 }
 
@@ -265,14 +260,9 @@ func SolveNNLS(a *Matrix, b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
+// Dot returns the inner product of two equal-length vectors (strict
+// in-order accumulation; see kernels.Dot).
+func Dot(a, b []float64) float64 { return kernels.Dot(a, b) }
 
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 {

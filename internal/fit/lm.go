@@ -3,11 +3,18 @@ package fit
 import (
 	"errors"
 	"math"
+
+	"spottune/internal/kernels"
 )
 
 // ResidualFunc maps parameters to a residual vector r(θ); Levenberg–Marquardt
 // minimizes ||r(θ)||².
 type ResidualFunc func(params []float64) []float64
+
+// ResidualInto writes the residual vector for params into out — the
+// allocation-free form of ResidualFunc. The residual length is fixed by the
+// caller of LevenbergMarquardtInto.
+type ResidualInto func(params []float64, out []float64)
 
 // LMOptions tunes the Levenberg–Marquardt solver. Zero values select
 // sensible defaults.
@@ -51,45 +58,118 @@ type LMResult struct {
 // the starting point.
 var ErrBadResidual = errors.New("fit: residual function returned non-finite values at start")
 
+var errResidualLen = errors.New("fit: residual length changed during LM")
+
+// lmScratch holds every buffer one LM run needs; all of them are sized once
+// and reused across iterations, so the solver allocates nothing per
+// iteration regardless of how many damping retries it burns.
+type lmScratch struct {
+	res, rb, rt   []float64
+	bumped, trial []float64
+	jac, jtj      *Matrix
+	damped        *Matrix
+	jtr, step     []float64
+	solveM        *Matrix
+	solveX        []float64
+}
+
+func newLMScratch(m, n int) *lmScratch {
+	return &lmScratch{
+		res:    make([]float64, m),
+		rb:     make([]float64, m),
+		rt:     make([]float64, m),
+		bumped: make([]float64, n),
+		trial:  make([]float64, n),
+		jac:    NewMatrix(m, n),
+		jtj:    NewMatrix(n, n),
+		damped: NewMatrix(n, n),
+		jtr:    make([]float64, n),
+		step:   make([]float64, n),
+		solveM: NewMatrix(n, n),
+		solveX: make([]float64, n),
+	}
+}
+
+// lmLenPanic aborts a wrapped LM run the moment the legacy ResidualFunc
+// changes its output length mid-run.
+type lmLenPanic struct{}
+
 // LevenbergMarquardt minimizes ½||r(θ)||² starting from init. The residual
 // function must return a fixed-length vector. The Jacobian is estimated by
 // forward differences. The returned cost is monotonically non-increasing
 // relative to the starting cost (steps that would increase it are rejected).
-func LevenbergMarquardt(r ResidualFunc, init []float64, opts LMOptions) (LMResult, error) {
+func LevenbergMarquardt(r ResidualFunc, init []float64, opts LMOptions) (res LMResult, err error) {
+	first := r(init)
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(lmLenPanic); ok {
+				res, err = LMResult{}, errResidualLen
+				return
+			}
+			panic(rec)
+		}
+	}()
+	rInto := func(params, out []float64) {
+		v := r(params)
+		if len(v) != len(out) {
+			panic(lmLenPanic{})
+		}
+		copy(out, v)
+	}
+	return levenbergMarquardt(rInto, len(first), init, opts, first)
+}
+
+// LevenbergMarquardtInto is LevenbergMarquardt over a ResidualInto of fixed
+// residual length m. All solver state lives in one preallocated scratch, so
+// hot callers (EarlyCurve's staged refits) pay no per-iteration
+// allocations. The arithmetic — Jacobian estimation, normal equations,
+// damping schedule — is identical to the original solver.
+func LevenbergMarquardtInto(r ResidualInto, m int, init []float64, opts LMOptions) (LMResult, error) {
+	return levenbergMarquardt(r, m, init, opts, nil)
+}
+
+// levenbergMarquardt is the shared solver core; res0, when non-nil, is the
+// already-evaluated residual at init (the legacy wrapper probes it to learn
+// the residual length and passes it on rather than evaluating twice).
+func levenbergMarquardt(r ResidualInto, m int, init []float64, opts LMOptions, res0 []float64) (LMResult, error) {
 	opts = opts.withDefaults()
+	n := len(init)
+	sc := newLMScratch(m, n)
 	params := append([]float64(nil), init...)
-	res := r(params)
-	if !allFinite(res) {
+	if res0 != nil {
+		copy(sc.res, res0)
+	} else {
+		r(params, sc.res)
+	}
+	if !allFinite(sc.res) {
 		return LMResult{}, ErrBadResidual
 	}
-	cost := half2(res)
+	cost := half2(sc.res)
 	lambda := opts.InitialLambda
-	m, n := len(res), len(params)
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		// Numeric Jacobian J[i][j] = ∂r_i/∂θ_j.
-		jac := NewMatrix(m, n)
+		jac := sc.jac
 		for j := 0; j < n; j++ {
 			h := opts.JacobianStep * math.Max(math.Abs(params[j]), 1)
-			bumped := append([]float64(nil), params...)
-			bumped[j] += h
-			rb := r(bumped)
-			if len(rb) != m {
-				return LMResult{}, errors.New("fit: residual length changed during LM")
-			}
+			copy(sc.bumped, params)
+			sc.bumped[j] += h
+			r(sc.bumped, sc.rb)
 			for i := 0; i < m; i++ {
-				jac.Set(i, j, (rb[i]-res[i])/h)
+				jac.Set(i, j, (sc.rb[i]-sc.res[i])/h)
 			}
 		}
 		// Normal equations JᵀJ + λ·diag(JᵀJ) and gradient Jᵀr.
-		jtj := NewMatrix(n, n)
-		jtr := make([]float64, n)
+		jtj := sc.jtj
+		kernels.Zero(jtj.Data)
+		kernels.Zero(sc.jtr)
 		for i := 0; i < m; i++ {
+			row := jac.Data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
-				jij := jac.At(i, j)
-				jtr[j] += jij * res[i]
+				jij := row[j]
+				sc.jtr[j] += jij * sc.res[i]
 				for k := j; k < n; k++ {
-					jtj.Set(j, k, jtj.At(j, k)+jij*jac.At(i, k))
+					jtj.Data[j*n+k] += jij * row[k]
 				}
 			}
 		}
@@ -101,25 +181,25 @@ func LevenbergMarquardt(r ResidualFunc, init []float64, opts LMOptions) (LMResul
 
 		improved := false
 		for attempt := 0; attempt < 12; attempt++ {
-			damped := jtj.Clone()
+			copy(sc.damped.Data, jtj.Data)
 			for j := 0; j < n; j++ {
-				d := damped.At(j, j)
-				damped.Set(j, j, d+lambda*math.Max(d, 1e-12))
+				d := sc.damped.At(j, j)
+				sc.damped.Set(j, j, d+lambda*math.Max(d, 1e-12))
 			}
-			step, err := solveSquare(damped, jtr)
-			if err != nil {
+			if err := solveSquareInto(sc.damped, sc.jtr, sc.step, sc.solveM, sc.solveX); err != nil {
 				lambda *= 10
 				continue
 			}
-			trial := make([]float64, n)
 			for j := 0; j < n; j++ {
-				trial[j] = params[j] - step[j]
+				sc.trial[j] = params[j] - sc.step[j]
 			}
-			rt := r(trial)
-			if len(rt) == m && allFinite(rt) {
-				if c := half2(rt); c < cost {
+			r(sc.trial, sc.rt)
+			if allFinite(sc.rt) {
+				if c := half2(sc.rt); c < cost {
 					rel := (cost - c) / math.Max(cost, 1e-300)
-					params, res, cost = trial, rt, c
+					copy(params, sc.trial)
+					sc.res, sc.rt = sc.rt, sc.res
+					cost = c
 					lambda = math.Max(lambda/3, 1e-12)
 					improved = true
 					if rel < opts.Tolerance {
@@ -140,12 +220,24 @@ func LevenbergMarquardt(r ResidualFunc, init []float64, opts LMOptions) (LMResul
 // solveSquare solves the square system A·x = b via Gaussian elimination with
 // partial pivoting. A and b are not modified.
 func solveSquare(a *Matrix, b []float64) ([]float64, error) {
+	x := make([]float64, len(b))
+	if err := solveSquareInto(a, b, x, NewMatrix(a.Rows, a.Cols), make([]float64, len(b))); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveSquareInto is solveSquare with caller-owned scratch: work receives a
+// copy of A, rhs a copy of b, and the solution lands in x. a and b are not
+// modified.
+func solveSquareInto(a *Matrix, b, x []float64, work *Matrix, rhs []float64) error {
 	if a.Rows != a.Cols || a.Rows != len(b) {
-		return nil, errors.New("fit: solveSquare needs a square system")
+		return errors.New("fit: solveSquare needs a square system")
 	}
 	n := a.Rows
-	m := a.Clone()
-	x := append([]float64(nil), b...)
+	m := work
+	copy(m.Data, a.Data)
+	copy(rhs, b)
 	for k := 0; k < n; k++ {
 		// Partial pivot.
 		p, pv := k, math.Abs(m.At(k, k))
@@ -155,13 +247,13 @@ func solveSquare(a *Matrix, b []float64) ([]float64, error) {
 			}
 		}
 		if pv < 1e-300 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
 				m.Data[k*n+j], m.Data[p*n+j] = m.Data[p*n+j], m.Data[k*n+j]
 			}
-			x[k], x[p] = x[p], x[k]
+			rhs[k], rhs[p] = rhs[p], rhs[k]
 		}
 		for i := k + 1; i < n; i++ {
 			f := m.At(i, k) / m.At(k, k)
@@ -171,17 +263,18 @@ func solveSquare(a *Matrix, b []float64) ([]float64, error) {
 			for j := k; j < n; j++ {
 				m.Set(i, j, m.At(i, j)-f*m.At(k, j))
 			}
-			x[i] -= f * x[k]
+			rhs[i] -= f * rhs[k]
 		}
 	}
 	for k := n - 1; k >= 0; k-- {
-		s := x[k]
+		s := rhs[k]
 		for j := k + 1; j < n; j++ {
-			s -= m.At(k, j) * x[j]
+			s -= m.At(k, j) * rhs[j]
 		}
-		x[k] = s / m.At(k, k)
+		rhs[k] = s / m.At(k, k)
 	}
-	return x, nil
+	copy(x, rhs)
+	return nil
 }
 
 func half2(r []float64) float64 {

@@ -1,0 +1,69 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func axpyPtr(y, x *float64, n int, alpha float64)
+//
+// y[i] += alpha * x[i] for i in [0, n), two lanes at a time with SSE2
+// (baseline amd64, no feature detection needed). Each element is an
+// independent mul+add, so the result is bit-identical to the scalar loop —
+// packed lanes buy throughput, not reassociation.
+TEXT ·axpyPtr(SB), NOSPLIT, $0-32
+	MOVQ  y+0(FP), DI
+	MOVQ  x+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVSD alpha+24(FP), X0
+	UNPCKLPD X0, X0          // broadcast alpha to both lanes
+
+loop8:
+	CMPQ CX, $8
+	JL   loop2
+	MOVUPS (SI), X1
+	MOVUPS 16(SI), X2
+	MOVUPS 32(SI), X3
+	MOVUPS 48(SI), X4
+	MULPD  X0, X1
+	MULPD  X0, X2
+	MULPD  X0, X3
+	MULPD  X0, X4
+	MOVUPS (DI), X5
+	MOVUPS 16(DI), X6
+	MOVUPS 32(DI), X7
+	MOVUPS 48(DI), X8
+	ADDPD  X1, X5
+	ADDPD  X2, X6
+	ADDPD  X3, X7
+	ADDPD  X4, X8
+	MOVUPS X5, (DI)
+	MOVUPS X6, 16(DI)
+	MOVUPS X7, 32(DI)
+	MOVUPS X8, 48(DI)
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	SUBQ   $8, CX
+	JMP    loop8
+
+loop2:
+	CMPQ CX, $2
+	JL   tail
+	MOVUPS (SI), X1
+	MULPD  X0, X1
+	MOVUPS (DI), X5
+	ADDPD  X1, X5
+	MOVUPS X5, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $2, CX
+	JMP    loop2
+
+tail:
+	CMPQ CX, $1
+	JL   done
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X5
+	ADDSD X1, X5
+	MOVSD X5, (DI)
+
+done:
+	RET

@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Shapes mirror the RevPred LSTM: 4H=96 rows, cols 24 (hidden) or 6
+// (features).
+
+func benchSetup(rows, cols, T int) (a []float64, xs [][]float64, zs []float64) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a = randVec(rng, rows*cols)
+	zs = randVec(rng, T*rows)
+	xs = make([][]float64, T)
+	for t := range xs {
+		xs[t] = randVec(rng, cols)
+	}
+	return
+}
+
+func BenchmarkMatVecAcc96x24(b *testing.B) {
+	a, xs, zs := benchSetup(96, 24, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatVecAcc(zs, a, 96, 24, xs[0])
+	}
+}
+
+func BenchmarkMatVecAcc96x6(b *testing.B) {
+	a, xs, zs := benchSetup(96, 6, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatVecAcc(zs, a, 96, 6, xs[0])
+	}
+}
+
+func BenchmarkMatTVecAcc96x24(b *testing.B) {
+	a, xs, zs := benchSetup(96, 24, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatTVecAcc(xs[0], a, 96, 24, zs)
+	}
+}
+
+func BenchmarkOuterAcc96x24(b *testing.B) {
+	a, xs, zs := benchSetup(96, 24, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OuterAcc(a, 96, 24, zs, xs[0])
+	}
+}
+
+func BenchmarkAxpy24(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x, y := randVec(rng, 24), randVec(rng, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(y, 0.5, x)
+	}
+}
+
+func BenchmarkAxpy1000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x, y := randVec(rng, 1000), randVec(rng, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(y, 0.5, x)
+	}
+}

@@ -1,0 +1,259 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func outerAccPtr(grad, dy, x *float64, rows, cols int)
+//
+// G += dy ⊗ x over a contiguous row-major rows×cols buffer: for each row r,
+// g[r*cols+k] += dy[r]*x[k]. Every element is touched exactly once, so the
+// packed lanes cannot change results.
+TEXT ·outerAccPtr(SB), NOSPLIT, $0-40
+	MOVQ grad+0(FP), DI
+	MOVQ dy+8(FP), DX
+	MOVQ x+16(FP), SI
+	MOVQ rows+24(FP), R8
+	MOVQ cols+32(FP), R9
+	MOVQ R9, R10
+	SHLQ $3, R10             // row stride in bytes
+
+oblock2:
+	CMPQ R8, $2
+	JL   rowloop
+	MOVSD    (DX), X9
+	UNPCKLPD X9, X9          // broadcast dy[r]
+	MOVSD    8(DX), X10
+	UNPCKLPD X10, X10        // broadcast dy[r+1]
+	MOVQ     DI, R11
+	LEAQ     (DI)(R10*1), R12
+	MOVQ     SI, BX          // x cursor
+	MOVQ     R9, CX
+
+opair2:
+	CMPQ   CX, $2
+	JL     otail2
+	MOVUPS (BX), X0
+	MOVAPS X0, X2
+	MULPD  X9, X0
+	MULPD  X10, X2
+	MOVUPS (R11), X1
+	ADDPD  X0, X1
+	MOVUPS X1, (R11)
+	MOVUPS (R12), X3
+	ADDPD  X2, X3
+	MOVUPS X3, (R12)
+	ADDQ   $16, BX
+	ADDQ   $16, R11
+	ADDQ   $16, R12
+	SUBQ   $2, CX
+	JMP    opair2
+
+otail2:
+	TESTQ CX, CX
+	JLE   onext2
+	MOVSD (BX), X0
+	MOVAPS X0, X2
+	MULSD X9, X0
+	MULSD X10, X2
+	MOVSD (R11), X1
+	ADDSD X0, X1
+	MOVSD X1, (R11)
+	MOVSD (R12), X3
+	ADDSD X2, X3
+	MOVSD X3, (R12)
+
+onext2:
+	ADDQ $16, DX
+	LEAQ (DI)(R10*2), DI
+	SUBQ $2, R8
+	JMP  oblock2
+
+rowloop:
+	TESTQ R8, R8
+	JLE   done
+	MOVSD    (DX), X0
+	UNPCKLPD X0, X0         // broadcast dy[r]
+	MOVQ     SI, BX         // x cursor (rewinds every row)
+	MOVQ     R9, CX
+
+inner8:
+	CMPQ   CX, $8
+	JL     inner2
+	MOVUPS (BX), X1
+	MOVUPS 16(BX), X2
+	MOVUPS 32(BX), X3
+	MOVUPS 48(BX), X4
+	MULPD  X0, X1
+	MULPD  X0, X2
+	MULPD  X0, X3
+	MULPD  X0, X4
+	MOVUPS (DI), X5
+	MOVUPS 16(DI), X6
+	MOVUPS 32(DI), X7
+	MOVUPS 48(DI), X8
+	ADDPD  X1, X5
+	ADDPD  X2, X6
+	ADDPD  X3, X7
+	ADDPD  X4, X8
+	MOVUPS X5, (DI)
+	MOVUPS X6, 16(DI)
+	MOVUPS X7, 32(DI)
+	MOVUPS X8, 48(DI)
+	ADDQ   $64, BX
+	ADDQ   $64, DI
+	SUBQ   $8, CX
+	JMP    inner8
+
+inner2:
+	CMPQ   CX, $2
+	JL     tail1
+	MOVUPS (BX), X1
+	MULPD  X0, X1
+	MOVUPS (DI), X5
+	ADDPD  X1, X5
+	MOVUPS X5, (DI)
+	ADDQ   $16, BX
+	ADDQ   $16, DI
+	SUBQ   $2, CX
+	JMP    inner2
+
+tail1:
+	TESTQ CX, CX
+	JLE   rownext
+	MOVSD (BX), X1
+	MULSD X0, X1
+	MOVSD (DI), X5
+	ADDSD X1, X5
+	MOVSD X5, (DI)
+	ADDQ  $8, DI
+
+rownext:
+	ADDQ $8, DX
+	DECQ R8
+	JMP  rowloop
+
+done:
+	RET
+
+// func matTVecAccPtr(dx, a, dy *float64, rows, cols int)
+//
+// dx += Aᵀ·dy. Rows are consumed four at a time and each block's
+// contribution is tree-summed before touching dx:
+// dx[k] += (d0·r0[k] + d1·r1[k]) + (d2·r2[k] + d3·r3[k]); remainder rows
+// apply one at a time in ascending order. The grouping breaks the
+// store-to-load forwarding chain a strict row-by-row loop would carry
+// through dx. The generic Go fallback implements the identical grouping,
+// so results are platform-independent.
+TEXT ·matTVecAccPtr(SB), NOSPLIT, $0-40
+	MOVQ dx+0(FP), R10
+	MOVQ a+8(FP), DI
+	MOVQ dy+16(FP), DX
+	MOVQ rows+24(FP), R8
+	MOVQ cols+32(FP), R9
+	MOVQ R9, SI
+	SHLQ $3, SI             // row stride in bytes
+
+tblock4:
+	CMPQ R8, $4
+	JL   trowloop
+	MOVSD    (DX), X9
+	UNPCKLPD X9, X9          // broadcast dy[r..r+3]
+	MOVSD    8(DX), X10
+	UNPCKLPD X10, X10
+	MOVSD    16(DX), X11
+	UNPCKLPD X11, X11
+	MOVSD    24(DX), X12
+	UNPCKLPD X12, X12
+	MOVQ     DI, R11
+	LEAQ     (DI)(SI*1), R12
+	LEAQ     (DI)(SI*2), R13
+	LEAQ     (R12)(SI*2), R14
+	MOVQ     R10, BX         // dx cursor
+	MOVQ     R9, CX
+
+tpair4:
+	CMPQ   CX, $2
+	JL     ttail4
+	MOVUPS (R11), X1
+	MULPD  X9, X1
+	MOVUPS (R12), X2
+	MULPD  X10, X2
+	ADDPD  X2, X1
+	MOVUPS (R13), X3
+	MULPD  X11, X3
+	MOVUPS (R14), X4
+	MULPD  X12, X4
+	ADDPD  X4, X3
+	ADDPD  X3, X1
+	MOVUPS (BX), X5
+	ADDPD  X1, X5
+	MOVUPS X5, (BX)
+	ADDQ   $16, R11
+	ADDQ   $16, R12
+	ADDQ   $16, R13
+	ADDQ   $16, R14
+	ADDQ   $16, BX
+	SUBQ   $2, CX
+	JMP    tpair4
+
+ttail4:
+	TESTQ CX, CX
+	JLE   tnext4
+	MOVSD (R11), X1
+	MULSD X9, X1
+	MOVSD (R12), X2
+	MULSD X10, X2
+	ADDSD X2, X1
+	MOVSD (R13), X3
+	MULSD X11, X3
+	MOVSD (R14), X4
+	MULSD X12, X4
+	ADDSD X4, X3
+	ADDSD X3, X1
+	MOVSD (BX), X5
+	ADDSD X1, X5
+	MOVSD X5, (BX)
+
+tnext4:
+	ADDQ $32, DX
+	LEAQ (DI)(SI*4), DI
+	SUBQ $4, R8
+	JMP  tblock4
+
+trowloop:
+	TESTQ R8, R8
+	JLE   tdone
+	MOVSD    (DX), X0
+	UNPCKLPD X0, X0          // broadcast dy[r]
+	MOVQ     R10, BX         // dx cursor (rewinds every row)
+	MOVQ     R9, CX
+
+tinner2:
+	CMPQ   CX, $2
+	JL     ttail1
+	MOVUPS (DI), X1
+	MULPD  X0, X1
+	MOVUPS (BX), X5
+	ADDPD  X1, X5
+	MOVUPS X5, (BX)
+	ADDQ   $16, DI
+	ADDQ   $16, BX
+	SUBQ   $2, CX
+	JMP    tinner2
+
+ttail1:
+	TESTQ CX, CX
+	JLE   trownext
+	MOVSD (DI), X1
+	MULSD X0, X1
+	MOVSD (BX), X5
+	ADDSD X1, X5
+	MOVSD X5, (BX)
+	ADDQ  $8, DI
+
+trownext:
+	ADDQ $8, DX
+	DECQ R8
+	JMP  trowloop
+
+tdone:
+	RET

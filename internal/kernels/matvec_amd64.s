@@ -1,0 +1,148 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func matVecAccPtr(y, a, x *float64, rows, cols int)
+//
+// y[r] += row_r·x with pairwise two-lane accumulation: even-index products
+// in the low lane, odd-index products in the high lane, an odd tail folded
+// into the even sum, then y[r] += evenSum + oddSum. The generic Go fallback
+// implements the identical order, so results match bit-for-bit across
+// platforms. Rows are processed four at a time for port-level parallelism;
+// per-row order is unaffected by the blocking.
+TEXT ·matVecAccPtr(SB), NOSPLIT, $0-40
+	MOVQ y+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ rows+24(FP), R8
+	MOVQ cols+32(FP), R9
+	MOVQ R9, R10
+	SHLQ $3, R10             // row stride in bytes
+
+block4:
+	CMPQ R8, $4
+	JL   row1
+	MOVQ SI, R11
+	LEAQ (SI)(R10*1), R12
+	LEAQ (SI)(R10*2), R13
+	LEAQ (R12)(R10*2), R14
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	XORPS X8, X8
+	MOVQ  DX, BX             // x cursor
+	MOVQ  R9, CX
+
+pair4:
+	CMPQ   CX, $2
+	JL     tail4
+	MOVUPS (BX), X0
+	MOVUPS (R11), X1
+	MULPD  X0, X1
+	ADDPD  X1, X5
+	MOVUPS (R12), X2
+	MULPD  X0, X2
+	ADDPD  X2, X6
+	MOVUPS (R13), X3
+	MULPD  X0, X3
+	ADDPD  X3, X7
+	MOVUPS (R14), X4
+	MULPD  X0, X4
+	ADDPD  X4, X8
+	ADDQ   $16, BX
+	ADDQ   $16, R11
+	ADDQ   $16, R12
+	ADDQ   $16, R13
+	ADDQ   $16, R14
+	SUBQ   $2, CX
+	JMP    pair4
+
+tail4:
+	TESTQ CX, CX
+	JLE   hsum4
+	MOVSD (BX), X0
+	MOVSD (R11), X1
+	MULSD X0, X1
+	ADDSD X1, X5             // tail joins the even-lane sum
+	MOVSD (R12), X2
+	MULSD X0, X2
+	ADDSD X2, X6
+	MOVSD (R13), X3
+	MULSD X0, X3
+	ADDSD X3, X7
+	MOVSD (R14), X4
+	MULSD X0, X4
+	ADDSD X4, X8
+
+hsum4:
+	MOVAPS   X5, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X5          // evenSum + oddSum
+	MOVSD    (DI), X0
+	ADDSD    X5, X0          // y[r] + rowSum
+	MOVSD    X0, (DI)
+	MOVAPS   X6, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X6
+	MOVSD    8(DI), X0
+	ADDSD    X6, X0
+	MOVSD    X0, 8(DI)
+	MOVAPS   X7, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X7
+	MOVSD    16(DI), X0
+	ADDSD    X7, X0
+	MOVSD    X0, 16(DI)
+	MOVAPS   X8, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X8
+	MOVSD    24(DI), X0
+	ADDSD    X8, X0
+	MOVSD    X0, 24(DI)
+	ADDQ     $32, DI
+	LEAQ     (SI)(R10*4), SI
+	SUBQ     $4, R8
+	JMP      block4
+
+row1:
+	TESTQ R8, R8
+	JLE   done
+	XORPS X5, X5
+	MOVQ  DX, BX
+	MOVQ  SI, R11
+	MOVQ  R9, CX
+
+pair1:
+	CMPQ   CX, $2
+	JL     tail1
+	MOVUPS (BX), X0
+	MOVUPS (R11), X1
+	MULPD  X0, X1
+	ADDPD  X1, X5
+	ADDQ   $16, BX
+	ADDQ   $16, R11
+	SUBQ   $2, CX
+	JMP    pair1
+
+tail1:
+	TESTQ CX, CX
+	JLE   hsum1
+	MOVSD (BX), X0
+	MOVSD (R11), X1
+	MULSD X0, X1
+	ADDSD X1, X5
+
+hsum1:
+	MOVAPS   X5, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X5
+	MOVSD    (DI), X0
+	ADDSD    X5, X0
+	MOVSD    X0, (DI)
+	ADDQ     $8, DI
+	ADDQ     R10, SI
+	DECQ     R8
+	JMP      row1
+
+done:
+	RET

@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestLSTMStepAllocBudget is the tier-1 allocation guard for the BPTT hot
+// path: one forward/backward step of the RevPred-shaped stack through a
+// reused workspace must stay within a small fixed budget (the pre-kernels
+// implementation allocated ~2600 times per step; the workspace path
+// allocates a handful of cache headers). A regression here silently taxes
+// every campaign, so it fails loudly.
+func TestLSTMStepAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	l := NewStackedLSTM("alloc", 6, 24, 3, rng)
+	xs := randSeq(rng, 59, 6)
+	ws := NewWorkspace()
+	// Warm the workspace so arena growth is not billed to the steady state.
+	for i := 0; i < 3; i++ {
+		ws.Reset()
+		hs, cache := l.ForwardSeqWS(ws, xs)
+		l.BackwardSeqWS(ws, cache, LastHiddenGradWS(ws, 59, 24, hs[58]))
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		ws.Reset()
+		hs, cache := l.ForwardSeqWS(ws, xs)
+		l.BackwardSeqWS(ws, cache, LastHiddenGradWS(ws, 59, 24, hs[58]))
+	})
+	const budget = 16 // measured ~5; old implementation: ~2600
+	if avg > budget {
+		t.Errorf("LSTM forward/backward step allocates %.1f times, budget %d", avg, budget)
+	}
+}

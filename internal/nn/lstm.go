@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"spottune/internal/kernels"
 )
 
 // LSTM is a single LSTM layer. Gates are stacked in the order
@@ -39,166 +41,162 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 // Params implements Layer.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
-// lstmStep holds the per-timestep activations BPTT needs.
-type lstmStep struct {
-	x          []float64
-	i, f, g, o []float64
-	c, h       []float64 // post-step cell and hidden
-	cPrev      []float64
+// GradShadow returns a view of the layer that shares its weights but owns a
+// private gradient accumulator — the unit of parallel mini-batch training:
+// each worker backpropagates into its own shadow, and the shards are summed
+// into the real gradients in deterministic shard order.
+func (l *LSTM) GradShadow() *LSTM {
+	return &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx.GradShadow(), Wh: l.Wh.GradShadow(), B: l.B.GradShadow()}
 }
 
-// LSTMCache holds the full unrolled forward pass.
+// LSTMCache holds the unrolled forward pass in flat row-major buffers:
+// gate activations (4H per step, i/f/g/o stacked), cell and hidden states
+// (H per step), plus borrowed references to the input steps. Slices are
+// carved from the forward call's workspace and stay valid until its Reset.
 type LSTMCache struct {
-	steps []*lstmStep
+	t     int
+	xs    [][]float64 // borrowed input views; callers must not mutate before backward
+	gates []float64   // t × 4H post-activation gate values
+	c, h  []float64   // t × H post-step cell / hidden states
+	tanhC []float64   // t × H tanh(c), saved so backward skips the recompute
 }
 
 // ForwardSeq runs the layer over a sequence, starting from zero state, and
-// returns the hidden state at every step.
+// returns the hidden state at every step. Equivalent to ForwardSeqWS with a
+// private scratch allocation per call.
 func (l *LSTM) ForwardSeq(xs [][]float64) ([][]float64, *LSTMCache) {
-	h := make([]float64, l.Hidden)
-	c := make([]float64, l.Hidden)
-	cache := &LSTMCache{}
-	outs := make([][]float64, len(xs))
+	return l.ForwardSeqWS(nil, xs)
+}
+
+// ForwardSeqWS is ForwardSeq with an explicit workspace: all transient
+// buffers (and the returned hidden views) are carved from ws and remain
+// valid until ws.Reset. Each gate row accumulates bias, then input terms,
+// then hidden terms; within each term group the sum follows
+// kernels.MatVecAcc's documented pairwise order, so outputs are
+// deterministic and identical across platforms (and between the WS and
+// plain paths), though not bit-identical to the pre-kernels scalar code —
+// see DESIGN.md, "Kernels layer".
+func (l *LSTM) ForwardSeqWS(ws *Workspace, xs [][]float64) ([][]float64, *LSTMCache) {
+	T := len(xs)
+	H := l.Hidden
+	cache := &LSTMCache{
+		t:     T,
+		xs:    xs,
+		gates: ws.takeRaw(T * 4 * H),
+		c:     ws.takeRaw(T * H),
+		h:     ws.takeRaw(T * H),
+		tanhC: ws.takeRaw(T * H),
+	}
+	outs := ws.takeRows(T)
+	hPrev := ws.take(H) // zero initial state
+	cPrev := ws.take(H)
 	for t, x := range xs {
 		if len(x) != l.In {
 			panic(fmt.Sprintf("nn: lstm %s expects input %d, got %d at step %d", l.Wx.Name, l.In, len(x), t))
 		}
-		st := &lstmStep{
-			x:     append([]float64(nil), x...),
-			i:     make([]float64, l.Hidden),
-			f:     make([]float64, l.Hidden),
-			g:     make([]float64, l.Hidden),
-			o:     make([]float64, l.Hidden),
-			c:     make([]float64, l.Hidden),
-			h:     make([]float64, l.Hidden),
-			cPrev: append([]float64(nil), c...),
-		}
-		H := l.Hidden
+		// Pre-activations z = B + Wx·x + Wh·hPrev: bias first, then the
+		// input projection, then the recurrent term (pairwise row sums
+		// inside each MatVecAcc).
+		z := cache.gates[t*4*H : (t+1)*4*H]
+		copy(z, l.B.W)
+		kernels.MatVecAcc(z, l.Wx.W, 4*H, l.In, x)
+		kernels.MatVecAcc(z, l.Wh.W, 4*H, H, hPrev)
+		c := cache.c[t*H : (t+1)*H]
+		h := cache.h[t*H : (t+1)*H]
+		tc := cache.tanhC[t*H : (t+1)*H]
 		for j := 0; j < H; j++ {
-			zi := l.B.W[j]
-			zf := l.B.W[H+j]
-			zg := l.B.W[2*H+j]
-			zo := l.B.W[3*H+j]
-			rowI := l.Wx.W[j*l.In : (j+1)*l.In]
-			rowF := l.Wx.W[(H+j)*l.In : (H+j+1)*l.In]
-			rowG := l.Wx.W[(2*H+j)*l.In : (2*H+j+1)*l.In]
-			rowO := l.Wx.W[(3*H+j)*l.In : (3*H+j+1)*l.In]
-			for k, xk := range x {
-				zi += rowI[k] * xk
-				zf += rowF[k] * xk
-				zg += rowG[k] * xk
-				zo += rowO[k] * xk
-			}
-			hRowI := l.Wh.W[j*H : (j+1)*H]
-			hRowF := l.Wh.W[(H+j)*H : (H+j+1)*H]
-			hRowG := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
-			hRowO := l.Wh.W[(3*H+j)*H : (3*H+j+1)*H]
-			for k, hk := range h {
-				zi += hRowI[k] * hk
-				zf += hRowF[k] * hk
-				zg += hRowG[k] * hk
-				zo += hRowO[k] * hk
-			}
-			st.i[j] = sigmoid(zi)
-			st.f[j] = sigmoid(zf)
-			st.g[j] = math.Tanh(zg)
-			st.o[j] = sigmoid(zo)
-			st.c[j] = st.f[j]*st.cPrev[j] + st.i[j]*st.g[j]
-			st.h[j] = st.o[j] * math.Tanh(st.c[j])
+			i := sigmoid(z[j])
+			f := sigmoid(z[H+j])
+			g := math.Tanh(z[2*H+j])
+			o := sigmoid(z[3*H+j])
+			z[j], z[H+j], z[2*H+j], z[3*H+j] = i, f, g, o
+			c[j] = f*cPrev[j] + i*g
+			tc[j] = math.Tanh(c[j])
+			h[j] = o * tc[j]
 		}
-		c = st.c
-		h = st.h
-		cache.steps = append(cache.steps, st)
-		outs[t] = append([]float64(nil), h...)
+		outs[t] = h
+		hPrev, cPrev = h, c
 	}
 	return outs, cache
 }
 
-// BackwardSeq backpropagates through time. dhs must contain one gradient per
-// timestep's hidden output (zero slices are allowed and cheap). Parameter
-// gradients accumulate into the layer's Params; the returned slices are the
-// gradients w.r.t. each input step.
+// BackwardSeq backpropagates through time; see BackwardSeqWS.
 func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs [][]float64) [][]float64 {
-	T := len(cache.steps)
+	return l.BackwardSeqWS(nil, cache, dhs)
+}
+
+// BackwardSeqWS backpropagates through time using the given workspace for
+// every transient buffer. dhs must contain one gradient per timestep's
+// hidden output (nil entries are allowed and cheap). Parameter gradients
+// accumulate into the layer's Params; the returned slices are the gradients
+// w.r.t. each input step.
+//
+// Input/hidden gradients (dx, dhPrev) accumulate in ascending gate-row
+// order via the transpose kernels, whereas the pre-kernel code grouped the
+// four gate contributions per hidden unit. The sums are mathematically
+// identical but may differ in final ulps; every consumer (gradient checks,
+// trained-model tests, campaign goldens) asserts through tolerances or
+// properties, never on gradient bit patterns. Parameter gradients touch
+// each element exactly once, so their values are order-independent.
+func (l *LSTM) BackwardSeqWS(ws *Workspace, cache *LSTMCache, dhs [][]float64) [][]float64 {
+	T := cache.t
 	if len(dhs) != T {
 		panic(fmt.Sprintf("nn: lstm backward got %d grads for %d steps", len(dhs), T))
 	}
 	H := l.Hidden
-	dxs := make([][]float64, T)
-	dhNext := make([]float64, H)
-	dcNext := make([]float64, H)
+	dxsFlat := ws.take(T * l.In)
+	dxs := ws.takeRows(T)
+	dhNext := ws.take(H)
+	dcNext := ws.take(H)
+	dhPrev := ws.take(H)
+	dcPrev := ws.take(H)
+	dz := ws.takeRaw(4 * H)
+	zeroH := ws.take(H)
 	for t := T - 1; t >= 0; t-- {
-		st := cache.steps[t]
-		dh := make([]float64, H)
-		for j := 0; j < H; j++ {
-			dh[j] = dhNext[j]
-			if dhs[t] != nil {
-				dh[j] += dhs[t][j]
-			}
+		gates := cache.gates[t*4*H : (t+1)*4*H]
+		tcs := cache.tanhC[t*H : (t+1)*H]
+		cPrev, hPrev := zeroH, zeroH
+		if t > 0 {
+			cPrev = cache.c[(t-1)*H : t*H]
+			hPrev = cache.h[(t-1)*H : t*H]
 		}
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, H)
-		dcPrev := make([]float64, H)
+		dht := dhs[t]
 		for j := 0; j < H; j++ {
-			tanhC := math.Tanh(st.c[j])
-			do := dh[j] * tanhC
-			dc := dh[j]*st.o[j]*(1-tanhC*tanhC) + dcNext[j]
-			di := dc * st.g[j]
-			dg := dc * st.i[j]
-			df := dc * st.cPrev[j]
-			dcPrev[j] = dc * st.f[j]
+			dh := dhNext[j]
+			if dht != nil {
+				dh += dht[j]
+			}
+			i, f, g, o := gates[j], gates[H+j], gates[2*H+j], gates[3*H+j]
+			tanhC := tcs[j]
+			do := dh * tanhC
+			dc := dh*o*(1-tanhC*tanhC) + dcNext[j]
+			di := dc * g
+			dg := dc * i
+			df := dc * cPrev[j]
+			dcPrev[j] = dc * f
 
-			dzi := di * st.i[j] * (1 - st.i[j])
-			dzf := df * st.f[j] * (1 - st.f[j])
-			dzg := dg * (1 - st.g[j]*st.g[j])
-			dzo := do * st.o[j] * (1 - st.o[j])
+			dzi := di * i * (1 - i)
+			dzf := df * f * (1 - f)
+			dzg := dg * (1 - g*g)
+			dzo := do * o * (1 - o)
+			dz[j], dz[H+j], dz[2*H+j], dz[3*H+j] = dzi, dzf, dzg, dzo
 
 			l.B.G[j] += dzi
 			l.B.G[H+j] += dzf
 			l.B.G[2*H+j] += dzg
 			l.B.G[3*H+j] += dzo
-
-			rowI := l.Wx.W[j*l.In : (j+1)*l.In]
-			rowF := l.Wx.W[(H+j)*l.In : (H+j+1)*l.In]
-			rowG := l.Wx.W[(2*H+j)*l.In : (2*H+j+1)*l.In]
-			rowO := l.Wx.W[(3*H+j)*l.In : (3*H+j+1)*l.In]
-			gRowI := l.Wx.G[j*l.In : (j+1)*l.In]
-			gRowF := l.Wx.G[(H+j)*l.In : (H+j+1)*l.In]
-			gRowG := l.Wx.G[(2*H+j)*l.In : (2*H+j+1)*l.In]
-			gRowO := l.Wx.G[(3*H+j)*l.In : (3*H+j+1)*l.In]
-			for k, xk := range st.x {
-				gRowI[k] += dzi * xk
-				gRowF[k] += dzf * xk
-				gRowG[k] += dzg * xk
-				gRowO[k] += dzo * xk
-				dx[k] += dzi*rowI[k] + dzf*rowF[k] + dzg*rowG[k] + dzo*rowO[k]
-			}
-			var hPrev []float64
-			if t > 0 {
-				hPrev = cache.steps[t-1].h
-			} else {
-				hPrev = make([]float64, H)
-			}
-			hRowI := l.Wh.W[j*H : (j+1)*H]
-			hRowF := l.Wh.W[(H+j)*H : (H+j+1)*H]
-			hRowG := l.Wh.W[(2*H+j)*H : (2*H+j+1)*H]
-			hRowO := l.Wh.W[(3*H+j)*H : (3*H+j+1)*H]
-			ghRowI := l.Wh.G[j*H : (j+1)*H]
-			ghRowF := l.Wh.G[(H+j)*H : (H+j+1)*H]
-			ghRowG := l.Wh.G[(2*H+j)*H : (2*H+j+1)*H]
-			ghRowO := l.Wh.G[(3*H+j)*H : (3*H+j+1)*H]
-			for k := 0; k < H; k++ {
-				hk := hPrev[k]
-				ghRowI[k] += dzi * hk
-				ghRowF[k] += dzf * hk
-				ghRowG[k] += dzg * hk
-				ghRowO[k] += dzo * hk
-				dhPrev[k] += dzi*hRowI[k] + dzf*hRowF[k] + dzg*hRowG[k] + dzo*hRowO[k]
-			}
 		}
+		x := cache.xs[t]
+		dx := dxsFlat[t*l.In : (t+1)*l.In]
+		kernels.OuterAcc(l.Wx.G, 4*H, l.In, dz, x)
+		kernels.MatTVecAcc(dx, l.Wx.W, 4*H, l.In, dz)
+		kernels.OuterAcc(l.Wh.G, 4*H, H, dz, hPrev)
+		kernels.MatTVecAcc(dhPrev, l.Wh.W, 4*H, H, dz)
 		dxs[t] = dx
-		dhNext = dhPrev
-		dcNext = dcPrev
+		dhNext, dhPrev = dhPrev, dhNext
+		dcNext, dcPrev = dcPrev, dcNext
+		kernels.Zero(dhPrev)
+		kernels.Zero(dcPrev)
 	}
 	return dxs
 }
@@ -236,6 +234,16 @@ func (s *StackedLSTM) Params() []*Param {
 	return ps
 }
 
+// GradShadow returns a weight-sharing copy of the stack with private
+// gradient accumulators (see LSTM.GradShadow).
+func (s *StackedLSTM) GradShadow() *StackedLSTM {
+	out := &StackedLSTM{Layers: make([]*LSTM, len(s.Layers))}
+	for i, l := range s.Layers {
+		out.Layers[i] = l.GradShadow()
+	}
+	return out
+}
+
 // StackedCache chains per-layer caches.
 type StackedCache struct {
 	caches []*LSTMCache
@@ -243,10 +251,16 @@ type StackedCache struct {
 
 // ForwardSeq returns the top layer's hidden sequence.
 func (s *StackedLSTM) ForwardSeq(xs [][]float64) ([][]float64, *StackedCache) {
-	c := &StackedCache{}
+	return s.ForwardSeqWS(nil, xs)
+}
+
+// ForwardSeqWS is ForwardSeq over the given workspace; intermediate layer
+// outputs live in the workspace, so nothing per-step is heap-allocated.
+func (s *StackedLSTM) ForwardSeqWS(ws *Workspace, xs [][]float64) ([][]float64, *StackedCache) {
+	c := &StackedCache{caches: make([]*LSTMCache, 0, len(s.Layers))}
 	for _, l := range s.Layers {
 		var lc *LSTMCache
-		xs, lc = l.ForwardSeq(xs)
+		xs, lc = l.ForwardSeqWS(ws, xs)
 		c.caches = append(c.caches, lc)
 	}
 	return xs, c
@@ -254,8 +268,13 @@ func (s *StackedLSTM) ForwardSeq(xs [][]float64) ([][]float64, *StackedCache) {
 
 // BackwardSeq backpropagates top-down through the stack.
 func (s *StackedLSTM) BackwardSeq(cache *StackedCache, dhs [][]float64) [][]float64 {
+	return s.BackwardSeqWS(nil, cache, dhs)
+}
+
+// BackwardSeqWS backpropagates top-down through the stack over ws.
+func (s *StackedLSTM) BackwardSeqWS(ws *Workspace, cache *StackedCache, dhs [][]float64) [][]float64 {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dhs = s.Layers[i].BackwardSeq(cache.caches[i], dhs)
+		dhs = s.Layers[i].BackwardSeqWS(ws, cache.caches[i], dhs)
 	}
 	return dhs
 }
@@ -263,7 +282,15 @@ func (s *StackedLSTM) BackwardSeq(cache *StackedCache, dhs [][]float64) [][]floa
 // LastHiddenGrad builds a dhs slice that is zero everywhere except the final
 // step, for nets that read only the last hidden state.
 func LastHiddenGrad(T, hidden int, dLast []float64) [][]float64 {
-	dhs := make([][]float64, T)
-	dhs[T-1] = append([]float64(nil), dLast...)
+	return LastHiddenGradWS(nil, T, hidden, dLast)
+}
+
+// LastHiddenGradWS is LastHiddenGrad with the final-step gradient copied
+// into workspace memory.
+func LastHiddenGradWS(ws *Workspace, T, hidden int, dLast []float64) [][]float64 {
+	dhs := ws.takeRows(T)
+	last := ws.take(hidden)
+	copy(last, dLast)
+	dhs[T-1] = last
 	return dhs
 }

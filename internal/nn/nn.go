@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"spottune/internal/kernels"
 )
 
 // Param is one trainable tensor (flattened row-major) with its gradient
@@ -50,6 +52,18 @@ func (p *Param) ZeroGrad() {
 	for i := range p.G {
 		p.G[i] = 0
 	}
+}
+
+// GradShadow returns a Param that shares this parameter's weights but owns
+// a private, zeroed gradient buffer. Parallel mini-batch workers accumulate
+// into shadows; AddGrad folds the shards back in deterministic order.
+func (p *Param) GradShadow() *Param {
+	return &Param{Name: p.Name, Rows: p.Rows, Cols: p.Cols, W: p.W, G: make([]float64, len(p.W))}
+}
+
+// AddGrad accumulates another parameter's gradient buffer into this one.
+func (p *Param) AddGrad(src *Param) {
+	kernels.Axpy(p.G, 1, src.G)
 }
 
 // At returns W[r][c].
@@ -106,12 +120,19 @@ func (a Activation) derivFromOutput(y float64) float64 {
 	}
 }
 
+// sigmoid is the numerically stable logistic, shaped for inlining: one Exp
+// call site keeps it under the inliner budget, which matters because the
+// LSTM gate loop calls it three times per hidden unit per timestep. For
+// x < 0 it computes 1 − 1/(1+e^x) instead of the algebraically identical
+// e^x/(1+e^x); the two differ by at most 1 ulp until e^x underflows the
+// subtraction (|x| ≳ 36, where both sides are saturated anyway).
 func sigmoid(x float64) float64 {
-	if x >= 0 {
-		return 1 / (1 + math.Exp(-x))
+	e := math.Exp(-math.Abs(x))
+	s := 1 / (1 + e)
+	if x < 0 {
+		s = 1 - s
 	}
-	e := math.Exp(x)
-	return e / (1 + e)
+	return s
 }
 
 // Dense is a fully connected layer y = act(W·x + b).
@@ -140,45 +161,62 @@ func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// DenseCache stores what Backward needs.
+// GradShadow returns a weight-sharing copy of the layer with private
+// gradient accumulators (see Param.GradShadow).
+func (d *Dense) GradShadow() *Dense {
+	return &Dense{In: d.In, Out: d.Out, W: d.W.GradShadow(), B: d.B.GradShadow(), Act: d.Act}
+}
+
+// DenseCache stores what Backward needs. The input is borrowed, not copied:
+// callers must not mutate x between Forward and Backward.
 type DenseCache struct {
-	x []float64 // input
+	x []float64 // input (borrowed)
 	y []float64 // post-activation output
 }
 
 // Forward computes y = act(W·x + b).
 func (d *Dense) Forward(x []float64) ([]float64, *DenseCache) {
+	return d.ForwardWS(nil, x)
+}
+
+// ForwardWS is Forward over the given workspace; y is carved from ws. Each
+// output accumulates bias first, then the input terms in
+// kernels.MatVecAcc's documented pairwise order — deterministic and
+// platform-independent (see DESIGN.md, "Kernels layer").
+func (d *Dense) ForwardWS(ws *Workspace, x []float64) ([]float64, *DenseCache) {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense %s expects input %d, got %d", d.W.Name, d.In, len(x)))
 	}
-	y := make([]float64, d.Out)
-	for o := 0; o < d.Out; o++ {
-		s := d.B.W[o]
-		row := d.W.W[o*d.In : (o+1)*d.In]
-		for i, xi := range x {
-			s += row[i] * xi
+	y := ws.take(d.Out)
+	copy(y, d.B.W)
+	kernels.MatVecAcc(y, d.W.W, d.Out, d.In, x)
+	if d.Act != Identity {
+		for o, v := range y {
+			y[o] = d.Act.apply(v)
 		}
-		y[o] = d.Act.apply(s)
 	}
-	return y, &DenseCache{x: append([]float64(nil), x...), y: y}
+	return y, &DenseCache{x: x, y: y}
 }
 
 // Backward accumulates parameter gradients for upstream gradient dy and
 // returns the gradient w.r.t. the input.
 func (d *Dense) Backward(cache *DenseCache, dy []float64) []float64 {
+	return d.BackwardWS(nil, cache, dy)
+}
+
+// BackwardWS is Backward over the given workspace. The accumulation order
+// into dx is unchanged from the pre-kernel implementation (per output row,
+// ascending input index).
+func (d *Dense) BackwardWS(ws *Workspace, cache *DenseCache, dy []float64) []float64 {
 	if len(dy) != d.Out {
 		panic(fmt.Sprintf("nn: dense %s backward expects grad %d, got %d", d.W.Name, d.Out, len(dy)))
 	}
-	dx := make([]float64, d.In)
+	dx := ws.take(d.In)
 	for o := 0; o < d.Out; o++ {
 		dz := dy[o] * d.Act.derivFromOutput(cache.y[o])
 		d.B.G[o] += dz
-		row := d.W.W[o*d.In : (o+1)*d.In]
-		grow := d.W.G[o*d.In : (o+1)*d.In]
-		for i, xi := range cache.x {
-			grow[i] += dz * xi
-			dx[i] += dz * row[i]
-		}
+		kernels.Axpy(d.W.G[o*d.In:(o+1)*d.In], dz, cache.x)
+		kernels.Axpy(dx, dz, d.W.W[o*d.In:(o+1)*d.In])
 	}
 	return dx
 }
@@ -217,6 +255,16 @@ func (m *MLP) Params() []*Param {
 	return ps
 }
 
+// GradShadow returns a weight-sharing copy of the MLP with private gradient
+// accumulators (see Param.GradShadow).
+func (m *MLP) GradShadow() *MLP {
+	out := &MLP{Layers: make([]*Dense, len(m.Layers))}
+	for i, l := range m.Layers {
+		out.Layers[i] = l.GradShadow()
+	}
+	return out
+}
+
 // MLPCache chains per-layer caches.
 type MLPCache struct {
 	caches []*DenseCache
@@ -224,10 +272,15 @@ type MLPCache struct {
 
 // Forward applies every layer in order.
 func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
-	c := &MLPCache{}
+	return m.ForwardWS(nil, x)
+}
+
+// ForwardWS applies every layer in order over the given workspace.
+func (m *MLP) ForwardWS(ws *Workspace, x []float64) ([]float64, *MLPCache) {
+	c := &MLPCache{caches: make([]*DenseCache, 0, len(m.Layers))}
 	for _, l := range m.Layers {
 		var dc *DenseCache
-		x, dc = l.Forward(x)
+		x, dc = l.ForwardWS(ws, x)
 		c.caches = append(c.caches, dc)
 	}
 	return x, c
@@ -235,8 +288,13 @@ func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
 
 // Backward walks the layers in reverse, accumulating gradients.
 func (m *MLP) Backward(cache *MLPCache, dy []float64) []float64 {
+	return m.BackwardWS(nil, cache, dy)
+}
+
+// BackwardWS walks the layers in reverse over the given workspace.
+func (m *MLP) BackwardWS(ws *Workspace, cache *MLPCache, dy []float64) []float64 {
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		dy = m.Layers[i].Backward(cache.caches[i], dy)
+		dy = m.Layers[i].BackwardWS(ws, cache.caches[i], dy)
 	}
 	return dy
 }

@@ -1,0 +1,76 @@
+package nn
+
+import "spottune/internal/kernels"
+
+// Workspace is a reusable scratch arena for forward/backward passes — the
+// BPTT workspace of the kernels layer. One Workspace serves one goroutine;
+// callers that share a model across goroutines (e.g. revpred inference under
+// a campaign sweep) keep a Workspace per goroutine or pool them.
+//
+// Ownership rule: every slice a layer carves from the workspace — gate
+// activations, caches, returned hidden sequences and gradients — is valid
+// until the next Reset. Reset at the start of each training/inference
+// round, after the previous round's outputs have been consumed or copied.
+type Workspace struct {
+	arena kernels.Arena
+
+	// rows is a bump allocator for [][]float64 headers (per-step views),
+	// so unrolled sequences allocate nothing per call.
+	rows    [][]float64
+	rowsOff int
+}
+
+// NewWorkspace returns an empty workspace; backing memory is allocated
+// lazily on first use and reused after Reset.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset rewinds the workspace, invalidating every slice handed out since
+// the previous Reset.
+func (w *Workspace) Reset() {
+	if w != nil {
+		w.arena.Reset()
+		w.rowsOff = 0
+	}
+}
+
+// takeRows returns a slice of n nil row headers valid until the next Reset.
+func (w *Workspace) takeRows(n int) [][]float64 {
+	if w == nil {
+		return make([][]float64, n)
+	}
+	if w.rowsOff+n > len(w.rows) {
+		need := 2*len(w.rows) + n
+		grown := make([][]float64, need)
+		copy(grown, w.rows[:w.rowsOff])
+		w.rows = grown
+	}
+	s := w.rows[w.rowsOff : w.rowsOff+n : w.rowsOff+n]
+	w.rowsOff += n
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// Take returns a zeroed scratch slice valid until the next Reset. It is
+// the public form of take, for callers assembling their own buffers (e.g.
+// revpred's joint feature vector) inside a forward pass.
+func (w *Workspace) Take(n int) []float64 { return w.take(n) }
+
+// take returns a zeroed scratch slice: arena-backed when a workspace is
+// present, plain make otherwise (the workspace-free compatibility paths).
+func (w *Workspace) take(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	return w.arena.Take(n)
+}
+
+// takeRaw is take without zeroing, for buffers that are fully overwritten
+// before being read.
+func (w *Workspace) takeRaw(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	return w.arena.TakeRaw(n)
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randSeq(rng *rand.Rand, T, n int) [][]float64 {
+	xs := make([][]float64, T)
+	for t := range xs {
+		xs[t] = make([]float64, n)
+		for j := range xs[t] {
+			xs[t][j] = 2*rng.Float64() - 1
+		}
+	}
+	return xs
+}
+
+// TestForwardSeqWSMatchesPlain: the workspace path must be bit-identical to
+// the workspace-free path — same kernels, different memory source.
+func TestForwardSeqWSMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := NewStackedLSTM("ws", 5, 7, 2, rng)
+	xs := randSeq(rng, 13, 5)
+	plain, _ := s.ForwardSeq(xs)
+	ws := NewWorkspace()
+	for round := 0; round < 3; round++ { // reuse must not corrupt results
+		ws.Reset()
+		got, _ := s.ForwardSeqWS(ws, xs)
+		for st := range plain {
+			for j := range plain[st] {
+				if got[st][j] != plain[st][j] {
+					t.Fatalf("round %d: h[%d][%d] = %v, plain %v", round, st, j, got[st][j], plain[st][j])
+				}
+			}
+		}
+	}
+}
+
+// TestBackwardSeqWSMatchesPlain: gradients from the workspace path must be
+// bit-identical to the workspace-free path.
+func TestBackwardSeqWSMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	build := func() *StackedLSTM {
+		r := rand.New(rand.NewPCG(7, 7))
+		return NewStackedLSTM("bw", 4, 6, 2, r)
+	}
+	xs := randSeq(rng, 11, 4)
+	dLast := make([]float64, 6)
+	for j := range dLast {
+		dLast[j] = 2*rng.Float64() - 1
+	}
+
+	a := build()
+	hsA, cacheA := a.ForwardSeq(xs)
+	a.BackwardSeq(cacheA, LastHiddenGrad(len(xs), 6, dLast))
+	_ = hsA
+
+	b := build()
+	ws := NewWorkspace()
+	_, cacheB := b.ForwardSeqWS(ws, xs)
+	b.BackwardSeqWS(ws, cacheB, LastHiddenGradWS(ws, len(xs), 6, dLast))
+
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for k := range pa[i].G {
+			if pa[i].G[k] != pb[i].G[k] {
+				t.Fatalf("param %s grad[%d]: ws %v, plain %v", pa[i].Name, k, pb[i].G[k], pa[i].G[k])
+			}
+		}
+	}
+}
+
+// TestGradShadowAccumulates: backprop through a shadow leaves the real
+// gradients untouched until AddGrad folds them in, and the fold reproduces
+// direct accumulation bit-for-bit.
+func TestGradShadowAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	build := func() *StackedLSTM {
+		r := rand.New(rand.NewPCG(11, 11))
+		return NewStackedLSTM("sh", 3, 5, 2, r)
+	}
+	xs := randSeq(rng, 9, 3)
+	dLast := make([]float64, 5)
+	for j := range dLast {
+		dLast[j] = 2*rng.Float64() - 1
+	}
+
+	direct := build()
+	_, c1 := direct.ForwardSeq(xs)
+	direct.BackwardSeq(c1, LastHiddenGrad(len(xs), 5, dLast))
+
+	via := build()
+	shadow := via.GradShadow()
+	if &shadow.Layers[0].Wx.W[0] != &via.Layers[0].Wx.W[0] {
+		t.Fatal("shadow does not share weights")
+	}
+	_, c2 := shadow.ForwardSeq(xs)
+	shadow.BackwardSeq(c2, LastHiddenGrad(len(xs), 5, dLast))
+	for _, p := range via.Params() {
+		for _, g := range p.G {
+			if g != 0 {
+				t.Fatal("shadow backprop leaked into real gradients")
+			}
+		}
+	}
+	sp := shadow.Params()
+	for i, p := range via.Params() {
+		p.AddGrad(sp[i])
+	}
+	dp := direct.Params()
+	vp := via.Params()
+	for i := range dp {
+		for k := range dp[i].G {
+			if dp[i].G[k] != vp[i].G[k] {
+				t.Fatalf("param %s grad[%d]: shadow-folded %v, direct %v", dp[i].Name, k, vp[i].G[k], dp[i].G[k])
+			}
+		}
+	}
+}
+
+// TestDenseWSMatchesPlain covers the dense/MLP workspace variants.
+func TestDenseWSMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	m := NewMLP("mlp", []int{6, 8, 3}, ReLU, Identity, rng)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	yPlain, cPlain := m.Forward(x)
+	ws := NewWorkspace()
+	yWS, cWS := m.ForwardWS(ws, x)
+	for i := range yPlain {
+		if yPlain[i] != yWS[i] {
+			t.Fatalf("y[%d]: %v vs %v", i, yWS[i], yPlain[i])
+		}
+	}
+	dy := []float64{0.3, -0.2, 0.9}
+	dxPlain := m.Backward(cPlain, dy)
+	gPlain := make([][]float64, 0)
+	for _, p := range m.Params() {
+		gPlain = append(gPlain, append([]float64(nil), p.G...))
+		p.ZeroGrad()
+	}
+	dxWS := m.BackwardWS(ws, cWS, dy)
+	for i := range dxPlain {
+		if dxPlain[i] != dxWS[i] {
+			t.Fatalf("dx[%d]: %v vs %v", i, dxWS[i], dxPlain[i])
+		}
+	}
+	for pi, p := range m.Params() {
+		for k := range p.G {
+			if p.G[k] != gPlain[pi][k] {
+				t.Fatalf("param %s grad[%d]: %v vs %v", p.Name, k, p.G[k], gPlain[pi][k])
+			}
+		}
+	}
+}

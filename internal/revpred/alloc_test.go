@@ -1,0 +1,29 @@
+package revpred
+
+import "testing"
+
+// TestPredictAllocBudget is the tier-1 allocation guard for the
+// provisioning hot path: Model.Predict with a warm scratch pool must stay
+// within a small fixed budget per call (the pre-cache implementation
+// assembled ~1300 allocations per query). The sliding-window cache plus
+// pooled workspaces leave only a handful of per-layer cache headers.
+func TestPredictAllocBudget(t *testing.T) {
+	g := spikyGrid(t, 3)
+	m, err := Train(g, 0, g.Len(), Config{Hidden: 6, Depth: 2, Epochs: 1, BatchSize: 16, Stride: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := HistorySteps + 100
+	// Warm the pool so scratch construction is not billed to steady state.
+	m.Predict(g, i, g.Prices[i]+0.05)
+	n := 0
+	avg := testing.AllocsPerRun(50, func() {
+		idx := i + n%50 // slide the window forward, as the provisioner does
+		n++
+		m.Predict(g, idx, g.Prices[idx]+0.05)
+	})
+	const budget = 48 // measured ~13; old implementation: ~1300
+	if avg > budget {
+		t.Errorf("Model.Predict allocates %.1f times per query, budget %d", avg, budget)
+	}
+}

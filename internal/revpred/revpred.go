@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"spottune/internal/market"
 	"spottune/internal/nn"
@@ -47,6 +48,13 @@ type Config struct {
 	ClipNorm float64
 	// Seed drives weight init, shuffling and max-price deltas.
 	Seed uint64
+	// Workers is the number of gradient shards a mini-batch is split into
+	// for parallel backpropagation (default 4). The shard layout and the
+	// order shard gradients are folded back are fixed by this value alone,
+	// so a given (config, seed) trains the identical model on any machine
+	// and any GOMAXPROCS. Workers=1 reproduces strictly sequential
+	// per-sample accumulation.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.ClipNorm <= 0 {
 		c.ClipNorm = 5
 	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
 	return c
 }
 
@@ -86,15 +97,21 @@ type Sample struct {
 // prices relative to the on-demand price, counts/durations relative to the
 // one-hour window, hour-of-day to [0,1].
 func normalizeFeatures(raw [market.FeatureCount]float64, it market.InstanceType) []float64 {
+	dst := make([]float64, market.FeatureCount)
+	normalizeFeaturesInto(dst, raw, it)
+	return dst
+}
+
+// normalizeFeaturesInto is normalizeFeatures writing into a caller-owned
+// buffer — the allocation-free form the inference hot path uses.
+func normalizeFeaturesInto(dst []float64, raw [market.FeatureCount]float64, it market.InstanceType) {
 	od := it.OnDemandPrice
-	return []float64{
-		raw[0] / od,
-		raw[1] / od,
-		raw[2] / 60.0,
-		raw[3] / 60.0,
-		raw[4],
-		raw[5] / 23.0,
-	}
+	dst[0] = raw[0] / od
+	dst[1] = raw[1] / od
+	dst[2] = raw[2] / 60.0
+	dst[3] = raw[3] / 60.0
+	dst[4] = raw[4]
+	dst[5] = raw[5] / 23.0
 }
 
 // DeltaMode selects how the maximum-price delta over the current price is
@@ -192,7 +209,9 @@ func classBalance(samples []Sample) (phiPos, phiNeg float64) {
 	return phiPos, phiNeg
 }
 
-// Model is a trained RevPred network for one spot market.
+// Model is a trained RevPred network for one spot market. Predict is safe
+// for concurrent use: per-call scratch (feature windows, forward workspace)
+// comes from an internal pool, never from shared mutable state.
 type Model struct {
 	Type   market.InstanceType
 	Hidden int
@@ -204,6 +223,48 @@ type Model struct {
 	// PhiPos/PhiNeg are the training-set class fractions used both for
 	// loss weighting and the Eq. 3 odds recalibration.
 	PhiPos, PhiNeg float64
+
+	// scratch pools *inferScratch values. Each holds a sliding feature
+	// window plus the history branch's hidden state for its last (grid,
+	// minute), so the common provisioning pattern — every candidate
+	// maximum price queried at the same minute, minutes advancing one at
+	// a time — reuses both the assembled features and the LSTM pass.
+	scratch sync.Pool
+}
+
+// inferScratch is the per-goroutine inference state. All caching is exact:
+// reused feature rows and hidden states are pure functions of (grid,
+// minute), so cached and cold paths return identical bits.
+type inferScratch struct {
+	ws *nn.Workspace
+
+	grid   *market.Grid
+	minute int
+	valid  bool
+
+	histBuf []float64   // HistorySteps × FeatureCount, sliding window
+	hist    [][]float64 // row views into histBuf
+	present []float64   // PresentFeatures assembly buffer
+
+	lastHidden []float64 // history-branch output for (grid, minute)
+	hiddenOK   bool
+}
+
+func (m *Model) getScratch() *inferScratch {
+	if sc, ok := m.scratch.Get().(*inferScratch); ok {
+		return sc
+	}
+	sc := &inferScratch{
+		ws:         nn.NewWorkspace(),
+		histBuf:    make([]float64, HistorySteps*market.FeatureCount),
+		hist:       make([][]float64, HistorySteps),
+		present:    make([]float64, PresentFeatures),
+		lastHidden: make([]float64, m.Hidden),
+	}
+	for k := range sc.hist {
+		sc.hist[k] = sc.histBuf[k*market.FeatureCount : (k+1)*market.FeatureCount]
+	}
+	return sc
 }
 
 // Params returns all trainable parameters.
@@ -229,23 +290,49 @@ func newModel(it market.InstanceType, cfg Config, rng *rand.Rand) *Model {
 
 // forward runs one sample through the net and returns the logit plus caches.
 func (m *Model) forward(s *Sample) (float64, *nn.StackedCache, *nn.MLPCache, *nn.MLPCache) {
-	hs, hc := m.hist.ForwardSeq(s.History)
+	return m.forwardWS(nil, s)
+}
+
+// forwardWS is forward over a reusable workspace. The caller owns the
+// workspace lifecycle: this resets it, so any previous round's buffers die
+// here.
+func (m *Model) forwardWS(ws *nn.Workspace, s *Sample) (float64, *nn.StackedCache, *nn.MLPCache, *nn.MLPCache) {
+	ws.Reset()
+	hs, hc := m.hist.ForwardSeqWS(ws, s.History)
 	last := hs[len(hs)-1]
-	emb, pc := m.present.Forward(s.Present)
-	joint := make([]float64, 0, 2*m.Hidden)
-	joint = append(joint, last...)
-	joint = append(joint, emb...)
-	z, hcHead := m.head.Forward(joint)
+	emb, pc := m.present.ForwardWS(ws, s.Present)
+	joint := ws.Take(2 * m.Hidden)
+	copy(joint[:m.Hidden], last)
+	copy(joint[m.Hidden:], emb)
+	z, hcHead := m.head.ForwardWS(ws, joint)
 	return z[0], hc, pc, hcHead
 }
 
 // backward pushes dz through the net, accumulating gradients.
 func (m *Model) backward(s *Sample, hc *nn.StackedCache, pc *nn.MLPCache, hcHead *nn.MLPCache, dz float64) {
-	dJoint := m.head.Backward(hcHead, []float64{dz})
+	m.backwardWS(nil, s, hc, pc, hcHead, dz)
+}
+
+func (m *Model) backwardWS(ws *nn.Workspace, _ *Sample, hc *nn.StackedCache, pc *nn.MLPCache, hcHead *nn.MLPCache, dz float64) {
+	dJoint := m.head.BackwardWS(ws, hcHead, []float64{dz})
 	dLast := dJoint[:m.Hidden]
 	dEmb := dJoint[m.Hidden:]
-	m.present.Backward(pc, dEmb)
-	m.hist.BackwardSeq(hc, nn.LastHiddenGrad(HistorySteps, m.Hidden, dLast))
+	m.present.BackwardWS(ws, pc, dEmb)
+	m.hist.BackwardSeqWS(ws, hc, nn.LastHiddenGradWS(ws, HistorySteps, m.Hidden, dLast))
+}
+
+// gradShadow returns a weight-sharing copy with private gradient buffers —
+// one per parallel training shard.
+func (m *Model) gradShadow() *Model {
+	return &Model{
+		Type:    m.Type,
+		Hidden:  m.Hidden,
+		hist:    m.hist.GradShadow(),
+		present: m.present.GradShadow(),
+		head:    m.head.GradShadow(),
+		PhiPos:  m.PhiPos,
+		PhiNeg:  m.PhiNeg,
+	}
 }
 
 // RawScore returns the uncalibrated network output P̂ for a sample.
@@ -278,13 +365,53 @@ func (m *Model) Score(s *Sample) float64 { return m.Calibrate(m.RawScore(s)) }
 
 // Predict builds the feature sample for minute i of grid g with the given
 // maximum price and returns the calibrated revocation probability.
+//
+// This is the provisioning hot path (one call per candidate market per
+// deployment decision), so it runs on pooled scratch with two exact caches:
+// the normalized history window slides forward instead of being rebuilt
+// (only rows for new minutes are recomputed), and the history branch's
+// LSTM output is reused outright when the same (grid, minute) is queried
+// with a different maximum price — the maximum price only enters the
+// present branch. Cached and cold paths return identical bits.
 func (m *Model) Predict(g *market.Grid, i int, maxPrice float64) float64 {
-	s, err := sampleAt(g, i, maxPrice)
-	if err != nil {
+	if i < HistorySteps || i >= g.Len() {
 		// Not enough history yet: fall back to the base rate.
 		return m.PhiPos
 	}
-	return m.Score(s)
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	const F = market.FeatureCount
+	fresh := HistorySteps // rows to recompute at the window's tail
+	switch {
+	case sc.valid && sc.grid == g && sc.minute == i:
+		fresh = 0
+	case sc.valid && sc.grid == g && i > sc.minute && i-sc.minute < HistorySteps:
+		d := i - sc.minute
+		copy(sc.histBuf, sc.histBuf[d*F:])
+		fresh = d
+	}
+	for k := HistorySteps - fresh; k < HistorySteps; k++ {
+		normalizeFeaturesInto(sc.hist[k], g.Features(i-HistorySteps+k), g.Type)
+	}
+	if fresh > 0 || !sc.valid {
+		sc.hiddenOK = false
+	}
+	sc.grid, sc.minute, sc.valid = g, i, true
+	if !sc.hiddenOK {
+		sc.ws.Reset()
+		hs, _ := m.hist.ForwardSeqWS(sc.ws, sc.hist)
+		copy(sc.lastHidden, hs[len(hs)-1])
+		sc.hiddenOK = true
+	}
+	normalizeFeaturesInto(sc.present, g.Features(i), g.Type)
+	sc.present[F] = maxPrice / g.Type.OnDemandPrice
+	sc.ws.Reset()
+	emb, _ := m.present.ForwardWS(sc.ws, sc.present)
+	joint := sc.ws.Take(2 * m.Hidden)
+	copy(joint[:m.Hidden], sc.lastHidden)
+	copy(joint[m.Hidden:], emb)
+	z, _ := m.head.ForwardWS(sc.ws, joint)
+	return m.Calibrate(nn.Logistic(z[0]))
 }
 
 // sampleAt assembles an unlabeled sample for inference.
@@ -304,6 +431,12 @@ func sampleAt(g *market.Grid, i int, maxPrice float64) (*Sample, error) {
 // Maximum prices are generated per Algorithm 2 (fluctuation deltas, mixed
 // with a random-delta share so the model learns max-price sensitivity); the
 // loss is class-weighted BCE; gradients are norm-clipped; Adam optimizes.
+//
+// Each mini-batch is split into cfg.Workers contiguous shards whose
+// gradients are backpropagated in parallel into weight-sharing shadows and
+// folded back in shard order — the shard layout depends only on the config,
+// never on the machine, so training is deterministic everywhere (see
+// Config.Workers).
 func Train(g *market.Grid, from, to int, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5e7a11))
@@ -324,6 +457,20 @@ func Train(g *market.Grid, from, to int, cfg Config) (*Model, error) {
 	opt := nn.NewAdam(cfg.LR)
 	params := m.Params()
 
+	workers := cfg.Workers
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	type shard struct {
+		model  *Model
+		params []*nn.Param
+		ws     *nn.Workspace
+	}
+	shards := make([]*shard, workers)
+	for w := range shards {
+		sm := m.gradShadow()
+		shards[w] = &shard{model: sm, params: sm.Params(), ws: nn.NewWorkspace()}
+	}
 	idx := make([]int, len(samples))
 	for i := range idx {
 		idx[i] = i
@@ -331,12 +478,32 @@ func Train(g *market.Grid, from, to int, cfg Config) (*Model, error) {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
 		for start := 0; start+cfg.BatchSize <= len(idx); start += cfg.BatchSize {
+			batch := idx[start : start+cfg.BatchSize]
+			var wg sync.WaitGroup
+			for w, sh := range shards {
+				lo := w * cfg.BatchSize / workers
+				hi := (w + 1) * cfg.BatchSize / workers
+				if lo == hi {
+					continue
+				}
+				wg.Add(1)
+				go func(sh *shard, chunk []int) {
+					defer wg.Done()
+					nn.ZeroGrads(sh.params)
+					for _, si := range chunk {
+						s := &samples[si]
+						z, hc, pc, hcHead := sh.model.forwardWS(sh.ws, s)
+						_, dz := loss.Loss(z, s.Label)
+						sh.model.backwardWS(sh.ws, s, hc, pc, hcHead, dz/float64(cfg.BatchSize))
+					}
+				}(sh, batch[lo:hi])
+			}
+			wg.Wait()
 			nn.ZeroGrads(params)
-			for _, si := range idx[start : start+cfg.BatchSize] {
-				s := &samples[si]
-				z, hc, pc, hcHead := m.forward(s)
-				_, dz := loss.Loss(z, s.Label)
-				m.backward(s, hc, pc, hcHead, dz/float64(cfg.BatchSize))
+			for _, sh := range shards {
+				for pi, p := range params {
+					p.AddGrad(sh.params[pi])
+				}
 			}
 			nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
