@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all vet build test test-short bench bench-campaign ci
+# Total -short coverage recorded when the scenario engine landed; the cover
+# target (and CI's coverage lane) fail if the suite drops below it.
+COVER_FLOOR ?= 73.0
+
+.PHONY: all vet build test test-short bench bench-campaign scenarios fuzz cover ci
 
 all: ci
 
@@ -35,4 +39,25 @@ bench:
 bench-campaign:
 	$(GO) test -bench 'BenchmarkCampaign' -run '^$$' -benchtime 5x .
 
-ci: vet build test-short bench-campaign
+# The full scenario x policy matrix at quick fidelity: every regime and
+# fault scenario crossed with every registered policy, invariant-audited,
+# per-cell CSV in results/scenarios.csv. Exits non-zero on any violation.
+scenarios:
+	$(GO) run ./cmd/scenarios -quick -out results
+
+# Native fuzz targets, run briefly (CI runs the same lane). Corpus finds are
+# committed under the packages' testdata/fuzz directories.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceCSVRoundTrip -fuzztime 10s ./internal/market
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointCodec -fuzztime 10s ./internal/trial
+
+# Coverage gate: total -short statement coverage must stay at or above
+# COVER_FLOOR (the level recorded when the scenario engine landed).
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
+ci: vet build test-short bench-campaign scenarios

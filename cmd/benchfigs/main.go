@@ -10,6 +10,7 @@
 //	benchfigs -fig 10 -seed 3
 //	benchfigs -fig none -quick -policy                         # cross-policy study only
 //	benchfigs -fig none -quick -policyjson BENCH_policy.json   # + JSON artifact
+//	benchfigs -fig none -quick -scenarios all                  # scenario x policy matrix
 package main
 
 import (
@@ -32,16 +33,17 @@ func main() {
 
 func run() error {
 	var (
-		figFlag  = flag.String("fig", "all", "comma-separated figure numbers (1,5,6,7,8,9,10,11,12) or 'all'")
-		outDir   = flag.String("out", "results", "output directory for CSV files")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		scale    = flag.Float64("scale", 1.0, "workload scale (dataset sizes and horizons)")
-		quick    = flag.Bool("quick", false, "fast mode: synthetic curves, tiny predictors, short traces")
-		ablation = flag.Bool("ablation", false, "also run the predictor ablation (none vs trained vs oracle)")
-		policyS  = flag.Bool("policy", false, "also run the cross-policy provisioning study")
-		policyJS = flag.String("policyjson", "", "write the cross-policy study rows as JSON to this path (implies -policy)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		figFlag    = flag.String("fig", "all", "comma-separated figure numbers (1,5,6,7,8,9,10,11,12) or 'all'")
+		outDir     = flag.String("out", "results", "output directory for CSV files")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		scale      = flag.Float64("scale", 1.0, "workload scale (dataset sizes and horizons)")
+		quick      = flag.Bool("quick", false, "fast mode: synthetic curves, tiny predictors, short traces")
+		ablation   = flag.Bool("ablation", false, "also run the predictor ablation (none vs trained vs oracle)")
+		policyS    = flag.Bool("policy", false, "also run the cross-policy provisioning study")
+		policyJS   = flag.String("policyjson", "", "write the cross-policy study rows as JSON to this path (implies -policy)")
+		scenariosF = flag.String("scenarios", "none", "also run the scenario x policy matrix: comma-separated scenario names, 'all', or 'none'")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -142,6 +144,11 @@ func run() error {
 	if *policyS || *policyJS != "" {
 		if err := runPolicyStudy(ctx, w, *policyJS); err != nil {
 			return fmt.Errorf("policy study: %w", err)
+		}
+	}
+	if *scenariosF != "none" && *scenariosF != "" {
+		if err := runScenarioMatrix(opts, w, *scenariosF); err != nil {
+			return fmt.Errorf("scenario matrix: %w", err)
 		}
 	}
 	fmt.Printf("\nCSV outputs written to %s/\n", *outDir)

@@ -1,0 +1,150 @@
+// Command scenarios runs the scenario × policy matrix: named market regimes
+// and fault-injection scenarios crossed with every registered provisioning
+// policy, each cell a full simulated HPT campaign audited by the simulator
+// invariant checker. Results land as a per-cell CSV plus an ASCII table;
+// any invariant violation makes the command exit non-zero.
+//
+// Usage:
+//
+//	scenarios -quick                          # full battery, quick fidelity
+//	scenarios -quick -scenarios calm,crunch -policies spottune,on-demand
+//	scenarios -list                           # what's available
+//	scenarios -seed 7 -out results            # full fidelity (slow: trains predictors per scenario)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spottune/internal/market"
+	"spottune/internal/policy"
+	"spottune/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list available scenarios, regimes, and policies, then exit")
+		names     = flag.String("scenarios", "all", "comma-separated scenario names from the default battery, or 'all'")
+		policies  = flag.String("policies", "all", "comma-separated provisioning policy names, or 'all'")
+		workloadF = flag.String("workload", "LoR", "Table II workload for every cell")
+		seed      = flag.Uint64("seed", 1, "matrix seed; same seed, bit-identical CSV")
+		quick     = flag.Bool("quick", false, "fast mode: synthetic curves, constant revocation predictor, short traces")
+		theta     = flag.Float64("theta", 0.7, "early-shutdown rate θ for every cell")
+		outDir    = flag.String("out", "results", "output directory for scenarios.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		printInventory()
+		return nil
+	}
+
+	if *theta <= 0 || *theta > 1 {
+		// The library clamps silently (zero value = default); at the CLI
+		// boundary a typo must not run a different experiment than asked.
+		return fmt.Errorf("-theta %v outside (0, 1]", *theta)
+	}
+	specs, err := scenario.ParseSpecList(*names)
+	if err != nil {
+		return err
+	}
+	var pols []string
+	if p := splitArg(*policies); p != nil {
+		pols = p
+	}
+
+	opt := scenario.Options{
+		Seed:     *seed,
+		Quick:    *quick,
+		Workload: *workloadF,
+		Theta:    *theta,
+		Policies: pols,
+	}
+	res, err := scenario.Matrix{Specs: specs}.Run(opt)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, "scenarios.csv")
+	if err := res.WriteCSVFile(path); err != nil {
+		return err
+	}
+
+	printTable(res)
+	fmt.Printf("\nper-cell CSV written to %s\n", path)
+
+	if err := res.ViolationError(os.Stderr); err != nil {
+		return err
+	}
+	fmt.Println("invariant audit: every cell sound")
+	return nil
+}
+
+func splitArg(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func printInventory() {
+	fmt.Println("scenarios (default battery):")
+	for _, s := range scenario.DefaultSpecs() {
+		extra := ""
+		if len(s.Faults) > 0 {
+			kinds := make([]string, 0, len(s.Faults))
+			for _, f := range s.Faults {
+				kinds = append(kinds, string(f.Kind))
+			}
+			extra = " + " + strings.Join(kinds, ", ")
+		}
+		fmt.Printf("  %-22s regime %q%s\n", s.Name, s.Regime, extra)
+	}
+	fmt.Println("\nmarket regimes:")
+	for _, r := range market.RegimeInfos() {
+		fmt.Printf("  %-12s %s\n", r.Name, r.Doc)
+	}
+	fmt.Println("\nprovisioning policies:")
+	for _, p := range policy.Infos() {
+		fmt.Printf("  %-17s %s\n", p.Name, p.Doc)
+	}
+}
+
+// printTable renders the matrix grouped by scenario, one row per policy.
+func printTable(res *scenario.Result) {
+	last := ""
+	for _, c := range res.Cells {
+		if c.Scenario != last {
+			fmt.Printf("\n== %s (regime %s, workload %s) ==\n", c.Scenario, c.Regime, c.Workload)
+			last = c.Scenario
+		}
+		flag := ""
+		if len(c.Violations) > 0 {
+			flag = fmt.Sprintf("  !! %d VIOLATIONS", len(c.Violations))
+		}
+		fmt.Printf("  %-17s cost $%8.3f  JCT %7.2fh  refund %5.1f%%  notices %3d  od %d/%d%s\n",
+			c.Policy, c.Cost, c.JCTHours, 100*c.RefundFrac, c.Notices,
+			c.OnDemandDeployments, c.Deployments, flag)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/simclock"
+	"spottune/internal/trial"
 	"spottune/internal/workload"
 )
 
@@ -47,6 +48,10 @@ type EnvOptions struct {
 	Predictor PredictorKind
 	RevPred   revpred.Config
 	Pool      []string
+	// Regime names the market regime traces are generated under
+	// (market.GenerateRegime); empty selects the paper's baseline
+	// personalities.
+	Regime string
 }
 
 func (o EnvOptions) withDefaults() EnvOptions {
@@ -79,6 +84,12 @@ type Environment struct {
 
 	Start, End    time.Time
 	CampaignStart time.Time
+
+	// ClusterHooks run on every fresh cluster NewCluster assembles, in
+	// order — scenario specs install deterministic fault injections
+	// (blackout windows, scheduled mass preemptions) through them, so each
+	// campaign run replays the same faults on its own cluster.
+	ClusterHooks []func(*cloudsim.Cluster) error
 }
 
 // NewEnvironment generates markets and trains predictors per the options.
@@ -91,7 +102,12 @@ func NewEnvironment(opts EnvOptions) (*Environment, error) {
 	}
 	start := DefaultStart()
 	end := start.Add(time.Duration(opts.Days) * 24 * time.Hour)
-	traces, err := market.GenerateSet(specs, start, end, opts.Seed)
+	var traces market.TraceSet
+	if opts.Regime != "" {
+		traces, err = market.GenerateRegime(opts.Regime, catalog, start, end, opts.Seed)
+	} else {
+		traces, err = market.GenerateSet(specs, start, end, opts.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -165,10 +181,20 @@ func (e *Environment) WithPredictors(preds map[string]revpred.Predictor) (*Envir
 	return &cp, nil
 }
 
-// NewCluster builds a fresh simulated cluster at the campaign boundary.
+// NewCluster builds a fresh simulated cluster at the campaign boundary and
+// applies the environment's cluster hooks (fault injections).
 func (e *Environment) NewCluster() (*cloudsim.Cluster, error) {
 	clk := simclock.NewVirtual(e.CampaignStart)
-	return cloudsim.NewCluster(clk, e.Catalog, e.Traces)
+	cluster, err := cloudsim.NewCluster(clk, e.Catalog, e.Traces)
+	if err != nil {
+		return nil, err
+	}
+	for _, hook := range e.ClusterHooks {
+		if err := hook(cluster); err != nil {
+			return nil, fmt.Errorf("campaign: cluster hook: %w", err)
+		}
+	}
+	return cluster, nil
 }
 
 // Options tunes one campaign run.
@@ -188,6 +214,24 @@ type Options struct {
 	// defaults (fallback thresholds, bid deltas). Pool, Seed, and RevProb
 	// are always supplied by the environment and override these fields.
 	PolicyParams policy.Params
+	// Inspect, when set, receives the final simulator state after the
+	// report is built and may veto the run by returning an error. The
+	// scenario matrix routes every cell through invariants.Check with it.
+	// Called from whatever goroutine runs the campaign (sweeps run many
+	// concurrently), so implementations must be safe for concurrent use.
+	Inspect func(*RunDetail) error
+}
+
+// RunDetail is one campaign run's final simulator state: everything an
+// invariant checker needs beyond the report itself. The cluster, store, and
+// trials are private to the run (each RunPolicy call builds fresh ones), so
+// the holder may inspect them freely after the run completes.
+type RunDetail struct {
+	Policy  string
+	Report  *core.Report
+	Cluster *cloudsim.Cluster
+	Store   *cloudsim.ObjectStore
+	Trials  []*trial.Replay
 }
 
 // NewPolicy constructs a registered provisioning policy bound to this
@@ -246,7 +290,23 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if err != nil {
 		return nil, err
 	}
-	return orch.Run()
+	rep, err := orch.Run()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Inspect != nil {
+		detail := &RunDetail{
+			Policy:  pol.Name(),
+			Report:  rep,
+			Cluster: cluster,
+			Store:   store,
+			Trials:  trials,
+		}
+		if err := opt.Inspect(detail); err != nil {
+			return nil, fmt.Errorf("campaign: inspecting %s run: %w", pol.Name(), err)
+		}
+	}
+	return rep, nil
 }
 
 // PolicyTasks builds one Sweep task per policy name (every registered

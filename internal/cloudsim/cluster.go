@@ -95,6 +95,9 @@ type Instance struct {
 
 	noticeEv *simclock.Event
 	revokeEv *simclock.Event
+	// onNotice is the subscriber registered at request time; fault
+	// injections (mass preemptions) deliver their notices through it too.
+	onNotice NoticeFunc
 }
 
 // RefundDeadline is the end of the first-instance-hour window: a provider
@@ -112,6 +115,7 @@ func (i *Instance) Running() bool {
 type Usage struct {
 	InstanceID string
 	TypeName   string
+	OnDemand   bool // reliable-tier rental (never revoked, never refunded)
 	Launched   time.Time
 	Ended      time.Time
 	End        EndReason
@@ -166,6 +170,10 @@ type Cluster struct {
 	nextID    int
 	instances map[string]*Instance
 	ledger    Ledger
+
+	// blackouts are the installed capacity-unavailability windows, in
+	// installation order (fault injection; see faults.go).
+	blackouts []Blackout
 }
 
 // NewCluster builds a cluster over the given catalog and per-market traces.
@@ -250,6 +258,9 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 	}
 	tr := c.traces[typeName]
 	now := c.clk.Now()
+	if c.blackedOut(typeName, now) {
+		return nil, fmt.Errorf("%w: %s at %v", ErrCapacityUnavailable, typeName, now)
+	}
 	cur, _ := tr.PriceAt(now)
 	if cur > maxPrice {
 		return nil, fmt.Errorf("%w: %s at %.4f > max %.4f", ErrPriceAboveMax, typeName, cur, maxPrice)
@@ -261,6 +272,7 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 		MaxPrice:   maxPrice,
 		LaunchedAt: now,
 		State:      StateRunning,
+		onNotice:   onNotice,
 	}
 	c.instances[inst.ID] = inst
 
@@ -272,12 +284,12 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 		inst.NoticeAt = noticeAt
 		inst.RevokeAt = exceedAt
 		inst.noticeEv = c.clk.Schedule(noticeAt, func(at time.Time) {
-			if !inst.Running() {
+			if !inst.Running() || inst.State == StateNoticed {
 				return
 			}
 			inst.State = StateNoticed
-			if onNotice != nil {
-				onNotice(inst, at)
+			if inst.onNotice != nil {
+				inst.onNotice(inst, at)
 			}
 		})
 		inst.revokeEv = c.clk.Schedule(exceedAt, func(at time.Time) {
@@ -338,6 +350,7 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 	usage := Usage{
 		InstanceID: inst.ID,
 		TypeName:   inst.Type.Name,
+		OnDemand:   inst.OnDemand,
 		Launched:   inst.LaunchedAt,
 		Ended:      at,
 		End:        reason,
@@ -380,6 +393,14 @@ func (c *Cluster) RunningInstances() []*Instance {
 
 // firstExceed finds the first time strictly after `after` at which the
 // market price rises above maxPrice.
+//
+// Hold-last-price contract: spot prices are step functions, so a trace that
+// ends before the campaign horizon holds its final price forever. A trace
+// with no record after `after` above maxPrice therefore never revokes the
+// instance (found=false) — there is no implicit "trace exhausted" eviction —
+// and billing integrates the held price over the remaining lifetime
+// (Trace.AvgOver extends the last record the same way). holdlast_test.go
+// pins this end-to-end.
 func firstExceed(tr *market.Trace, after time.Time, maxPrice float64) (time.Time, bool) {
 	n := len(tr.Records)
 	i := sort.Search(n, func(i int) bool { return tr.Records[i].At.After(after) })

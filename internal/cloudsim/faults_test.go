@@ -1,0 +1,280 @@
+package cloudsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"spottune/internal/market"
+	"spottune/internal/simclock"
+)
+
+// twoMarketFixture builds a cluster over two flat markets ("a" at 0.05, "b"
+// at 0.10) so fault scoping across types is observable.
+func twoMarketFixture(t *testing.T) (*Cluster, *simclock.Virtual) {
+	t.Helper()
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+		{Name: "b", CPUs: 4, MemoryGB: 16, OnDemandPrice: 0.4},
+	})
+	traces := market.TraceSet{
+		"a": &market.Trace{Type: "a", Records: []market.Record{{At: t0, Price: 0.05}}},
+		"b": &market.Trace{Type: "b", Records: []market.Record{{At: t0, Price: 0.10}}},
+	}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func TestBlackoutRejectsSpotRequests(t *testing.T) {
+	c, clk := twoMarketFixture(t)
+	if err := c.AddBlackout(Blackout{TypeName: "a", From: t0.Add(10 * time.Minute), To: t0.Add(30 * time.Minute)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the window: request succeeds.
+	inst, err := c.RequestSpot("a", 1, nil)
+	if err != nil {
+		t.Fatalf("pre-window request failed: %v", err)
+	}
+	if err := c.Terminate(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the window: "a" fails with the sentinel, "b" is unaffected.
+	clk.AdvanceTo(t0.Add(10 * time.Minute))
+	if _, err := c.RequestSpot("a", 1, nil); !errors.Is(err, ErrCapacityUnavailable) {
+		t.Fatalf("in-window request: got %v, want ErrCapacityUnavailable", err)
+	}
+	if _, err := c.RequestSpot("b", 1, nil); err != nil {
+		t.Fatalf("other market affected by scoped blackout: %v", err)
+	}
+	// On-demand capacity is reliable and unaffected.
+	if _, err := c.RequestOnDemand("a"); err != nil {
+		t.Fatalf("on-demand affected by blackout: %v", err)
+	}
+
+	// The window is half-open: at To the market is back.
+	clk.AdvanceTo(t0.Add(30 * time.Minute))
+	if _, err := c.RequestSpot("a", 1, nil); err != nil {
+		t.Fatalf("post-window request failed: %v", err)
+	}
+}
+
+func TestBlackoutEmptyTypeMatchesAllMarkets(t *testing.T) {
+	c, clk := twoMarketFixture(t)
+	if err := c.AddBlackout(Blackout{From: t0, To: t0.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.RequestSpot(name, 1, nil); !errors.Is(err, ErrCapacityUnavailable) {
+			t.Fatalf("%s: got %v, want ErrCapacityUnavailable", name, err)
+		}
+	}
+	clk.AdvanceTo(t0.Add(time.Hour))
+	if _, err := c.RequestSpot("a", 1, nil); err != nil {
+		t.Fatalf("post-window request failed: %v", err)
+	}
+}
+
+func TestBlackoutValidation(t *testing.T) {
+	c, _ := twoMarketFixture(t)
+	if err := c.AddBlackout(Blackout{From: t0.Add(time.Hour), To: t0}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if err := c.AddBlackout(Blackout{TypeName: "nope", From: t0, To: t0.Add(time.Hour)}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestBlackoutEdgesAreInteresting(t *testing.T) {
+	c, _ := twoMarketFixture(t)
+	from, to := t0.Add(20*time.Minute), t0.Add(40*time.Minute)
+	if err := c.AddBlackout(Blackout{TypeName: "a", From: from, To: to}); err != nil {
+		t.Fatal(err)
+	}
+	// Flat traces, no instances: the only interesting instants are the
+	// blackout's edges.
+	at, ok := c.NextInterestingAt(nil)
+	if !ok || !at.Equal(from) {
+		t.Fatalf("NextInterestingAt = %v, %v; want %v", at, ok, from)
+	}
+	c.Clock().AdvanceTo(from)
+	at, ok = c.NextInterestingAt([]string{"a"})
+	if !ok || !at.Equal(to) {
+		t.Fatalf("NextInterestingAt inside window = %v, %v; want %v", at, ok, to)
+	}
+	// A scoped blackout is not interesting to other markets.
+	if _, ok := c.NextInterestingAt([]string{"b"}); ok {
+		t.Fatal("blackout on a reported as interesting for b")
+	}
+}
+
+func TestMassPreemptionNoticesAndRevokes(t *testing.T) {
+	c, clk := twoMarketFixture(t)
+	var notices []string
+	onNotice := func(inst *Instance, _ time.Time) { notices = append(notices, inst.ID) }
+
+	spotA, err := c.RequestSpot("a", 1, onNotice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotB, err := c.RequestSpot("b", 1, onNotice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := c.RequestOnDemand("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := t0.Add(30 * time.Minute)
+	if err := c.SchedulePreemption(at, ""); err != nil {
+		t.Fatal(err)
+	}
+	clk.AdvanceTo(at)
+	if len(notices) != 2 || notices[0] != spotA.ID || notices[1] != spotB.ID {
+		t.Fatalf("notices %v, want [%s %s] in ID order", notices, spotA.ID, spotB.ID)
+	}
+	if spotA.State != StateNoticed || spotB.State != StateNoticed {
+		t.Fatalf("states after preemption notice: %v, %v", spotA.State, spotB.State)
+	}
+	if od.State != StateRunning {
+		t.Fatalf("on-demand instance preempted: %v", od.State)
+	}
+
+	clk.AdvanceTo(at.Add(NoticeLeadTime))
+	if spotA.State != StateRevoked || spotB.State != StateRevoked {
+		t.Fatalf("states after preemption revoke: %v, %v", spotA.State, spotB.State)
+	}
+	if od.State != StateRunning {
+		t.Fatalf("on-demand instance revoked: %v", od.State)
+	}
+
+	// Both spot instances died inside their first hour to a provider
+	// revocation: fully refunded. Gross = price x lifetime.
+	led := c.Ledger()
+	if len(led.Records) != 2 {
+		t.Fatalf("ledger has %d records, want 2", len(led.Records))
+	}
+	for _, u := range led.Records {
+		if u.End != EndRevoked {
+			t.Errorf("%s end = %v, want revoked", u.InstanceID, u.End)
+		}
+		if u.Refunded != u.GrossCost || u.GrossCost <= 0 {
+			t.Errorf("%s refund %v of gross %v, want full first-hour refund", u.InstanceID, u.Refunded, u.GrossCost)
+		}
+	}
+	wantGross := 0.05*(32.0/60) + 0.10*(32.0/60)
+	if got := led.TotalGross(); math.Abs(got-wantGross) > 1e-9 {
+		t.Errorf("gross %v, want %v", got, wantGross)
+	}
+}
+
+func TestMassPreemptionScopedToType(t *testing.T) {
+	c, clk := twoMarketFixture(t)
+	spotA, _ := c.RequestSpot("a", 1, nil)
+	spotB, _ := c.RequestSpot("b", 1, nil)
+	at := t0.Add(10 * time.Minute)
+	if err := c.SchedulePreemption(at, "b"); err != nil {
+		t.Fatal(err)
+	}
+	clk.AdvanceTo(at.Add(NoticeLeadTime))
+	if spotA.State != StateRunning {
+		t.Errorf("a preempted by b-scoped reclaim: %v", spotA.State)
+	}
+	if spotB.State != StateRevoked {
+		t.Errorf("b survived its reclaim: %v", spotB.State)
+	}
+	if err := c.SchedulePreemption(t0, ""); err == nil {
+		t.Error("past preemption accepted")
+	}
+	if err := c.SchedulePreemption(at.Add(time.Hour), "nope"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+// TestMassPreemptionSupersedesMarketEvents: an instance already scheduled
+// for a later market revocation is preempted at the reclaim instant instead,
+// with exactly one notice and one ledger record.
+func TestMassPreemptionSupersedesMarketEvents(t *testing.T) {
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+	})
+	tr := &market.Trace{Type: "a", Records: []market.Record{
+		{At: t0, Price: 0.05},
+		{At: t0.Add(2 * time.Hour), Price: 5.0}, // market revoke far out
+	}}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, market.TraceSet{"a": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noticeCount := 0
+	inst, err := c.RequestSpot("a", 1, func(*Instance, time.Time) { noticeCount++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.RevokeAt.IsZero() {
+		t.Fatal("market revocation not scheduled")
+	}
+	at := t0.Add(30 * time.Minute)
+	if err := c.SchedulePreemption(at, ""); err != nil {
+		t.Fatal(err)
+	}
+	clk.AdvanceTo(t0.Add(3 * time.Hour))
+	if noticeCount != 1 {
+		t.Errorf("got %d notices, want 1", noticeCount)
+	}
+	if inst.State != StateRevoked {
+		t.Errorf("state %v, want revoked", inst.State)
+	}
+	if want := at.Add(NoticeLeadTime); !inst.EndedAt.Equal(want) {
+		t.Errorf("ended at %v, want preemption revoke %v", inst.EndedAt, want)
+	}
+	if len(c.Ledger().Records) != 1 {
+		t.Errorf("ledger has %d records, want 1", len(c.Ledger().Records))
+	}
+}
+
+// TestPreemptionOfNoticedInstanceKeepsEarlierRevoke: preempting an instance
+// whose market revocation is imminent must not push the revocation later.
+func TestPreemptionOfNoticedInstanceKeepsEarlierRevoke(t *testing.T) {
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+	})
+	exceedAt := t0.Add(10 * time.Minute)
+	tr := &market.Trace{Type: "a", Records: []market.Record{
+		{At: t0, Price: 0.05},
+		{At: exceedAt, Price: 5.0},
+	}}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, market.TraceSet{"a": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noticeCount := 0
+	inst, err := c.RequestSpot("a", 1, func(*Instance, time.Time) { noticeCount++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preempt between the market notice (exceedAt-2m) and the revocation.
+	preemptAt := exceedAt.Add(-time.Minute)
+	if err := c.SchedulePreemption(preemptAt, ""); err != nil {
+		t.Fatal(err)
+	}
+	clk.AdvanceTo(t0.Add(time.Hour))
+	if noticeCount != 1 {
+		t.Errorf("got %d notices, want exactly 1 (market notice, no duplicate)", noticeCount)
+	}
+	if !inst.EndedAt.Equal(exceedAt) {
+		t.Errorf("ended at %v, want the earlier market revocation %v", inst.EndedAt, exceedAt)
+	}
+	if got := c.Ledger().Records; len(got) != 1 {
+		t.Errorf("ledger has %d records, want 1", len(got))
+	}
+}

@@ -1,0 +1,106 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spottune/internal/market"
+	"spottune/internal/simclock"
+)
+
+// These tests pin the hold-last-price contract: a trace that ends before
+// the campaign horizon holds its final price forever. Instances outlive the
+// trace without phantom revocations, billing integrates the held price, and
+// the horizon API reports the market as quiescent rather than erroring.
+
+// shortTraceFixture ends its only market's trace one hour in: 0.04 from t0,
+// final record 0.06 at +1h, nothing after.
+func shortTraceFixture(t *testing.T) (*Cluster, *simclock.Virtual) {
+	t.Helper()
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+	})
+	tr := &market.Trace{Type: "a", Records: []market.Record{
+		{At: t0, Price: 0.04},
+		{At: t0.Add(time.Hour), Price: 0.06},
+	}}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, market.TraceSet{"a": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func TestHoldLastPriceNoPhantomRevocation(t *testing.T) {
+	c, clk := shortTraceFixture(t)
+	inst, err := c.RequestSpot("a", 0.07, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.RevokeAt.IsZero() {
+		t.Fatalf("revocation scheduled at %v on a trace that never exceeds the bid", inst.RevokeAt)
+	}
+	// Run three days past the trace's end: the instance must still be up.
+	clk.AdvanceTo(t0.Add(73 * time.Hour))
+	if !inst.Running() {
+		t.Fatalf("instance %v after trace end, want running (hold-last-price)", inst.State)
+	}
+	if err := c.Terminate(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Billing integrates the held 0.06 over the post-trace lifetime:
+	// 1h at 0.04 + 72h at 0.06.
+	want := 0.04*1 + 0.06*72
+	if got := c.Ledger().TotalGross(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("gross %v, want %v (held last price)", got, want)
+	}
+}
+
+func TestHoldLastPriceQuiescentHorizon(t *testing.T) {
+	c, clk := shortTraceFixture(t)
+	// Before the final record there is exactly one tick left.
+	at, ok := c.NextPriceTick("a")
+	if !ok || !at.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("NextPriceTick = %v, %v; want the final record", at, ok)
+	}
+	clk.AdvanceTo(t0.Add(time.Hour))
+	// At and after the final record the market is quiescent: no next tick,
+	// nothing interesting — by contract, not by accident.
+	if at, ok := c.NextPriceTick("a"); ok {
+		t.Fatalf("NextPriceTick after trace end = %v, want none", at)
+	}
+	if at, ok := c.NextInterestingAt(nil); ok {
+		t.Fatalf("NextInterestingAt after trace end = %v, want quiescent", at)
+	}
+	// Price queries keep answering with the held price.
+	if p, err := c.CurrentPrice("a"); err != nil || p != 0.06 {
+		t.Fatalf("CurrentPrice = %v, %v; want held 0.06", p, err)
+	}
+	clk.AdvanceTo(t0.Add(48 * time.Hour))
+	if p, err := c.CurrentPrice("a"); err != nil || p != 0.06 {
+		t.Fatalf("CurrentPrice much later = %v, %v; want held 0.06", p, err)
+	}
+	if avg, err := c.AvgPriceLastHour("a"); err != nil || math.Abs(avg-0.06) > 1e-12 {
+		t.Fatalf("AvgPriceLastHour past trace end = %v, %v; want held 0.06", avg, err)
+	}
+}
+
+func TestHoldLastPriceRejectsBidsBelowHeldPrice(t *testing.T) {
+	c, clk := shortTraceFixture(t)
+	clk.AdvanceTo(t0.Add(10 * time.Hour)) // long past the final record
+	// The held price is 0.06: a 0.05 bid must be rejected exactly as it
+	// would be mid-trace, not accepted because "the trace ran out".
+	if _, err := c.RequestSpot("a", 0.05, nil); err == nil {
+		t.Fatal("bid below held price accepted")
+	}
+	inst, err := c.RequestSpot("a", 0.07, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And such an instance can never be revoked by the market again.
+	if !inst.NoticeAt.IsZero() || !inst.RevokeAt.IsZero() {
+		t.Fatalf("market events scheduled (%v, %v) on a quiescent market", inst.NoticeAt, inst.RevokeAt)
+	}
+}

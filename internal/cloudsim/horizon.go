@@ -15,6 +15,9 @@ import (
 // NextPriceTick returns the first time strictly after the current instant at
 // which the market price of the given type changes, or ok=false when the
 // trace is flat for the rest of the simulation (or the type is unknown).
+// ok=false is the hold-last-price contract, not an error: a trace that ends
+// before the campaign horizon holds its final price forever, so the market
+// is genuinely quiescent and schedulers must not expect another tick.
 func (c *Cluster) NextPriceTick(typeName string) (time.Time, bool) {
 	tr, ok := c.traces[typeName]
 	if !ok {
@@ -77,9 +80,10 @@ func (c *Cluster) NextInstanceEvent() (time.Time, bool) {
 
 // NextInterestingAt returns the earliest instant at which the cluster's
 // observable state can change: a price tick in one of the named markets
-// (all markets when names is nil), a pending notice or revocation, or a
-// running instance crossing its refund-window boundary. ok=false means the
-// cluster is fully quiescent from here on.
+// (all markets when names is nil), a pending notice or revocation, a
+// blackout window opening or closing over a named market, or a running
+// instance crossing its refund-window boundary. ok=false means the cluster
+// is fully quiescent from here on.
 func (c *Cluster) NextInterestingAt(names []string) (time.Time, bool) {
 	var best time.Time
 	found := false
@@ -94,6 +98,7 @@ func (c *Cluster) NextInterestingAt(names []string) (time.Time, bool) {
 	consider(c.NextMarketTick(names))
 	consider(c.NextInstanceEvent())
 	now := c.clk.Now()
+	consider(c.nextBlackoutEdge(names, now))
 	for _, inst := range c.instances {
 		if !inst.Running() || inst.OnDemand {
 			// On-demand instances are never revoked and never refunded,

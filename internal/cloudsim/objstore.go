@@ -3,6 +3,7 @@ package cloudsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -109,6 +110,19 @@ func (o *ObjectStore) Get(key string, cpus int) ([]byte, time.Duration, error) {
 	o.getBytes += int64(mb * (1 << 20))
 	o.getTime += d
 	return append([]byte(nil), data...), d, nil
+}
+
+// Keys lists stored keys in sorted order (invariant checkers scan every
+// persisted checkpoint through it).
+func (o *ObjectStore) Keys() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.blobs))
+	for k := range o.blobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Exists reports whether a key holds a blob.

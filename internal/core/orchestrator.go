@@ -190,10 +190,11 @@ type Orchestrator struct {
 	iterations    int // scheduler loop turns across all phases
 
 	// deployCount/spotFailures feed policy.TrialInfo: total deployments
-	// per trial, and the consecutive spot segments that ended in a
-	// revocation notice (cleared when a spot segment ends cleanly —
-	// completion or proactive restart — but not by on-demand segments,
-	// which say nothing about the spot market).
+	// per trial, and the consecutive spot misfortunes — segments that
+	// ended in a revocation notice plus blackout-rejected spot requests —
+	// (cleared when a spot segment ends cleanly — completion or proactive
+	// restart — but not by on-demand segments, which say nothing about the
+	// spot market).
 	deployCount  map[string]int
 	spotFailures map[string]int
 
@@ -204,6 +205,16 @@ type Orchestrator struct {
 	// the event loop would deploy-notice-requeue forever at one instant
 	// (the polling loop gets the same spacing for free from its sleep).
 	noticedAt map[string]time.Time
+
+	// blackoutRetryAt paces blackout-rejected spot requests onto the
+	// PollInterval grid. The rejection count feeds the policy-visible
+	// spot-failure streak, so the attempt cadence must not depend on the
+	// loop mode: without this gate the event loop would retry at every
+	// interesting instant (price ticks, arbitrary spacing) while the
+	// polling loop retries every PollInterval, and fallback policies
+	// would see different streaks — and make different decisions — under
+	// the two loops.
+	blackoutRetryAt map[string]time.Time
 
 	// ckptSetup/restoreSetup accumulate the fixed per-event costs that
 	// transfers alone do not capture (Fig. 12 accounting).
@@ -262,19 +273,20 @@ func NewPolicyOrchestrator(
 		approach = "SpotTune"
 	}
 	o := &Orchestrator{
-		cfg:          cfg.withDefaults(),
-		cluster:      cluster,
-		store:        store,
-		pol:          pol,
-		pool:         append([]string(nil), pool...),
-		approach:     approach,
-		perf:         NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
-		trials:       make(map[string]*trial.Replay, len(trials)),
-		active:       make(map[string]*assignment),
-		finished:     make(map[string]bool),
-		noticedAt:    make(map[string]time.Time),
-		deployCount:  make(map[string]int),
-		spotFailures: make(map[string]int),
+		cfg:             cfg.withDefaults(),
+		cluster:         cluster,
+		store:           store,
+		pol:             pol,
+		pool:            append([]string(nil), pool...),
+		approach:        approach,
+		perf:            NewPerfMatrix(cluster.Catalog(), cfg.withDefaults().C0),
+		trials:          make(map[string]*trial.Replay, len(trials)),
+		active:          make(map[string]*assignment),
+		finished:        make(map[string]bool),
+		noticedAt:       make(map[string]time.Time),
+		blackoutRetryAt: make(map[string]time.Time),
+		deployCount:     make(map[string]int),
+		spotFailures:    make(map[string]int),
 	}
 	for _, tr := range trials {
 		if _, dup := o.trials[tr.ID()]; dup {
@@ -511,6 +523,9 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 		if t, ok := o.noticedAt[id]; ok && !t.Before(now) {
 			return now.Add(o.cfg.PollInterval), false, nil
 		}
+		if t, ok := o.blackoutRetryAt[id]; ok && now.Before(t) {
+			return t, false, nil
+		}
 		tr := o.trials[id]
 		req, err := o.pol.Decide(policy.Context{
 			Market: o.cluster,
@@ -546,6 +561,20 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 				// Market moved against us inside this tick; retry later.
 				return time.Time{}, true, nil
 			}
+			if errors.Is(err, cloudsim.ErrCapacityUnavailable) {
+				// Capacity blackout: retriable market state, but unlike a
+				// price rejection the failed API call is evidence the
+				// market is hostile — count it toward the trial's
+				// spot-failure streak so fallback policies can swap to
+				// on-demand instead of waiting the window out. Retries are
+				// paced onto the PollInterval grid (blackoutRetryAt) so
+				// the streak grows identically under both loop modes; the
+				// event loop trades its sparse-wakeup advantage for
+				// decision equivalence while a blackout lasts.
+				o.spotFailures[id]++
+				o.blackoutRetryAt[id] = now.Add(o.cfg.PollInterval)
+				return now.Add(o.cfg.PollInterval), false, nil
+			}
 			if err != nil {
 				// Anything else (unknown type from a custom policy) is a
 				// configuration error — surface it instead of spinning.
@@ -554,6 +583,7 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 		}
 		o.deployments++
 		o.deployCount[id]++
+		delete(o.blackoutRetryAt, id)
 		a.inst = inst
 		a.deployedAt = now
 		a.lastCkptAt = now

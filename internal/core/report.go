@@ -54,6 +54,19 @@ type Report struct {
 
 	// PerfObservations snapshots the online performance matrix (Fig. 6).
 	PerfObservations []PerfEntry
+
+	// Segments attributes step progress to the instances that ran it, in
+	// the order segments ended. Invariant checkers audit it against the
+	// billing ledger: every step must have been run by an instance that
+	// actually lived, and FreeSteps must equal the steps on refunded ones.
+	Segments []SegmentRecord
+}
+
+// SegmentRecord is one (instance, trial) pairing's step attribution.
+type SegmentRecord struct {
+	InstanceID string
+	TrialID    string
+	Steps      int
 }
 
 // FreeStepFraction is FreeSteps/TotalSteps (Fig. 9a's headline number).
@@ -107,11 +120,17 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 		}
 	}
 	total, free := 0, 0
+	segments := make([]SegmentRecord, 0, len(o.segments))
 	for _, seg := range o.segments {
 		total += seg.steps
 		if u, ok := usageByID[seg.instanceID]; ok && u.Refunded > 0 {
 			free += seg.steps
 		}
+		segments = append(segments, SegmentRecord{
+			InstanceID: seg.instanceID,
+			TrialID:    seg.trialID,
+			Steps:      seg.steps,
+		})
 	}
 	stats := o.store.Stats()
 	return &Report{
@@ -135,5 +154,6 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 		Top:                 top,
 		Best:                best,
 		PerfObservations:    o.perf.Snapshot(),
+		Segments:            segments,
 	}
 }

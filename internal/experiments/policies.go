@@ -7,6 +7,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/core"
 	"spottune/internal/policy"
+	"spottune/internal/workload"
 )
 
 // CrossPolicyRow is one provisioning policy's campaign outcome on the study
@@ -46,9 +47,29 @@ func CrossPolicy(ctx *Context) ([]CrossPolicyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := policy.Names()
-	tasks := env.PolicyTasks(bench, curves, names, campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
-	results := campaign.Sweep(tasks, campaign.SweepOptions{Seed: ctx.Opts.Seed})
+	return CrossPolicyOn(env, bench, curves, policy.Names(),
+		campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
+}
+
+// CrossPolicyOn fans the named provisioning policies (every registered one
+// when names is nil) over the given environment and workload through the
+// campaign.Sweep worker pool, one row per policy in the given name order.
+// opt.Seed seeds both the campaigns and the sweep's per-task rand streams.
+// CrossPolicy is this on the study defaults; the scenario matrix calls it
+// once per scenario cell-row with fault-injecting environments and an
+// Inspect hook wired into opt.
+func CrossPolicyOn(
+	env *campaign.Environment,
+	bench *workload.Benchmark,
+	curves workload.Curves,
+	names []string,
+	opt campaign.Options,
+) ([]CrossPolicyRow, error) {
+	if names == nil {
+		names = policy.Names()
+	}
+	tasks := env.PolicyTasks(bench, curves, names, opt)
+	results := campaign.Sweep(tasks, campaign.SweepOptions{Seed: opt.Seed})
 	rows := make([]CrossPolicyRow, 0, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -57,7 +78,7 @@ func CrossPolicy(ctx *Context) ([]CrossPolicyRow, error) {
 		rep := res.Report
 		rows = append(rows, CrossPolicyRow{
 			Policy:              names[i],
-			Workload:            name,
+			Workload:            bench.Name,
 			Cost:                rep.NetCost,
 			JCTHours:            rep.JCT.Hours(),
 			RefundFrac:          rep.RefundFraction(),

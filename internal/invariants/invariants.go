@@ -1,0 +1,337 @@
+// Package invariants validates cross-cutting simulator properties on the
+// final state of a campaign run. Every scenario-matrix cell passes through
+// Check, turning the whole matrix into a self-verifying test bed: a policy
+// or fault-injection change that breaks the economics (a double refund, a
+// refund outside the first hour, steps attributed to an instance that never
+// ran) fails loudly instead of silently skewing a figure.
+//
+// Each violated property yields a Violation with a distinct Code, so tests
+// can assert not just that a corrupted state is rejected but that it is
+// rejected for the right reason.
+package invariants
+
+import (
+	"fmt"
+	"math"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/core"
+	"spottune/internal/market"
+	"spottune/internal/trial"
+)
+
+// Code identifies one invariant class.
+type Code string
+
+// Invariant codes. Grouped by the simulator property they guard.
+const (
+	// Ledger conservation (per-record billing arithmetic).
+	CodeNegativeGross      Code = "negative-gross"       // GrossCost < 0
+	CodeRefundExceedsGross Code = "refund-exceeds-gross" // Refunded > GrossCost (double refund)
+	CodeNegativeRefund     Code = "negative-refund"      // Refunded < 0
+	CodePartialRefund      Code = "partial-refund"       // 0 < Refunded < GrossCost (rule is all-or-nothing)
+	CodeLateRefund         Code = "late-refund"          // refund outside the first instance hour
+	CodeRefundNotRevoked   Code = "refund-not-revoked"   // refund on a user-terminated instance
+	CodeRefundOnDemand     Code = "refund-on-demand"     // refund on reliable capacity
+	CodeTimeTravel         Code = "ends-before-launch"   // Ended before Launched
+	CodeOnDemandBilling    Code = "on-demand-billing"    // gross deviates from catalog price x lifetime
+
+	// Report/ledger reconciliation (campaign accounting).
+	CodeLedgerMismatch     Code = "ledger-report-mismatch" // report totals disagree with the ledger
+	CodeDeploymentMismatch Code = "deployment-mismatch"    // deployments != ledger instances
+	CodeRevocationMismatch Code = "revocation-mismatch"    // report revocations != ledger revocations
+	CodeNoticeDeficit      Code = "notice-deficit"         // revocation without a preceding notice
+
+	// Step attribution (no ghost progress).
+	CodeGhostProgress    Code = "ghost-progress"       // steps on an instance the ledger never saw
+	CodeStepMismatch     Code = "step-accounting"      // segment steps do not sum to TotalSteps
+	CodeFreeStepMismatch Code = "free-step-accounting" // FreeSteps != steps on refunded instances
+	CodeNegativeSteps    Code = "negative-steps"       // a segment with negative step count
+
+	// Checkpoint-restore monotonicity.
+	CodeCheckpointAhead   Code = "checkpoint-ahead-of-trial" // stored progress exceeds live progress
+	CodeCheckpointForeign Code = "checkpoint-foreign"        // blob names a different trial than its key
+	CodeCheckpointCorrupt Code = "checkpoint-corrupt"        // blob fails to decode
+	CodeProgressOverrun   Code = "progress-overrun"          // trial beyond its MaxSteps
+
+	// Policy accounting consistency (selection outputs).
+	CodeRankingCorrupt Code = "ranking-corrupt" // ranking is not a permutation ordered by prediction
+	CodeBestNotRanked  Code = "best-not-ranked" // selected best absent from the ranking
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	Code   Code
+	Detail string
+}
+
+// Error renders the violation as "code: detail".
+func (v Violation) Error() string { return fmt.Sprintf("%s: %s", v.Code, v.Detail) }
+
+// State is the final simulator state of one campaign run. Ledger and Report
+// are required; the remaining fields widen coverage when present:
+// Checkpoints enables the checkpoint-monotonicity audit (keys are
+// object-store keys "ckpt/<trial>"), Trials enables progress bounds, and
+// Catalog enables on-demand billing cross-checks.
+type State struct {
+	Ledger      *cloudsim.Ledger
+	Report      *core.Report
+	Trials      []*trial.Replay
+	Catalog     *market.Catalog
+	Checkpoints map[string][]byte
+}
+
+// costTol absorbs float dust in USD sums; billing is exact arithmetic over
+// trace integrals, so anything beyond dust is a real conservation failure.
+const costTol = 1e-6
+
+// Check validates every invariant the state's fields allow and returns all
+// violations found (nil when the state is sound).
+func Check(st State) []Violation {
+	var out []Violation
+	add := func(code Code, format string, args ...any) {
+		out = append(out, Violation{Code: code, Detail: fmt.Sprintf(format, args...)})
+	}
+	if st.Ledger == nil || st.Report == nil {
+		add(CodeLedgerMismatch, "state needs both a ledger and a report")
+		return out
+	}
+
+	checkLedger(st, add)
+	checkReconciliation(st, add)
+	checkSegments(st, add)
+	checkCheckpoints(st, add)
+	checkSelection(st, add)
+	return out
+}
+
+type addFunc func(code Code, format string, args ...any)
+
+// checkLedger audits per-record billing arithmetic: net = gross − refunds,
+// and refunds exist only on first-hour spot revocations, in full.
+func checkLedger(st State, add addFunc) {
+	for _, u := range st.Ledger.Records {
+		if u.Ended.Before(u.Launched) {
+			add(CodeTimeTravel, "instance %s ended %v before launch %v", u.InstanceID, u.Ended, u.Launched)
+		}
+		if u.GrossCost < 0 {
+			add(CodeNegativeGross, "instance %s gross %v", u.InstanceID, u.GrossCost)
+		}
+		if u.Refunded < 0 {
+			add(CodeNegativeRefund, "instance %s refund %v", u.InstanceID, u.Refunded)
+			continue
+		}
+		if u.Refunded == 0 {
+			continue
+		}
+		if u.Refunded > u.GrossCost+costTol {
+			add(CodeRefundExceedsGross, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
+			continue
+		}
+		// The first-hour rule is all-or-nothing.
+		if u.Refunded < u.GrossCost-costTol {
+			add(CodePartialRefund, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
+		}
+		if u.OnDemand {
+			add(CodeRefundOnDemand, "instance %s is on-demand yet refunded %v", u.InstanceID, u.Refunded)
+		}
+		if u.End != cloudsim.EndRevoked {
+			add(CodeRefundNotRevoked, "instance %s refunded but ended %v", u.InstanceID, u.End)
+		}
+		if u.Duration() > cloudsim.RefundWindow {
+			add(CodeLateRefund, "instance %s refunded after %v of life (window %v)",
+				u.InstanceID, u.Duration(), cloudsim.RefundWindow)
+		}
+	}
+	if st.Catalog != nil {
+		for _, u := range st.Ledger.Records {
+			if !u.OnDemand {
+				continue
+			}
+			it, ok := st.Catalog.Lookup(u.TypeName)
+			if !ok {
+				continue
+			}
+			want := it.OnDemandPrice * u.Duration().Hours()
+			if math.Abs(u.GrossCost-want) > costTol+1e-9*want {
+				add(CodeOnDemandBilling, "instance %s gross %v, want %v (%v for %v)",
+					u.InstanceID, u.GrossCost, want, it.OnDemandPrice, u.Duration())
+			}
+		}
+	}
+}
+
+// checkReconciliation ties the report's campaign totals back to the ledger.
+func checkReconciliation(st State, add addFunc) {
+	led, rep := st.Ledger, st.Report
+	if d := math.Abs(rep.GrossCost - led.TotalGross()); d > costTol {
+		add(CodeLedgerMismatch, "report gross %v vs ledger %v", rep.GrossCost, led.TotalGross())
+	}
+	if d := math.Abs(rep.Refund - led.TotalRefunded()); d > costTol {
+		add(CodeLedgerMismatch, "report refund %v vs ledger %v", rep.Refund, led.TotalRefunded())
+	}
+	if d := math.Abs(rep.NetCost - (rep.GrossCost - rep.Refund)); d > costTol {
+		add(CodeLedgerMismatch, "report net %v vs gross-refund %v", rep.NetCost, rep.GrossCost-rep.Refund)
+	}
+	revoked, onDemand := 0, 0
+	for _, u := range led.Records {
+		if u.End == cloudsim.EndRevoked {
+			revoked++
+		}
+		if u.OnDemand {
+			onDemand++
+		}
+	}
+	if rep.Deployments != len(led.Records) {
+		// Every deployment rents exactly one instance, and a settled
+		// campaign has ended them all — a zeroed counter against a
+		// non-empty ledger is exactly the corruption this catches.
+		add(CodeDeploymentMismatch, "report deployments %d vs ledger instances %d", rep.Deployments, len(led.Records))
+	}
+	if rep.OnDemandDeployments != onDemand {
+		add(CodeDeploymentMismatch, "report on-demand deployments %d vs ledger %d", rep.OnDemandDeployments, onDemand)
+	}
+	if rep.Revocations != revoked {
+		add(CodeRevocationMismatch, "report revocations %d vs ledger %d", rep.Revocations, revoked)
+	}
+	if rep.Revocations > rep.Notices {
+		// Both market revocations and injected mass preemptions deliver
+		// the two-minute notice first.
+		add(CodeNoticeDeficit, "%d revocations but only %d notices", rep.Revocations, rep.Notices)
+	}
+}
+
+// checkSegments audits step attribution: all progress ran on instances the
+// ledger saw alive, and the free-step split matches the refund split. Skipped
+// when the report carries no attribution (legacy baseline runs).
+func checkSegments(st State, add addFunc) {
+	rep := st.Report
+	if rep.Segments == nil {
+		return
+	}
+	usage := make(map[string]cloudsim.Usage, len(st.Ledger.Records))
+	for _, u := range st.Ledger.Records {
+		usage[u.InstanceID] = u
+	}
+	total, free := 0, 0
+	for _, seg := range rep.Segments {
+		if seg.Steps < 0 {
+			add(CodeNegativeSteps, "segment %s/%s has %d steps", seg.InstanceID, seg.TrialID, seg.Steps)
+			continue
+		}
+		total += seg.Steps
+		u, ok := usage[seg.InstanceID]
+		if !ok {
+			if seg.Steps > 0 {
+				add(CodeGhostProgress, "segment %s/%s ran %d steps on an instance the ledger never saw",
+					seg.InstanceID, seg.TrialID, seg.Steps)
+			}
+			continue
+		}
+		if seg.Steps > 0 && !u.Ended.After(u.Launched) {
+			add(CodeGhostProgress, "segment %s/%s ran %d steps on an instance with zero lifetime",
+				seg.InstanceID, seg.TrialID, seg.Steps)
+		}
+		if u.Refunded > 0 {
+			free += seg.Steps
+		}
+	}
+	if total != rep.TotalSteps {
+		add(CodeStepMismatch, "segments sum to %d steps, report says %d", total, rep.TotalSteps)
+	}
+	if free != rep.FreeSteps {
+		add(CodeFreeStepMismatch, "refunded segments sum to %d steps, report says %d", free, rep.FreeSteps)
+	}
+}
+
+// checkCheckpoints audits checkpoint-restore monotonicity: every persisted
+// blob decodes, names the trial its key claims, and holds progress at or
+// behind the live trial (a checkpoint is a photograph of the past).
+func checkCheckpoints(st State, add addFunc) {
+	// Progress bounds need only the trials — they must not hide behind the
+	// optional checkpoint snapshot. (Replay trials clamp RunFor/Restore at
+	// MaxSteps, so this is unreachable for them; it guards future trial
+	// implementations without that property.)
+	for _, tr := range st.Trials {
+		if tr.Progress() > float64(tr.MaxSteps())+1e-9 {
+			add(CodeProgressOverrun, "trial %s at %v of max %d steps", tr.ID(), tr.Progress(), tr.MaxSteps())
+		}
+	}
+	if st.Checkpoints == nil {
+		return
+	}
+	byID := make(map[string]*trial.Replay, len(st.Trials))
+	for _, tr := range st.Trials {
+		byID[tr.ID()] = tr
+	}
+	for key, blob := range st.Checkpoints {
+		id, progress, err := trial.DecodeCheckpoint(blob)
+		if err != nil {
+			add(CodeCheckpointCorrupt, "key %s: %v", key, err)
+			continue
+		}
+		if want := "ckpt/" + id; key != want {
+			add(CodeCheckpointForeign, "key %s holds a checkpoint for trial %q", key, id)
+			continue
+		}
+		tr, ok := byID[id]
+		if !ok {
+			continue // a trial outside this run's set; nothing to compare
+		}
+		if progress > tr.Progress()+1e-9 {
+			add(CodeCheckpointAhead, "trial %s stored progress %v ahead of live %v", id, progress, tr.Progress())
+		}
+		if progress < 0 || math.IsNaN(progress) || progress > float64(tr.MaxSteps()) {
+			add(CodeCheckpointCorrupt, "trial %s stored progress %v outside [0, %d]", id, progress, tr.MaxSteps())
+		}
+	}
+}
+
+// checkSelection audits the policy-facing outputs: the ranking is a
+// permutation of the predicted set ordered by predicted value, and the
+// selected best was actually ranked.
+func checkSelection(st State, add addFunc) {
+	rep := st.Report
+	if len(rep.Ranked) == 0 {
+		// An empty ranking is legitimate only on a report with no
+		// selection outputs at all; a wiped ranking alongside surviving
+		// predictions or a selected best is a selection bug.
+		if len(rep.PredictedFinals) > 0 || rep.Best != "" || len(rep.Top) > 0 {
+			add(CodeRankingCorrupt, "empty ranking with %d predictions, best %q, %d top",
+				len(rep.PredictedFinals), rep.Best, len(rep.Top))
+		}
+		return
+	}
+	if len(rep.Ranked) != len(rep.PredictedFinals) {
+		add(CodeRankingCorrupt, "%d ranked vs %d predictions", len(rep.Ranked), len(rep.PredictedFinals))
+		return
+	}
+	seen := make(map[string]bool, len(rep.Ranked))
+	for i, id := range rep.Ranked {
+		if seen[id] {
+			add(CodeRankingCorrupt, "trial %s ranked twice", id)
+			return
+		}
+		seen[id] = true
+		v, ok := rep.PredictedFinals[id]
+		if !ok {
+			add(CodeRankingCorrupt, "ranked trial %s has no prediction", id)
+			return
+		}
+		if i > 0 {
+			prev := rep.PredictedFinals[rep.Ranked[i-1]]
+			if v < prev {
+				add(CodeRankingCorrupt, "ranking not ascending at %s (%v after %v)", id, v, prev)
+				return
+			}
+		}
+	}
+	if rep.Best != "" && !seen[rep.Best] {
+		add(CodeBestNotRanked, "best %q absent from ranking", rep.Best)
+	}
+	for _, id := range rep.Top {
+		if !seen[id] {
+			add(CodeBestNotRanked, "top trial %q absent from ranking", id)
+		}
+	}
+}

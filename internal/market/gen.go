@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 )
 
@@ -132,11 +133,30 @@ func (sp *spike) dead(t time.Time) bool {
 	return t.Sub(sp.start) > sp.attack+8*sp.halfLife
 }
 
+// SharedSpike is one cross-market demand event: a burst injected at the
+// same instant into every market of a correlated generation run, scaled by
+// each market's own base price. Capacity crunches and flash reclaims hit
+// whole regions at once — independent per-market spike processes cannot
+// express that correlation, and it is exactly what doom-window fallback
+// policies are judged on.
+type SharedSpike struct {
+	At        time.Time
+	Attack    time.Duration // ramp-up length
+	HalfLife  time.Duration // decay half-life after the peak
+	Amplitude float64       // peak multiple of each market's base price
+}
+
 // Generate synthesizes the spot-price trace of one market over [from, to)
 // at 1-minute resolution, emitting records only on quantized price changes
 // (sparse, like the real dataset). The same seed always yields the same
 // trace.
 func Generate(spec MarketSpec, from, to time.Time, seed uint64) (*Trace, error) {
+	return generate(spec, from, to, seed, nil)
+}
+
+// generate is Generate plus an optional list of shared cross-market spikes
+// superimposed on the market's own independent spike process.
+func generate(spec MarketSpec, from, to time.Time, seed uint64, shared []SharedSpike) (*Trace, error) {
 	spec = spec.withDefaults()
 	if spec.Type.Name == "" || spec.Type.OnDemandPrice <= 0 {
 		return nil, fmt.Errorf("market: Generate needs a valid instance type, got %+v", spec.Type)
@@ -156,8 +176,21 @@ func Generate(spec MarketSpec, from, to time.Time, seed uint64) (*Trace, error) 
 		lastRec = -1.0
 	)
 	pSwitch := spec.RegimeSwitchPerDay / (24 * 60)
+	// Shared cross-market events enter as pre-seeded spikes: same envelope
+	// machinery, correlated start instants.
+	pending := append([]SharedSpike(nil), shared...)
 
 	for t := from; t.Before(to); t = t.Add(time.Minute) {
+		for len(pending) > 0 && !pending[0].At.After(t) {
+			ev := pending[0]
+			pending = pending[1:]
+			spikes = append(spikes, &spike{
+				start:     ev.At,
+				attack:    ev.Attack,
+				halfLife:  ev.HalfLife,
+				amplitude: ev.Amplitude,
+			})
+		}
 		// Regime flips cluster volatility in time.
 		if rng.Float64() < pSwitch {
 			volatile = !volatile
@@ -224,9 +257,27 @@ func Generate(spec MarketSpec, from, to time.Time, seed uint64) (*Trace, error) 
 // seeds are derived from the shared seed so the whole region is reproducible
 // from one number.
 func GenerateSet(specs []MarketSpec, from, to time.Time, seed uint64) (TraceSet, error) {
+	return GenerateSetShared(specs, from, to, seed, nil)
+}
+
+// GenerateSetShared is GenerateSet with correlated cross-market events: each
+// shared spike is injected into every market at the same instant (scaled by
+// that market's base price), on top of the markets' independent processes.
+// Events must fall inside [from, to).
+func GenerateSetShared(specs []MarketSpec, from, to time.Time, seed uint64, shared []SharedSpike) (TraceSet, error) {
+	shared = append([]SharedSpike(nil), shared...)
+	sort.Slice(shared, func(i, j int) bool { return shared[i].At.Before(shared[j].At) })
+	for _, ev := range shared {
+		if ev.At.Before(from) || !ev.At.Before(to) {
+			return nil, fmt.Errorf("market: shared spike at %v outside [%v, %v)", ev.At, from, to)
+		}
+		if ev.Attack <= 0 || ev.HalfLife <= 0 || ev.Amplitude <= 0 {
+			return nil, fmt.Errorf("market: shared spike %+v needs positive attack, half-life, and amplitude", ev)
+		}
+	}
 	set := make(TraceSet, len(specs))
 	for _, spec := range specs {
-		tr, err := Generate(spec, from, to, seed)
+		tr, err := generate(spec, from, to, seed, shared)
 		if err != nil {
 			return nil, fmt.Errorf("market: generating %q: %w", spec.Type.Name, err)
 		}

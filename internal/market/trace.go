@@ -3,6 +3,7 @@ package market
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -23,14 +24,16 @@ type Trace struct {
 	Records []Record
 }
 
-// Validate checks monotone timestamps and positive prices.
+// Validate checks monotone timestamps and positive finite prices.
 func (tr *Trace) Validate() error {
 	if len(tr.Records) == 0 {
 		return errors.New("market: trace has no records")
 	}
 	for i, r := range tr.Records {
-		if r.Price <= 0 {
-			return fmt.Errorf("market: record %d has non-positive price %v", i, r.Price)
+		if !(r.Price > 0) || math.IsInf(r.Price, 1) {
+			// The negated comparison also catches NaN, which compares
+			// false against everything and would otherwise slip through.
+			return fmt.Errorf("market: record %d has non-positive or non-finite price %v", i, r.Price)
 		}
 		if i > 0 && !tr.Records[i-1].At.Before(r.At) {
 			return fmt.Errorf("market: record %d timestamp %v not after previous %v",
@@ -59,6 +62,11 @@ func (tr *Trace) End() time.Time {
 // PriceAt returns the market price effective at t: the price of the latest
 // record at or before t. Querying before the first record returns the first
 // record's price (ok=false flags the extrapolation).
+//
+// Hold-last-price contract: querying at or after the final record returns
+// that record's price with ok=true — a trace that ends before the horizon
+// of interest holds its last price forever. AvgOver, MaxOver, and the
+// cloudsim billing/revocation machinery all inherit this extension.
 func (tr *Trace) PriceAt(t time.Time) (price float64, ok bool) {
 	n := len(tr.Records)
 	if n == 0 {

@@ -54,9 +54,10 @@ type TrialInfo struct {
 	MaxSteps       int
 	// Deployments counts how many times this trial has been deployed.
 	Deployments int
-	// SpotFailures counts consecutive spot segments of this trial that
-	// ended in a revocation notice (reset when a spot segment ends
-	// cleanly). Fallback policies key off it.
+	// SpotFailures counts consecutive spot misfortunes for this trial:
+	// segments that ended in a revocation notice plus spot requests the
+	// provider rejected during a capacity blackout (reset when a spot
+	// segment ends cleanly). Fallback policies key off it.
 	SpotFailures int
 	// Incumbent marks the trial whose last observed metric is currently
 	// the best in the campaign. MixedFleet pins it on on-demand.

@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spottune/internal/campaign"
+	"spottune/internal/experiments"
+	"spottune/internal/invariants"
+	"spottune/internal/policy"
+	"spottune/internal/revpred"
+	"spottune/internal/workload"
+)
+
+// Options tunes a matrix run.
+type Options struct {
+	// Seed is inherited by every spec without its own (and drives the
+	// per-cell sweep streams).
+	Seed uint64
+	// Quick trades fidelity for speed: synthetic curves, constant
+	// revocation predictor, short traces.
+	Quick bool
+	// Workload is the default Table II benchmark for specs that name none
+	// (default "LoR").
+	Workload string
+	// Scale multiplies workload sizes (default 1).
+	Scale float64
+	// Theta is the early-shutdown rate for every cell (default 0.7).
+	Theta float64
+	// Policies restricts the policy axis (nil = every registered policy).
+	Policies []string
+	// SkipInvariants disables the per-cell invariant audit (the audit is
+	// on by default; this exists for timing comparisons only).
+	SkipInvariants bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workload == "" {
+		o.Workload = "LoR"
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Theta <= 0 || o.Theta > 1 {
+		o.Theta = 0.7
+	}
+	if len(o.Policies) == 0 {
+		// An empty slice (e.g. a separator-only -policies flag) means "no
+		// restriction", same as nil — never a zero-cell matrix that would
+		// report a vacuous "every cell sound".
+		o.Policies = policy.Names()
+	}
+	return o
+}
+
+// revPredConfig mirrors the experiment harness's fidelity split.
+func (o Options) revPredConfig(seed uint64) revpred.Config {
+	if o.Quick {
+		return revpred.Config{Hidden: 6, Depth: 1, Epochs: 1, Stride: 16, BatchSize: 16, Seed: seed}
+	}
+	return revpred.Config{Hidden: 12, Depth: 2, Epochs: 2, Stride: 4, Seed: seed}
+}
+
+// Cell is one (scenario, policy) outcome plus its invariant audit.
+type Cell struct {
+	Scenario string
+	Regime   string
+	experiments.CrossPolicyRow
+	Violations []invariants.Violation
+}
+
+// Result is a completed matrix.
+type Result struct {
+	Cells []Cell
+}
+
+// ViolationCount sums invariant violations across all cells.
+func (r *Result) ViolationCount() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += len(c.Violations)
+	}
+	return n
+}
+
+// Header is the per-cell CSV schema.
+var Header = []string{
+	"scenario", "regime", "policy", "workload",
+	"cost_usd", "jct_hours", "refund_frac", "free_step_frac",
+	"deployments", "on_demand_deployments", "notices", "revocations",
+	"violations",
+}
+
+// WriteCSV renders the per-cell table. The encoding is fully deterministic
+// (fixed float precision, cells in scenario-then-policy order as run), so
+// two runs of the same seeded matrix produce bit-identical files.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Scenario, c.Regime, c.Policy, c.Workload,
+			strconv.FormatFloat(c.Cost, 'f', 6, 64),
+			strconv.FormatFloat(c.JCTHours, 'f', 6, 64),
+			strconv.FormatFloat(c.RefundFrac, 'f', 6, 64),
+			strconv.FormatFloat(c.Report.FreeStepFraction(), 'f', 6, 64),
+			strconv.Itoa(c.Deployments),
+			strconv.Itoa(c.OnDemandDeployments),
+			strconv.Itoa(c.Notices),
+			strconv.Itoa(c.Report.Revocations),
+			strconv.Itoa(len(c.Violations)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the per-cell table to path (shared by cmd/scenarios
+// and benchfigs so both emit byte-identical artifacts).
+func (r *Result) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ViolationError dumps every invariant violation to w (prefixed per cell)
+// and returns an error summarizing the count, or nil when the matrix is
+// sound.
+func (r *Result) ViolationError(w io.Writer) error {
+	n := r.ViolationCount()
+	if n == 0 {
+		return nil
+	}
+	for _, c := range r.Cells {
+		for _, v := range c.Violations {
+			fmt.Fprintf(w, "%s/%s: invariant violated: %v\n", c.Scenario, c.Policy, v)
+		}
+	}
+	return fmt.Errorf("%d invariant violations across the matrix", n)
+}
+
+// Matrix is a scenario × policy study.
+type Matrix struct {
+	Specs []Spec
+}
+
+// Run executes every scenario × policy combination: per scenario, the
+// policy axis fans out through experiments.CrossPolicyOn (and with it the
+// campaign.Sweep worker pool); per cell, the final simulator state is
+// audited by invariants.Check. Cells come back in scenario-then-policy
+// order, deterministically for a fixed seed.
+func (m Matrix) Run(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(m.Specs) == 0 {
+		return nil, fmt.Errorf("scenario: matrix has no specs")
+	}
+	seen := map[string]bool{}
+	for _, s := range m.Specs {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("scenario: duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Environments are the expensive part (trace generation + predictor
+	// training); specs differing only in faults share one build.
+	baseEnvs := map[envKey]*campaign.Environment{}
+	benches := map[string]*workload.Benchmark{}
+	curves := map[string]workload.Curves{}
+
+	res := &Result{}
+	for _, raw := range m.Specs {
+		s := raw.withDefaults(opt)
+		base, ok := baseEnvs[s.key()]
+		if !ok {
+			// Build without faults so the cache entry is fault-free;
+			// withFaults layers per-spec hooks onto a copy.
+			bare := s
+			bare.Faults = nil
+			var err error
+			base, err = bare.Environment(opt)
+			if err != nil {
+				return nil, err
+			}
+			baseEnvs[s.key()] = base
+		}
+		env, err := s.withFaults(base)
+		if err != nil {
+			return nil, err
+		}
+
+		bench, ok := benches[s.Workload]
+		if !ok {
+			bench, err = workload.SuiteByName(s.Workload, workload.Config{Seed: opt.Seed, Scale: opt.Scale})
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+			}
+			benches[s.Workload] = bench
+		}
+		cv, ok := curves[s.Workload]
+		if !ok {
+			if opt.Quick {
+				cv = bench.SyntheticCurves(opt.Seed)
+			} else {
+				cv, err = bench.RecordCurves()
+				if err != nil {
+					return nil, fmt.Errorf("scenario: %s: recording curves: %w", s.Name, err)
+				}
+			}
+			curves[s.Workload] = cv
+		}
+
+		audit := newAuditor(opt)
+		rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
+			Theta:   opt.Theta,
+			Seed:    s.Seed,
+			Inspect: audit.inspect,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+		}
+		for _, row := range rows {
+			res.Cells = append(res.Cells, Cell{
+				Scenario:       s.Name,
+				Regime:         s.Regime,
+				CrossPolicyRow: row,
+				Violations:     audit.violations[row.Policy],
+			})
+		}
+	}
+	return res, nil
+}
+
+// auditor routes every campaign's final state through invariants.Check,
+// collecting violations per policy. Sweeps run cells concurrently, so the
+// collection is locked.
+type auditor struct {
+	skip       bool
+	mu         sync.Mutex
+	violations map[string][]invariants.Violation
+}
+
+func newAuditor(opt Options) *auditor {
+	return &auditor{skip: opt.SkipInvariants, violations: map[string][]invariants.Violation{}}
+}
+
+// inspect implements campaign.Options.Inspect. It never vetoes the run:
+// violations are reported per cell so one broken combination doesn't hide
+// the rest of the matrix.
+func (a *auditor) inspect(d *campaign.RunDetail) error {
+	if a.skip {
+		return nil
+	}
+	vs := invariants.Check(StateFor(d))
+	if len(vs) > 0 {
+		a.mu.Lock()
+		a.violations[d.Policy] = append(a.violations[d.Policy], vs...)
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// StateFor assembles the invariant checker's input from a campaign run's
+// final simulator state — the one place the State fields are wired, shared
+// by the matrix auditor and the equivalence suites.
+func StateFor(d *campaign.RunDetail) invariants.State {
+	return invariants.State{
+		Ledger:      d.Cluster.Ledger(),
+		Report:      d.Report,
+		Trials:      d.Trials,
+		Catalog:     d.Cluster.Catalog(),
+		Checkpoints: storeBlobs(d),
+	}
+}
+
+// storeBlobs snapshots every checkpoint in the run's object store.
+func storeBlobs(d *campaign.RunDetail) map[string][]byte {
+	keys := d.Store.Keys()
+	out := make(map[string][]byte, len(keys))
+	for _, key := range keys {
+		blob, _, err := d.Store.Get(key, 1)
+		if err != nil {
+			continue
+		}
+		out[key] = blob
+	}
+	return out
+}
+
+// ParseSpecList resolves a comma-separated scenario list ("", "all", or
+// names from the default battery) — the shared flag syntax of cmd/scenarios
+// and benchfigs.
+func ParseSpecList(s string) ([]Spec, error) {
+	if strings.TrimSpace(s) == "" {
+		return SpecsByName(nil)
+	}
+	var names []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "all" {
+			// "all" anywhere in the list selects the whole battery.
+			return SpecsByName(nil)
+		}
+		if p != "" {
+			names = append(names, p)
+		}
+	}
+	return SpecsByName(names)
+}
+
+// SpecsByName filters the default battery down to the named scenarios, in
+// the given order (nil selects everything).
+func SpecsByName(names []string) ([]Spec, error) {
+	all := DefaultSpecs()
+	if names == nil {
+		return all, nil
+	}
+	byName := map[string]Spec{}
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			avail := make([]string, 0, len(byName))
+			for k := range byName {
+				avail = append(avail, k)
+			}
+			sort.Strings(avail)
+			return nil, fmt.Errorf("scenario: unknown scenario %q (available: %v)", n, avail)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"spottune/internal/campaign"
+	"spottune/internal/core"
+	"spottune/internal/invariants"
+	"spottune/internal/policy"
+	"spottune/internal/workload"
+)
+
+// randomSpec draws one scenario spec from the seeded stream: a regime, up
+// to two faults at random campaign offsets, and occasionally a restricted
+// fleet. This extends the PR 1 golden equivalence tests from fixed cases to
+// generated ones.
+func randomSpec(rng *rand.Rand) Spec {
+	regimes := []string{"baseline", "calm", "volatile", "diurnal", "flash-crash", "inversion", "crunch"}
+	s := Spec{
+		Name:   "meta",
+		Regime: regimes[rng.IntN(len(regimes))],
+		Seed:   rng.Uint64()%1000 + 1,
+	}
+	for f := rng.IntN(3); f > 0; f-- {
+		after := time.Duration(1+rng.IntN(40)) * time.Hour
+		if rng.IntN(2) == 0 {
+			s.Faults = append(s.Faults, Fault{Kind: FaultMassPreemption, After: after})
+		} else {
+			s.Faults = append(s.Faults, Fault{
+				Kind:     FaultBlackout,
+				After:    after,
+				Duration: time.Duration(1+rng.IntN(5)) * time.Hour,
+			})
+		}
+	}
+	if rng.IntN(3) == 0 {
+		s.Pool = []string{"r4.large", "r3.xlarge", "m4.2xlarge"}
+	}
+	return s
+}
+
+// metaRun executes one (spec, θ, policy) campaign in the given loop mode and
+// returns the report, the per-trial completed steps, and the invariant
+// audit of the final state.
+func metaRun(
+	t *testing.T,
+	env *campaign.Environment,
+	bench *workload.Benchmark,
+	curves workload.Curves,
+	theta float64, seed uint64, pol string,
+	mode core.LoopMode,
+) (*core.Report, map[string]int, []invariants.Violation) {
+	t.Helper()
+	steps := map[string]int{}
+	var vs []invariants.Violation
+	rep, err := env.RunPolicy(bench, curves, campaign.Options{
+		Theta:  theta,
+		Seed:   seed,
+		Policy: pol,
+		Mode:   mode,
+		Inspect: func(d *campaign.RunDetail) error {
+			for _, tr := range d.Trials {
+				steps[tr.ID()] = tr.CompletedSteps()
+			}
+			vs = invariants.Check(StateFor(d))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	return rep, steps, vs
+}
+
+// TestMetamorphicLoopEquivalence: for randomized scenario specs, the
+// discrete-event orchestrator and the literal Algorithm 1 polling loop must
+// produce identical decision outputs — ranking, final selection, and every
+// trial's completed step count — and both final states must pass the full
+// invariant audit.
+//
+// The economic trajectory (virtual JCT, net cost) is deliberately held to a
+// looser envelope on generated markets: deployment instants differ between
+// the loops by up to one poll tick, and on a volatile trace a 10-second
+// shift changes which spot price a bid lands on, which can flip a
+// revocation and compound from there. The PR 1 golden tests pin strict
+// JCT/cost equivalence on controlled fixtures where that chaos cannot
+// amplify; TestMetamorphicQuantizationOnReliableCapacity below pins it here
+// for the market-independent policy, where it must survive any regime.
+func TestMetamorphicLoopEquivalence(t *testing.T) {
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	rng := rand.New(rand.NewPCG(0xdecade, 0))
+	opt := quickOpts()
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	thetas := []float64{0.5, 0.7, 1.0}
+	policies := []string{policy.SpotTuneName, policy.CheapestName, policy.FallbackName}
+
+	for i := 0; i < iters; i++ {
+		s := randomSpec(rng).withDefaults(opt)
+		theta := thetas[rng.IntN(len(thetas))]
+		pol := policies[rng.IntN(len(policies))]
+		env, err := s.Environment(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, evSteps, evViol := metaRun(t, env, bench, curves, theta, s.Seed, pol, core.LoopEvent)
+		poll, pollSteps, pollViol := metaRun(t, env, bench, curves, theta, s.Seed, pol, core.LoopPolling)
+
+		if len(evViol) != 0 || len(pollViol) != 0 {
+			t.Errorf("spec %d (%s θ=%v %s): invariant violations: event %v, polling %v",
+				i, s.Regime, theta, pol, evViol, pollViol)
+		}
+		if len(ev.Ranked) != len(poll.Ranked) {
+			t.Fatalf("spec %d (%s θ=%v %s): ranking sizes differ: %d vs %d",
+				i, s.Regime, theta, pol, len(ev.Ranked), len(poll.Ranked))
+		}
+		for j := range ev.Ranked {
+			if ev.Ranked[j] != poll.Ranked[j] {
+				t.Errorf("spec %d (%s θ=%v %s): ranking diverges at %d: %v vs %v",
+					i, s.Regime, theta, pol, j, ev.Ranked, poll.Ranked)
+				break
+			}
+		}
+		if ev.Best != poll.Best {
+			t.Errorf("spec %d (%s θ=%v %s): best %q vs %q", i, s.Regime, theta, pol, ev.Best, poll.Best)
+		}
+		for id, n := range evSteps {
+			if pollSteps[id] != n {
+				t.Errorf("spec %d (%s θ=%v %s): trial %s completed %d steps under events, %d under polling",
+					i, s.Regime, theta, pol, id, n, pollSteps[id])
+			}
+		}
+		// Chaos-bounded economics: the loops must live in the same
+		// universe even where per-path equality is impossible.
+		if poll.JCT > 0 {
+			if rel := math.Abs(float64(ev.JCT-poll.JCT)) / float64(poll.JCT); rel > 0.35 {
+				t.Errorf("spec %d (%s θ=%v %s faults=%d): JCT diverges %.0f%%: event %v vs polling %v",
+					i, s.Regime, theta, pol, len(s.Faults), 100*rel, ev.JCT, poll.JCT)
+			}
+		}
+		if poll.NetCost > 0 {
+			if rel := math.Abs(ev.NetCost-poll.NetCost) / poll.NetCost; rel > 0.35 {
+				t.Errorf("spec %d (%s θ=%v %s): net cost diverges %.0f%%: event %.6f vs polling %.6f",
+					i, s.Regime, theta, pol, 100*rel, ev.NetCost, poll.NetCost)
+			}
+		}
+	}
+}
+
+// TestMetamorphicQuantizationOnReliableCapacity: on reliable on-demand
+// capacity no market chaos can amplify timing differences, so the two loops
+// must agree on JCT and net cost up to the documented poll-quantization
+// envelope — one poll tick per scheduling transition — for every randomized
+// scenario, faults and all (on-demand capacity ignores blackouts and
+// survives mass preemptions).
+func TestMetamorphicQuantizationOnReliableCapacity(t *testing.T) {
+	iters := 4
+	if testing.Short() {
+		iters = 2
+	}
+	rng := rand.New(rand.NewPCG(0xfacade, 0))
+	opt := quickOpts()
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	for i := 0; i < iters; i++ {
+		s := randomSpec(rng).withDefaults(opt)
+		theta := []float64{0.5, 0.7, 1.0}[rng.IntN(3)]
+		env, err := s.Environment(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, _, evViol := metaRun(t, env, bench, curves, theta, s.Seed, policy.OnDemandName, core.LoopEvent)
+		poll, _, pollViol := metaRun(t, env, bench, curves, theta, s.Seed, policy.OnDemandName, core.LoopPolling)
+		if len(evViol) != 0 || len(pollViol) != 0 {
+			t.Errorf("spec %d (%s): invariant violations: event %v, polling %v", i, s.Regime, evViol, pollViol)
+		}
+		pollTick := 10 * time.Second
+		slack := time.Duration(poll.Deployments+poll.Notices+2) * pollTick
+		if diff := poll.JCT - ev.JCT; diff < -slack || diff > slack {
+			t.Errorf("spec %d (%s θ=%v): JCT diverges beyond quantization: event %v vs polling %v (slack %v)",
+				i, s.Regime, theta, ev.JCT, poll.JCT, slack)
+		}
+		// On-demand cost is price x rented hours; rented time differs by
+		// at most the JCT slack.
+		maxOD := 0.8 // most expensive Table III type
+		if diff := math.Abs(ev.NetCost - poll.NetCost); diff > maxOD*slack.Hours()+1e-9 {
+			t.Errorf("spec %d (%s θ=%v): net cost diverges beyond quantization: event %.6f vs polling %.6f",
+				i, s.Regime, theta, ev.NetCost, poll.NetCost)
+		}
+	}
+}

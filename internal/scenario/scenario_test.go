@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"spottune/internal/campaign"
+	"spottune/internal/invariants"
+	"spottune/internal/policy"
+	"spottune/internal/workload"
+)
+
+func quickOpts() Options {
+	return Options{Seed: 1, Quick: true, Workload: "LoR"}
+}
+
+// TestMatrixQuickIsSelfVerifyingAndDeterministic is the engine's acceptance
+// test: a ≥4-regime × ≥3-policy matrix runs in quick mode with zero
+// invariant violations, and the rendered CSV is bit-identical across two
+// runs with the same seed.
+func TestMatrixQuickIsSelfVerifyingAndDeterministic(t *testing.T) {
+	specs, err := SpecsByName([]string{"baseline", "calm", "volatile", "flash-crash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.SpotTuneName, policy.CheapestName, policy.FallbackName}
+	run := func() (*Result, []byte) {
+		res, err := Matrix{Specs: specs}.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	res, csv1 := run()
+	if got, want := len(res.Cells), len(specs)*len(opt.Policies); got != want {
+		t.Fatalf("%d cells, want %d", got, want)
+	}
+	if n := res.ViolationCount(); n != 0 {
+		for _, c := range res.Cells {
+			for _, v := range c.Violations {
+				t.Errorf("%s/%s: %v", c.Scenario, c.Policy, v)
+			}
+		}
+		t.Fatalf("%d invariant violations in a healthy matrix", n)
+	}
+	for _, c := range res.Cells {
+		if c.Cost <= 0 || c.JCTHours <= 0 {
+			t.Errorf("%s/%s: degenerate cost/JCT %v/%v", c.Scenario, c.Policy, c.Cost, c.JCTHours)
+		}
+	}
+	_, csv2 := run()
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatal("same seed produced different matrix CSVs")
+	}
+}
+
+// TestMassPreemptionScenarioShowsUpInReports: the fault scenario must be
+// observably different from its fault-free regime — the calm market alone
+// produces few notices; two mass preemptions guarantee them (for every
+// policy holding spot capacity at the strike instants).
+func TestMassPreemptionScenarioShowsUpInReports(t *testing.T) {
+	specs, err := SpecsByName([]string{"calm", "calm+mass-preemption"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.CheapestName}
+	res, err := Matrix{Specs: specs}.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.ViolationCount(); n != 0 {
+		t.Fatalf("%d invariant violations", n)
+	}
+	calm, faulted := res.Cells[0], res.Cells[1]
+	if faulted.Notices <= calm.Notices {
+		t.Errorf("mass preemption produced %d notices vs calm %d — fault not observable",
+			faulted.Notices, calm.Notices)
+	}
+	if faulted.Report.Revocations <= calm.Report.Revocations {
+		t.Errorf("mass preemption produced %d revocations vs calm %d",
+			faulted.Report.Revocations, calm.Report.Revocations)
+	}
+}
+
+// TestBlackoutScenarioDrivesFallbackOnDemand: during a region-wide capacity
+// blackout the fallback policy must actually fall back, while the pure spot
+// policy just waits it out — both finishing with sound books.
+func TestBlackoutScenarioDrivesFallbackOnDemand(t *testing.T) {
+	spec := Spec{
+		Name:   "early-blackout",
+		Regime: "calm",
+		Faults: []Fault{{Kind: FaultBlackout, After: 30 * time.Minute, Duration: 8 * time.Hour}},
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.CheapestName, policy.FallbackName}
+	res, err := Matrix{Specs: []Spec{spec}}.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.ViolationCount(); n != 0 {
+		t.Fatalf("%d invariant violations", n)
+	}
+	var cheapest, fallback Cell
+	for _, c := range res.Cells {
+		switch c.Policy {
+		case policy.CheapestName:
+			cheapest = c
+		case policy.FallbackName:
+			fallback = c
+		}
+	}
+	if fallback.OnDemandDeployments == 0 {
+		t.Error("fallback policy never rented on-demand through an 8h blackout")
+	}
+	if cheapest.OnDemandDeployments != 0 {
+		t.Errorf("pure spot policy rented %d on-demand instances", cheapest.OnDemandDeployments)
+	}
+	// Waiting out the blackout costs wall-clock: the fallback run must
+	// finish sooner.
+	if fallback.JCTHours >= cheapest.JCTHours {
+		t.Errorf("fallback JCT %vh not faster than wait-it-out %vh", fallback.JCTHours, cheapest.JCTHours)
+	}
+}
+
+// TestCorruptedRunFailsInvariants is the negative control for the
+// self-verification loop: take a genuine healthy run, corrupt its final
+// state the way a billing bug would, and the same Check that passed the
+// matrix must reject it.
+func TestCorruptedRunFailsInvariants(t *testing.T) {
+	opt := quickOpts()
+	s := Spec{Name: "probe", Regime: "volatile"}.withDefaults(opt)
+	env, err := s.Environment(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail *campaign.RunDetail
+	_, err = env.RunPolicy(bench, bench.SyntheticCurves(1), campaign.Options{
+		Theta:   0.7,
+		Seed:    1,
+		Policy:  policy.SpotTuneName,
+		Inspect: func(d *campaign.RunDetail) error { detail = d; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := StateFor(detail)
+	if vs := invariants.Check(state); len(vs) != 0 {
+		t.Fatalf("healthy run rejected: %v", vs)
+	}
+	// A "double refund" slips into the ledger.
+	for i, u := range state.Ledger.Records {
+		if u.Refunded > 0 {
+			state.Ledger.Records[i].Refunded = 2 * u.GrossCost
+			break
+		}
+	}
+	vs := invariants.Check(state)
+	if len(vs) == 0 {
+		t.Fatal("corrupted ledger passed the invariant audit")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Code == invariants.CodeRefundExceedsGross {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double refund not identified: %v", vs)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{},                          // no name
+		{Name: "x", Regime: "nope"}, // unknown regime
+		{Name: "x", Faults: []Fault{{Kind: "warp-core-breach"}}},
+		{Name: "x", Faults: []Fault{{Kind: FaultBlackout}}},                            // no duration
+		{Name: "x", Faults: []Fault{{Kind: FaultMassPreemption, Duration: time.Hour}}}, // spurious duration
+		{Name: "x", Faults: []Fault{{Kind: FaultMassPreemption, After: -time.Hour}}},   // before start
+		{Name: "x", Days: 3, TrainDays: 3},                                             // no campaign window
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, s)
+		}
+	}
+	if err := (Spec{Name: "ok", Regime: "calm"}).Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+func TestMatrixRejectsBadInput(t *testing.T) {
+	if _, err := (Matrix{}).Run(quickOpts()); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	dup := []Spec{{Name: "a", Regime: "calm"}, {Name: "a", Regime: "volatile"}}
+	if _, err := (Matrix{Specs: dup}).Run(quickOpts()); err == nil {
+		t.Error("duplicate spec names accepted")
+	}
+	if _, err := SpecsByName([]string{"no-such-scenario"}); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	all, err := SpecsByName(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 8 {
+		t.Errorf("default battery has only %d specs", len(all))
+	}
+}

@@ -11,6 +11,7 @@ package trial
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -322,15 +323,53 @@ func (r *Replay) MetricAtOrBefore(step int) (float64, bool) {
 // the simulator's per-segment cost.
 const ckptMagic = 0x51
 
+// encodeCheckpoint serializes one (id, progress) pair in the wire format.
+func encodeCheckpoint(id string, progress float64) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(id)+8)
+	buf = append(buf, ckptMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(progress))
+	return buf
+}
+
+// DecodeCheckpoint parses a checkpoint blob without applying it: the trial
+// ID it was written for and the serialized progress. Restore layers the
+// trial-identity and range checks on top; invariant checkers use the raw
+// decode to audit every blob in object storage against live trial state.
+func DecodeCheckpoint(data []byte) (id string, progress float64, err error) {
+	if len(data) < 2 || data[0] != ckptMagic {
+		return "", 0, errors.New("trial: bad checkpoint header")
+	}
+	rest := data[1:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return "", 0, errors.New("trial: truncated checkpoint")
+	}
+	if k > 1 && rest[k-1] == 0 {
+		// Reject non-minimal varints (0x80… padding): only our encoder
+		// writes blobs, and accepting them would give one checkpoint many
+		// byte representations (decode∘encode must be the identity).
+		return "", 0, errors.New("trial: non-canonical checkpoint length")
+	}
+	rest = rest[k:]
+	// Compare against the remaining length without adding to n, which a
+	// malformed blob can place near 2^64 to overflow the bound check.
+	if n > uint64(len(rest)) || uint64(len(rest))-n < 8 {
+		return "", 0, errors.New("trial: truncated checkpoint")
+	}
+	if uint64(len(rest))-n > 8 {
+		return "", 0, errors.New("trial: trailing bytes after checkpoint")
+	}
+	id = string(rest[:n])
+	progress = math.Float64frombits(binary.BigEndian.Uint64(rest[n : n+8]))
+	return id, progress, nil
+}
+
 // Checkpoint serializes progress (SpotTune checkpoints on revocation
 // notices, hourly restarts, and early shutdowns).
 func (r *Replay) Checkpoint() ([]byte, error) {
-	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(r.id)+8)
-	buf = append(buf, ckptMagic)
-	buf = binary.AppendUvarint(buf, uint64(len(r.id)))
-	buf = append(buf, r.id...)
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.progress))
-	return buf, nil
+	return encodeCheckpoint(r.id, r.progress), nil
 }
 
 // Restore loads a Checkpoint blob. Progress can only move backward if the
@@ -338,22 +377,10 @@ func (r *Replay) Checkpoint() ([]byte, error) {
 // when an instance dies without a checkpoint and the trial resumes from an
 // earlier one.
 func (r *Replay) Restore(data []byte) error {
-	if len(data) < 2 || data[0] != ckptMagic {
-		return fmt.Errorf("trial: decoding %s: bad checkpoint header", r.id)
+	id, progress, err := DecodeCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("trial: decoding %s: %w", r.id, err)
 	}
-	rest := data[1:]
-	n, k := binary.Uvarint(rest)
-	if k <= 0 {
-		return fmt.Errorf("trial: decoding %s: truncated checkpoint", r.id)
-	}
-	rest = rest[k:]
-	// Compare against the remaining length without adding to n, which a
-	// malformed blob can place near 2^64 to overflow the bound check.
-	if n > uint64(len(rest)) || uint64(len(rest))-n < 8 {
-		return fmt.Errorf("trial: decoding %s: truncated checkpoint", r.id)
-	}
-	id := string(rest[:n])
-	progress := math.Float64frombits(binary.BigEndian.Uint64(rest[n : n+8]))
 	if id != r.id {
 		return fmt.Errorf("trial: checkpoint for %q restored into %q", id, r.id)
 	}
