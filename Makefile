@@ -22,10 +22,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Runs every benchmark once, exports the cross-policy provisioning study as
-# BENCH_policy.json, and re-measures the micro benchmarks with -benchmem
-# into BENCH_perf.json (ns/op + allocs/op, diffed against the committed
-# pre-optimization baseline in BENCH_baseline.json). Both JSON
-# artifacts are uploaded by CI.
+# BENCH_policy.json and the cross-tuner search-strategy study as
+# BENCH_tuner.json (cost/JCT per registered tuner), and re-measures the
+# micro benchmarks with -benchmem into BENCH_perf.json (ns/op + allocs/op,
+# diffed against the committed pre-optimization baseline in
+# BENCH_baseline.json). All JSON artifacts are uploaded by CI.
 # The micro-bench output goes through a temp file, not a pipe, so a failing
 # benchmark binary fails the recipe instead of being masked by benchperf's
 # exit status.
@@ -34,16 +35,18 @@ bench:
 	$(GO) test -bench '^(BenchmarkLSTMForwardBackward|BenchmarkRevPredInference|BenchmarkEarlyCurveFit|BenchmarkMarketGenerate|BenchmarkEventQueue|BenchmarkGBTRound)$$' -run '^$$' -benchmem -benchtime 100x . > BENCH_perf.txt
 	$(GO) run ./cmd/benchperf -baseline BENCH_baseline.json -out BENCH_perf.json < BENCH_perf.txt
 	rm -f BENCH_perf.txt
-	$(GO) run ./cmd/benchfigs -fig none -quick -out results -policyjson BENCH_policy.json
+	$(GO) run ./cmd/benchfigs -fig none -quick -out results -policyjson BENCH_policy.json -tunerjson BENCH_tuner.json
 
 bench-campaign:
 	$(GO) test -bench 'BenchmarkCampaign' -run '^$$' -benchtime 5x .
 
-# The full scenario x policy matrix at quick fidelity: every regime and
-# fault scenario crossed with every registered policy, invariant-audited,
-# per-cell CSV in results/scenarios.csv. Exits non-zero on any violation.
+# The full scenario x tuner x policy matrix at quick fidelity: every regime
+# and fault scenario crossed with every registered tuner (search strategy)
+# and every registered policy, invariant-audited, per-cell CSV in
+# results/scenarios.csv. Exits non-zero on any violation — the rung-heavy
+# hyperband/successive-halving cells are the checkpoint-churn stress lane.
 scenarios:
-	$(GO) run ./cmd/scenarios -quick -out results
+	$(GO) run ./cmd/scenarios -quick -tuners all -out results
 
 # Native fuzz targets, run briefly (CI runs the same lane). Corpus finds are
 # committed under the packages' testdata/fuzz directories.

@@ -246,6 +246,36 @@ func BenchmarkCrossPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossTuner measures the search-strategy comparison study: every
+// registered tuner on one workload under the spottune policy, fanned out
+// through campaign.Sweep.
+func BenchmarkCrossTuner(b *testing.B) {
+	ctx := experiments.NewContext(experiments.Options{
+		Seed: 1, Scale: 0.15, Quick: true, Workloads: []string{"LoR"},
+	})
+	if _, err := experiments.CrossTuner(ctx); err != nil { // warm the lazy fixtures
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CrossTuner(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "tuners")
+		for _, r := range rows {
+			switch r.Tuner {
+			case TunerSpotTune:
+				b.ReportMetric(r.Cost, "spottune_cost_usd")
+			case TunerFullTrain:
+				b.ReportMetric(r.Cost, "full_train_cost_usd")
+			case TunerHyperband:
+				b.ReportMetric(float64(r.Notices), "hyperband_notices")
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------- micro
 
 // BenchmarkMarketGenerate measures synthetic trace generation (one market,

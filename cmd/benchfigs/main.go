@@ -10,6 +10,7 @@
 //	benchfigs -fig 10 -seed 3
 //	benchfigs -fig none -quick -policy                         # cross-policy study only
 //	benchfigs -fig none -quick -policyjson BENCH_policy.json   # + JSON artifact
+//	benchfigs -fig none -quick -tunerjson BENCH_tuner.json     # cross-tuner study + artifact
 //	benchfigs -fig none -quick -scenarios all                  # scenario x policy matrix
 package main
 
@@ -41,6 +42,8 @@ func run() error {
 		ablation   = flag.Bool("ablation", false, "also run the predictor ablation (none vs trained vs oracle)")
 		policyS    = flag.Bool("policy", false, "also run the cross-policy provisioning study")
 		policyJS   = flag.String("policyjson", "", "write the cross-policy study rows as JSON to this path (implies -policy)")
+		tunerS     = flag.Bool("tuner", false, "also run the cross-tuner search-strategy study")
+		tunerJS    = flag.String("tunerjson", "", "write the cross-tuner study rows as JSON to this path (implies -tuner)")
 		scenariosF = flag.String("scenarios", "none", "also run the scenario x policy matrix: comma-separated scenario names, 'all', or 'none'")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -144,6 +147,11 @@ func run() error {
 	if *policyS || *policyJS != "" {
 		if err := runPolicyStudy(ctx, w, *policyJS); err != nil {
 			return fmt.Errorf("policy study: %w", err)
+		}
+	}
+	if *tunerS || *tunerJS != "" {
+		if err := runTunerStudy(ctx, w, *tunerJS); err != nil {
+			return fmt.Errorf("tuner study: %w", err)
 		}
 	}
 	if *scenariosF != "none" && *scenariosF != "" {

@@ -466,6 +466,78 @@ func runPolicyStudy(ctx *experiments.Context, w *writer, jsonPath string) error 
 	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
 }
 
+// runTunerStudy executes the cross-tuner comparison (every registered
+// search strategy on one Table II workload under the spottune provisioning
+// policy through campaign.Sweep), writes tuner.csv, prints the ASCII
+// comparison, and — when jsonPath is non-empty — emits the rows as JSON
+// (the CI benchmark-smoke artifact BENCH_tuner.json).
+func runTunerStudy(ctx *experiments.Context, w *writer, jsonPath string) error {
+	rows, err := experiments.CrossTuner(ctx)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Tuner, r.Policy, r.Workload, f(r.Cost), f(r.JCTHours), f(r.RefundFrac),
+			fmt.Sprintf("%d", r.Deployments), fmt.Sprintf("%d", r.Notices),
+			fmt.Sprintf("%d", r.Revocations), r.Best,
+		})
+	}
+	if err := w.csv("tuner.csv",
+		[]string{"tuner", "policy", "workload", "cost_usd", "jct_hours", "refund_frac",
+			"deployments", "notices", "revocations", "best"}, out); err != nil {
+		return err
+	}
+	maxCost := 0.0
+	for _, r := range rows {
+		if r.Cost > maxCost {
+			maxCost = r.Cost
+		}
+	}
+	fmt.Printf("\n== Cross-tuner study: %d search strategies on %s ==\n", len(rows), rows[0].Workload)
+	for _, r := range rows {
+		fmt.Printf("  %-19s cost $%7.3f %-24s JCT %6.2fh  refund %5.1f%%  notices %3d  best %s\n",
+			r.Tuner, r.Cost, bar(r.Cost, maxCost, 24), r.JCTHours,
+			100*r.RefundFrac, r.Notices, r.Best)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	type jsonRow struct {
+		Tuner       string  `json:"tuner"`
+		Policy      string  `json:"policy"`
+		Workload    string  `json:"workload"`
+		CostUSD     float64 `json:"cost_usd"`
+		JCTHours    float64 `json:"jct_hours"`
+		RefundFrac  float64 `json:"refund_frac"`
+		Deployments int     `json:"deployments"`
+		Notices     int     `json:"notices"`
+		Revocations int     `json:"revocations"`
+		Best        string  `json:"best"`
+	}
+	jrows := make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		jrows = append(jrows, jsonRow{
+			Tuner:       r.Tuner,
+			Policy:      r.Policy,
+			Workload:    r.Workload,
+			CostUSD:     r.Cost,
+			JCTHours:    r.JCTHours,
+			RefundFrac:  r.RefundFrac,
+			Deployments: r.Deployments,
+			Notices:     r.Notices,
+			Revocations: r.Revocations,
+			Best:        r.Best,
+		})
+	}
+	blob, err := json.MarshalIndent(jrows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
+}
+
 // runScenarioMatrix executes the scenario x policy matrix (every registered
 // policy across the named scenarios from the default battery), writes the
 // per-cell scenarios.csv, and prints a cost leaderboard per scenario. Cells

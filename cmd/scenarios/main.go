@@ -8,6 +8,7 @@
 //
 //	scenarios -quick                          # full battery, quick fidelity
 //	scenarios -quick -scenarios calm,crunch -policies spottune,on-demand
+//	scenarios -quick -tuners all              # cross-tuner lane: every search strategy per cell
 //	scenarios -list                           # what's available
 //	scenarios -seed 7 -out results            # full fidelity (slow: trains predictors per scenario)
 package main
@@ -22,6 +23,7 @@ import (
 	"spottune/internal/market"
 	"spottune/internal/policy"
 	"spottune/internal/scenario"
+	"spottune/internal/search"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func run() error {
 		list      = flag.Bool("list", false, "list available scenarios, regimes, and policies, then exit")
 		names     = flag.String("scenarios", "all", "comma-separated scenario names from the default battery, or 'all'")
 		policies  = flag.String("policies", "all", "comma-separated provisioning policy names, or 'all'")
+		tuners    = flag.String("tuners", search.SpotTuneName, "comma-separated tuner (search strategy) names, or 'all' for every registered tuner")
 		workloadF = flag.String("workload", "LoR", "Table II workload for every cell")
 		seed      = flag.Uint64("seed", 1, "matrix seed; same seed, bit-identical CSV")
 		quick     = flag.Bool("quick", false, "fast mode: synthetic curves, constant revocation predictor, short traces")
@@ -62,6 +65,12 @@ func run() error {
 	if p := splitArg(*policies); p != nil {
 		pols = p
 	}
+	tuns := splitArg(*tuners)
+	if tuns == nil {
+		// "all" fans the full tuner axis; the scenario library's own
+		// default is spottune-only, so expand explicitly here.
+		tuns = search.Names()
+	}
 
 	opt := scenario.Options{
 		Seed:     *seed,
@@ -69,6 +78,7 @@ func run() error {
 		Workload: *workloadF,
 		Theta:    *theta,
 		Policies: pols,
+		Tuners:   tuns,
 	}
 	res, err := scenario.Matrix{Specs: specs}.Run(opt)
 	if err != nil {
@@ -129,15 +139,20 @@ func printInventory() {
 	for _, p := range policy.Infos() {
 		fmt.Printf("  %-17s %s\n", p.Name, p.Doc)
 	}
+	fmt.Println("\ntuners (search strategies):")
+	for _, t := range search.Infos() {
+		fmt.Printf("  %-18s %s\n", t.Name, t.Doc)
+	}
 }
 
-// printTable renders the matrix grouped by scenario, one row per policy.
+// printTable renders the matrix grouped by (scenario, tuner), one row per
+// policy.
 func printTable(res *scenario.Result) {
 	last := ""
 	for _, c := range res.Cells {
-		if c.Scenario != last {
-			fmt.Printf("\n== %s (regime %s, workload %s) ==\n", c.Scenario, c.Regime, c.Workload)
-			last = c.Scenario
+		if group := c.Scenario + "/" + c.Tuner; group != last {
+			fmt.Printf("\n== %s (regime %s, tuner %s, workload %s) ==\n", c.Scenario, c.Regime, c.Tuner, c.Workload)
+			last = c.Scenario + "/" + c.Tuner
 		}
 		flag := ""
 		if len(c.Violations) > 0 {

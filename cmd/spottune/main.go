@@ -7,10 +7,11 @@
 //
 //	spottune -workload ResNet -theta 0.7
 //	spottune -workload SVM -policy spot-od-fallback
+//	spottune -workload LoR -tuner hyperband
 //	spottune -workload LoR -baseline r4.large
 //	spottune -workload GBTR -theta 0.5 -pred oracle -real
 //
-// Run with -help to see the registered policies.
+// Run with -help to see the registered policies and tuners.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/core"
 	"spottune/internal/policy"
+	"spottune/internal/search"
 	"spottune/internal/workload"
 )
 
@@ -42,6 +44,9 @@ func run() error {
 		conc    = flag.Int("concurrent", 1, "max concurrently deployed trials")
 		polName = flag.String("policy", policy.SpotTuneName,
 			"provisioning policy: "+strings.Join(policy.Names(), ", "))
+		tunName = flag.String("tuner", search.SpotTuneName,
+			"search strategy: "+strings.Join(search.Names(), ", "))
+		eta      = flag.Int("eta", 0, "halving factor η for successive-halving/hyperband (0 = default 3)")
 		baseline = flag.String("baseline", "", "run the legacy Single-Spot baseline loop on this instance type instead of a policy")
 		pred     = flag.String("pred", "constant", "revocation predictor: revpred, tributary, logreg, oracle, constant, none")
 		seed     = flag.Uint64("seed", 1, "seed for markets, noise, and bids")
@@ -56,6 +61,10 @@ func run() error {
 		flag.PrintDefaults()
 		fmt.Fprintf(out, "\nRegistered provisioning policies:\n")
 		for _, info := range policy.Infos() {
+			fmt.Fprintf(out, "  %-18s %s\n", info.Name, info.Doc)
+		}
+		fmt.Fprintf(out, "\nRegistered tuners (search strategies):\n")
+		for _, info := range search.Infos() {
 			fmt.Fprintf(out, "  %-18s %s\n", info.Name, info.Doc)
 		}
 	}
@@ -96,6 +105,10 @@ func run() error {
 			return fmt.Errorf("-baseline and -policy are mutually exclusive "+
 				"(the legacy baseline loop ignores policies; did you mean -policy %s alone?)", *polName)
 		}
+		if *tunName != search.SpotTuneName {
+			return fmt.Errorf("-baseline and -tuner are mutually exclusive "+
+				"(the legacy baseline loop ignores tuners; did you mean -tuner %s alone?)", *tunName)
+		}
 		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
 	} else {
 		rep, err = env.RunPolicy(bench, curves, campaign.Options{
@@ -104,6 +117,8 @@ func run() error {
 			MaxConcurrent: *conc,
 			Seed:          *seed,
 			Policy:        *polName,
+			Tuner:         *tunName,
+			TunerParams:   search.Params{Eta: *eta},
 		})
 	}
 	if err != nil {
@@ -115,6 +130,9 @@ func run() error {
 
 func printReport(rep *core.Report, bench *workload.Benchmark, curves workload.Curves) {
 	fmt.Printf("\n=== %s (θ=%.1f) ===\n", rep.Approach, rep.Theta)
+	if rep.Tuner != "" {
+		fmt.Printf("tuner          %s\n", rep.Tuner)
+	}
 	fmt.Printf("JCT            %v\n", rep.JCT.Round(time.Second))
 	fmt.Printf("cost           $%.4f (gross $%.4f, refunded $%.4f = %.1f%%)\n",
 		rep.NetCost, rep.GrossCost, rep.Refund, 100*rep.RefundFraction())

@@ -16,6 +16,7 @@ import (
 	"spottune/internal/market"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
+	"spottune/internal/search"
 	"spottune/internal/simclock"
 	"spottune/internal/trial"
 	"spottune/internal/workload"
@@ -210,6 +211,15 @@ type Options struct {
 	// Policy is the provisioning policy's registry name (default
 	// policy.SpotTuneName — the paper's Eq. 1–2 provisioner).
 	Policy string
+	// Tuner is the search strategy's registry name (default
+	// search.SpotTuneName — the paper's Algorithm 1 schedule). A fresh
+	// tuner instance is constructed per run, so the same Options value is
+	// safe to reuse across concurrent sweep tasks.
+	Tuner string
+	// TunerParams tunes tuner construction beyond the campaign defaults
+	// (the halving factor η for successive-halving/hyperband). Theta and
+	// MCnt are always supplied from the fields above and override these.
+	TunerParams search.Params
 	// PolicyParams tunes policy construction beyond the environment
 	// defaults (fallback thresholds, bid deltas). Pool, Seed, and RevProb
 	// are always supplied by the environment and override these fields.
@@ -228,6 +238,7 @@ type Options struct {
 // the holder may inspect them freely after the run completes.
 type RunDetail struct {
 	Policy  string
+	Tuner   string
 	Report  *core.Report
 	Cluster *cloudsim.Cluster
 	Store   *cloudsim.ObjectStore
@@ -280,12 +291,22 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if err != nil {
 		return nil, err
 	}
+	// Tuners are stateful and single-use: construct a fresh instance per
+	// run with the same θ/MCnt clamping the orchestrator config applies,
+	// so the tuner and the report always agree on the schedule knobs.
+	tp := opt.TunerParams
+	tp.Theta, tp.MCnt = opt.Theta, opt.MCnt
+	tun, err := search.New(opt.Tuner, tp)
+	if err != nil {
+		return nil, err
+	}
 	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, core.Config{
 		Mode:          opt.Mode,
 		Theta:         opt.Theta,
 		MCnt:          opt.MCnt,
 		MaxConcurrent: opt.MaxConcurrent,
 		Trend:         opt.Trend,
+		Tuner:         tun,
 	})
 	if err != nil {
 		return nil, err
@@ -297,6 +318,7 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if opt.Inspect != nil {
 		detail := &RunDetail{
 			Policy:  pol.Name(),
+			Tuner:   tun.Name(),
 			Report:  rep,
 			Cluster: cluster,
 			Store:   store,
@@ -320,6 +342,29 @@ func (e *Environment) PolicyTasks(b *workload.Benchmark, curves workload.Curves,
 	for _, name := range names {
 		o := opt
 		o.Policy = name
+		tasks = append(tasks, Task{
+			Key: name,
+			Run: func(*rand.Rand) (*core.Report, error) {
+				return e.RunPolicy(b, curves, o)
+			},
+		})
+	}
+	return tasks
+}
+
+// TunerTasks builds one Sweep task per tuner name (every registered tuner
+// when names is nil) over the same benchmark, curves, and options — the
+// search-strategy sweep behind the cross-tuner comparison study. Every task
+// shares the provisioning policy and environment, so row differences
+// measure the tuner schedule alone.
+func (e *Environment) TunerTasks(b *workload.Benchmark, curves workload.Curves, names []string, opt Options) []Task {
+	if names == nil {
+		names = search.Names()
+	}
+	tasks := make([]Task, 0, len(names))
+	for _, name := range names {
+		o := opt
+		o.Tuner = name
 		tasks = append(tasks, Task{
 			Key: name,
 			Run: func(*rand.Rand) (*core.Report, error) {

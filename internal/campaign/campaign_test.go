@@ -10,6 +10,7 @@ import (
 	"spottune/internal/earlycurve"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
+	"spottune/internal/search"
 	"spottune/internal/workload"
 )
 
@@ -282,5 +283,59 @@ func TestTrueFinalsConsistent(t *testing.T) {
 		if v < finals[best] {
 			t.Fatalf("best %s not minimal (%s=%v < %v)", best, id, v, finals[best])
 		}
+	}
+}
+
+// TestTunerTasksSweepEveryRegisteredTuner: the tuner-dimension sweep runs
+// every registered search strategy over one environment through the worker
+// pool, each report labeled with its tuner, deterministically per seed.
+func TestTunerTasksSweepEveryRegisteredTuner(t *testing.T) {
+	env := quickEnv(t, PredictorConstant)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 3, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(3)
+	opt := Options{Theta: 0.7, Seed: 3}
+	run := func() []SweepResult {
+		return Sweep(env.TunerTasks(bench, curves, nil, opt), SweepOptions{Seed: 3})
+	}
+	results := run()
+	names := search.Names()
+	if len(results) != len(names) {
+		t.Fatalf("%d results for %d registered tuners", len(results), len(names))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("tuner %s: %v", res.Key, res.Err)
+		}
+		if res.Key != names[i] {
+			t.Errorf("result %d keyed %q, want registry order %q", i, res.Key, names[i])
+		}
+		if res.Report.Tuner != names[i] {
+			t.Errorf("report for %s labeled %q", names[i], res.Report.Tuner)
+		}
+		if res.Report.Best == "" {
+			t.Errorf("tuner %s selected nothing", names[i])
+		}
+	}
+	again := run()
+	for i := range results {
+		if !reflect.DeepEqual(results[i].Report, again[i].Report) {
+			t.Errorf("tuner %s replay diverged", results[i].Key)
+		}
+	}
+}
+
+// TestRunPolicyRejectsUnknownTuner: a typo'd tuner name fails loudly at
+// campaign assembly, not mid-run.
+func TestRunPolicyRejectsUnknownTuner(t *testing.T) {
+	env := quickEnv(t, PredictorNone)
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.RunPolicy(bench, bench.SyntheticCurves(1), Options{Tuner: "wat"}); err == nil {
+		t.Fatal("unknown tuner accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spottune/internal/cloudsim"
+	"spottune/internal/search"
 	"spottune/internal/trial"
 )
 
@@ -89,7 +90,7 @@ func RunSingleSpot(cluster *cloudsim.Cluster, trials []*trial.Replay, cfg Single
 		}
 		finals[tr.ID()] = pts[len(pts)-1].Value
 	}
-	ranked := rankByValue(finals)
+	ranked := search.RankByValue(finals)
 	best := ranked[0]
 
 	led := cluster.Ledger()

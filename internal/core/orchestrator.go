@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/earlycurve"
 	"spottune/internal/policy"
+	"spottune/internal/search"
 	"spottune/internal/trial"
 )
 
@@ -76,6 +76,14 @@ type Config struct {
 	// ConvergeWindow/ConvergeTol detect plateaued trials (§III-C).
 	ConvergeWindow int
 	ConvergeTol    float64
+	// Tuner owns the trial lifecycle: which trials (re)activate each
+	// round, their step budgets, when the search stops, and the final
+	// ranking/selection. Nil selects the paper's Algorithm 1 schedule
+	// ("spottune": θ-truncated explore, EarlyCurve prediction, continue
+	// top-MCnt) derived from Theta and MCnt. Tuners are stateful and
+	// single-use — each Run consumes one; construct a fresh instance
+	// (search.New) per campaign.
+	Tuner search.Tuner
 }
 
 func (c Config) withDefaults() Config {
@@ -229,8 +237,10 @@ type Orchestrator struct {
 	// way. Custom TrendPredictors bypass this and are called directly.
 	trend map[string]earlycurve.TrendPredictor
 
-	// phaseLimit is the active phase's per-trial step cap.
-	phaseLimit func(*trial.Replay) int
+	// tuner drives the round loop (Config.Tuner, or the default spottune
+	// schedule); limits holds the active round's per-trial step caps.
+	tuner  search.Tuner
+	limits map[string]int
 }
 
 // NewOrchestrator wires a campaign over the given trials using the paper's
@@ -295,101 +305,100 @@ func NewPolicyOrchestrator(
 		o.trials[tr.ID()] = tr
 		o.order = append(o.order, tr.ID())
 	}
+	o.tuner = o.cfg.Tuner
+	if o.tuner == nil {
+		o.tuner = search.Default(o.cfg.Theta, o.cfg.MCnt)
+	}
 	return o, nil
 }
 
 // ckptKey is the object-store key for a trial's checkpoint.
 func ckptKey(trialID string) string { return "ckpt/" + trialID }
 
-// Run executes the full campaign: the θ-bounded exploration phase, the
-// EarlyCurve ranking, and the top-mcnt continuation phase (Algorithm 1
-// lines 15–53). It returns the campaign report.
+// Run executes the full campaign as a generic round loop: the tuner emits
+// rounds (per-trial step budgets), runPhase executes each against the
+// simulated cloud, and the tuner's Finish supplies the selection outputs.
+// Under the default spottune tuner this is exactly Algorithm 1 lines 15–53:
+// the θ-bounded exploration phase, the EarlyCurve ranking, and the top-mcnt
+// continuation phase. It returns the campaign report.
 func (o *Orchestrator) Run() (*Report, error) {
 	start := o.cluster.Clock().Now()
-
-	limit := func(tr *trial.Replay) int {
-		l := int(math.Round(o.cfg.Theta * float64(tr.MaxSteps())))
-		if l < 1 {
-			l = 1
+	view := &tunerView{o: o}
+	for {
+		round, ok := o.tuner.Next(view)
+		if !ok || len(round.Directives) == 0 {
+			// A tuner with nothing left to schedule is done whether it
+			// says so (ok=false) or hands back an empty round — the
+			// engine must not livelock on a Next that never declines.
+			break
 		}
-		if l > tr.MaxSteps() {
-			l = tr.MaxSteps()
-		}
-		return l
-	}
-	if err := o.runPhase(o.order, limit); err != nil {
-		return nil, err
-	}
-
-	// Prediction phase (lines 48–52): extrapolate each trial's final
-	// metric from its partial curve.
-	predicted := make(map[string]float64, len(o.trials))
-	for id, tr := range o.trials {
-		points := tr.Points()
-		var (
-			val float64
-			err error
-		)
-		if tr.CompletedSteps() >= tr.MaxSteps() ||
-			(len(points) > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)) {
-			// Fully trained, or plateaued (§III-C's convergence special
-			// case): the last observation is the final metric.
-			val = points[len(points)-1].Value
-		} else {
-			val, err = o.trendFor(id).PredictFinal(points, tr.MaxSteps())
-			if err != nil {
-				// Not enough curve to fit (revocation-heavy runs): fall
-				// back to the last observation, pessimistically inflated.
-				if len(points) > 0 {
-					val = points[len(points)-1].Value * 1.05
-				} else {
-					val = math.Inf(1)
-				}
-			}
-		}
-		predicted[id] = val
-	}
-
-	// Continuation phase (line 53): train the top-mcnt models to full
-	// steps from their checkpoints.
-	ranked := rankByValue(predicted)
-	mcnt := o.cfg.MCnt
-	if mcnt > len(ranked) {
-		mcnt = len(ranked)
-	}
-	top := ranked[:mcnt]
-	var contIDs []string
-	for _, id := range top {
-		if o.trials[id].CompletedSteps() < o.trials[id].MaxSteps() {
-			contIDs = append(contIDs, id)
-			delete(o.finished, id)
-		}
-	}
-	if len(contIDs) > 0 {
-		if err := o.runPhase(contIDs, func(tr *trial.Replay) int { return tr.MaxSteps() }); err != nil {
+		if err := o.runPhase(round); err != nil {
 			return nil, err
 		}
 	}
-
-	// Final selection: best observed metric among the continued models.
-	best := o.bestByLastPoint(top)
-
-	return o.buildReport(start, predicted, ranked, top, best), nil
+	return o.buildReport(start, o.tuner.Finish(view)), nil
 }
 
-// runPhase processes the given trial IDs until each reaches its step limit
-// or converges, handling revocation notices, hourly restarts, and
-// (re)deployments. The execution strategy is selected by Config.Mode; both
-// strategies share the same trigger handling and deployment code, so they
-// differ only in how far the clock jumps between scheduler turns.
-func (o *Orchestrator) runPhase(ids []string, limit func(*trial.Replay) int) error {
-	o.phaseLimit = limit
+// tunerView implements search.State over live orchestrator state.
+type tunerView struct{ o *Orchestrator }
+
+func (v *tunerView) TrialIDs() []string { return v.o.order }
+
+func (v *tunerView) Status(id string) search.TrialStatus {
+	tr, ok := v.o.trials[id]
+	if !ok {
+		return search.TrialStatus{ID: id}
+	}
+	st := search.TrialStatus{
+		ID:             id,
+		CompletedSteps: tr.CompletedSteps(),
+		MaxSteps:       tr.MaxSteps(),
+		Plateaued:      tr.Plateaued(v.o.cfg.ConvergeWindow, v.o.cfg.ConvergeTol),
+	}
+	if p, ok := tr.LastPoint(); ok {
+		st.HasPoint, st.LastValue = true, p.Value
+	}
+	return st
+}
+
+func (v *tunerView) Points(id string) []earlycurve.MetricPoint {
+	tr, ok := v.o.trials[id]
+	if !ok {
+		return nil
+	}
+	return tr.Points()
+}
+
+func (v *tunerView) Trend(id string) earlycurve.TrendPredictor {
+	return v.o.trendFor(id)
+}
+
+// runPhase executes one tuner round: every directed trial is (re)activated
+// — cleared from the finished set and queued in directive order — and
+// processed until it reaches its round budget or plateaus, handling
+// revocation notices, hourly restarts, and (re)deployments. The execution
+// strategy is selected by Config.Mode; both strategies share the same
+// trigger handling and deployment code, so they differ only in how far the
+// clock jumps between scheduler turns.
+func (o *Orchestrator) runPhase(round search.Round) error {
+	o.limits = make(map[string]int, len(round.Directives))
 	o.active = make(map[string]*assignment)
 	o.waiting = nil
-	for _, id := range ids {
-		if !o.finished[id] {
-			o.waiting = append(o.waiting, id)
+	for _, d := range round.Directives {
+		tr, ok := o.trials[d.TrialID]
+		if !ok {
+			return fmt.Errorf("core: tuner %s directed unknown trial %q", o.tuner.Name(), d.TrialID)
 		}
+		if _, dup := o.limits[d.TrialID]; dup {
+			return fmt.Errorf("core: tuner %s directed trial %q twice in one round", o.tuner.Name(), d.TrialID)
+		}
+		lim := d.StepLimit
+		if lim <= 0 || lim > tr.MaxSteps() {
+			lim = tr.MaxSteps()
+		}
+		o.limits[d.TrialID] = lim
+		delete(o.finished, d.TrialID)
+		o.waiting = append(o.waiting, d.TrialID)
 	}
 	if len(o.waiting) == 0 {
 		return nil
@@ -399,6 +408,9 @@ func (o *Orchestrator) runPhase(ids []string, limit func(*trial.Replay) int) err
 	}
 	return o.runPhaseEvent()
 }
+
+// limitFor is the active round's step cap for one trial.
+func (o *Orchestrator) limitFor(tr *trial.Replay) int { return o.limits[tr.ID()] }
 
 // runPhasePolling is the paper's literal Algorithm 1 loop: wake up every
 // PollInterval and sample everything.
@@ -469,14 +481,12 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 		}
 		o.advance(a, now)
 		tr := a.tr
-		lim := o.phaseLimit(tr)
-		// ConvergeStep is the minimal converging prefix, so anything short
-		// of it cannot be converged — the exact (O(curve)) re-check only
-		// runs once a trial actually reaches its plateau step.
-		converged := false
-		if cs, ok := tr.ConvergeStep(o.cfg.ConvergeWindow, o.cfg.ConvergeTol); ok && tr.CompletedSteps() >= cs {
-			converged = tr.CompletedSteps() > 0 && tr.Converged(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
-		}
+		lim := o.limitFor(tr)
+		// Plateaued is the engine-wide convergence verdict (the memoized
+		// minimal-prefix precheck plus the exact re-check) — the same call
+		// the tuner-visible TrialStatus goes through, so the round executor
+		// and the tuner can never disagree about a trial's plateau.
+		converged := tr.Plateaued(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
 		switch {
 		case tr.CompletedSteps() >= lim || converged:
 			// Early shutdown / completion (lines 27–30).
@@ -642,7 +652,7 @@ func (o *Orchestrator) trendFor(id string) earlycurve.TrendPredictor {
 // in this phase: the phase limit, or the precomputed plateau step if that
 // comes first (§III-C's convergence special case).
 func (o *Orchestrator) stepTarget(tr *trial.Replay) int {
-	target := o.phaseLimit(tr)
+	target := o.limitFor(tr)
 	if cs, ok := tr.ConvergeStep(o.cfg.ConvergeWindow, o.cfg.ConvergeTol); ok && cs < target {
 		target = cs
 	}
@@ -740,7 +750,7 @@ func (o *Orchestrator) advance(a *assignment, now time.Time) {
 		return
 	}
 	before := a.tr.Progress()
-	_, used := a.tr.RunFor(a.inst.Type, secs, o.phaseLimit(a.tr))
+	_, used := a.tr.RunFor(a.inst.Type, secs, o.limitFor(a.tr))
 	a.lastAdvance = now
 	a.obsSecs += used
 	a.obsSteps += a.tr.Progress() - before
@@ -843,44 +853,15 @@ func (o *Orchestrator) activeOnDemand() int {
 	return n
 }
 
-// bestByLastPoint returns the trial among ids whose last observed metric is
-// lowest (ties by list order), or "" when none has reported a point — the
-// campaign leaderboard rule, shared by the final selection and the
-// incumbent pin.
-func (o *Orchestrator) bestByLastPoint(ids []string) string {
-	best := ""
-	bestVal := math.Inf(1)
-	for _, id := range ids {
-		p, ok := o.trials[id].LastPoint()
-		if !ok {
-			continue
-		}
-		if p.Value < bestVal {
-			best, bestVal = id, p.Value
-		}
-	}
-	return best
-}
-
 // incumbentBest returns the trial whose last observed metric currently
 // leads the campaign, or "" before any trial has reported a point.
-// MixedFleet-style policies pin it on reliable capacity.
+// MixedFleet-style policies pin it on reliable capacity. Delegates to the
+// engine-wide leaderboard rule (search.BestByLast) through the cheap
+// LastPoint accessor — this runs at every deployment decision, so it must
+// not pay for the full tuner-facing status snapshot.
 func (o *Orchestrator) incumbentBest() string {
-	return o.bestByLastPoint(o.order)
-}
-
-// rankByValue returns IDs sorted ascending by value (ties by ID for
-// determinism).
-func rankByValue(vals map[string]float64) []string {
-	ids := make([]string, 0, len(vals))
-	for id := range vals {
-		ids = append(ids, id)
-	}
-	sort.SliceStable(ids, func(i, j int) bool {
-		if vals[ids[i]] != vals[ids[j]] {
-			return vals[ids[i]] < vals[ids[j]]
-		}
-		return ids[i] < ids[j]
+	return search.BestByLast(o.order, func(id string) (float64, bool) {
+		p, ok := o.trials[id].LastPoint()
+		return p.Value, ok
 	})
-	return ids
 }

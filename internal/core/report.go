@@ -4,13 +4,18 @@ import (
 	"time"
 
 	"spottune/internal/cloudsim"
+	"spottune/internal/search"
 )
 
 // Report summarizes one HPT campaign — every quantity the paper's evaluation
 // plots is derivable from it.
 type Report struct {
 	Approach string // "SpotTune", "SingleSpot(<type>)", ...
-	Theta    float64
+	// Tuner is the search strategy that drove the trial lifecycle
+	// ("spottune", "hyperband", ...; empty for legacy baseline loops that
+	// predate the tuner engine).
+	Tuner string
+	Theta float64
 
 	// JCT is the job completion time: submission to final model selection
 	// (Fig. 7b).
@@ -103,8 +108,9 @@ func (r *Report) PCR() float64 {
 	return 1 / den
 }
 
-// buildReport assembles the report after a campaign.
-func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64, ranked, top []string, best string) *Report {
+// buildReport assembles the report after a campaign from the tuner's final
+// selection outputs.
+func (o *Orchestrator) buildReport(start time.Time, out search.Outcome) *Report {
 	clk := o.cluster.Clock()
 	// Let in-flight revocations (notices within the final two minutes)
 	// settle so billing is complete.
@@ -135,6 +141,7 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 	stats := o.store.Stats()
 	return &Report{
 		Approach:            o.approach,
+		Tuner:               o.tuner.Name(),
 		Theta:               o.cfg.Theta,
 		JCT:                 clk.Now().Sub(start) - (cloudsim.NoticeLeadTime + time.Minute),
 		GrossCost:           led.TotalGross(),
@@ -149,10 +156,10 @@ func (o *Orchestrator) buildReport(start time.Time, predicted map[string]float64
 		Notices:             o.notices,
 		Revocations:         revocations,
 		LoopIterations:      o.iterations,
-		PredictedFinals:     predicted,
-		Ranked:              ranked,
-		Top:                 top,
-		Best:                best,
+		PredictedFinals:     out.Predicted,
+		Ranked:              out.Ranked,
+		Top:                 out.Top,
+		Best:                out.Best,
 		PerfObservations:    o.perf.Snapshot(),
 		Segments:            segments,
 	}

@@ -15,6 +15,7 @@ import (
 	"spottune/internal/invariants"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
+	"spottune/internal/search"
 	"spottune/internal/workload"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	Theta float64
 	// Policies restricts the policy axis (nil = every registered policy).
 	Policies []string
+	// Tuners is the search-strategy axis crossed with every scenario and
+	// policy (nil = just spottune, the paper's schedule — the tuner axis
+	// is opt-in because it multiplies the matrix). Specs with their own
+	// Tuner pin override the axis for their cells.
+	Tuners []string
 	// SkipInvariants disables the per-cell invariant audit (the audit is
 	// on by default; this exists for timing comparisons only).
 	SkipInvariants bool
@@ -56,6 +62,9 @@ func (o Options) withDefaults() Options {
 		// report a vacuous "every cell sound".
 		o.Policies = policy.Names()
 	}
+	if len(o.Tuners) == 0 {
+		o.Tuners = []string{search.SpotTuneName}
+	}
 	return o
 }
 
@@ -67,10 +76,11 @@ func (o Options) revPredConfig(seed uint64) revpred.Config {
 	return revpred.Config{Hidden: 12, Depth: 2, Epochs: 2, Stride: 4, Seed: seed}
 }
 
-// Cell is one (scenario, policy) outcome plus its invariant audit.
+// Cell is one (scenario, tuner, policy) outcome plus its invariant audit.
 type Cell struct {
 	Scenario string
 	Regime   string
+	Tuner    string
 	experiments.CrossPolicyRow
 	Violations []invariants.Violation
 }
@@ -91,7 +101,7 @@ func (r *Result) ViolationCount() int {
 
 // Header is the per-cell CSV schema.
 var Header = []string{
-	"scenario", "regime", "policy", "workload",
+	"scenario", "regime", "tuner", "policy", "workload",
 	"cost_usd", "jct_hours", "refund_frac", "free_step_frac",
 	"deployments", "on_demand_deployments", "notices", "revocations",
 	"violations",
@@ -107,7 +117,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	for _, c := range r.Cells {
 		row := []string{
-			c.Scenario, c.Regime, c.Policy, c.Workload,
+			c.Scenario, c.Regime, c.Tuner, c.Policy, c.Workload,
 			strconv.FormatFloat(c.Cost, 'f', 6, 64),
 			strconv.FormatFloat(c.JCTHours, 'f', 6, 64),
 			strconv.FormatFloat(c.RefundFrac, 'f', 6, 64),
@@ -150,26 +160,32 @@ func (r *Result) ViolationError(w io.Writer) error {
 	}
 	for _, c := range r.Cells {
 		for _, v := range c.Violations {
-			fmt.Fprintf(w, "%s/%s: invariant violated: %v\n", c.Scenario, c.Policy, v)
+			fmt.Fprintf(w, "%s/%s/%s: invariant violated: %v\n", c.Scenario, c.Tuner, c.Policy, v)
 		}
 	}
 	return fmt.Errorf("%d invariant violations across the matrix", n)
 }
 
-// Matrix is a scenario × policy study.
+// Matrix is a scenario × tuner × policy study.
 type Matrix struct {
 	Specs []Spec
 }
 
-// Run executes every scenario × policy combination: per scenario, the
-// policy axis fans out through experiments.CrossPolicyOn (and with it the
-// campaign.Sweep worker pool); per cell, the final simulator state is
-// audited by invariants.Check. Cells come back in scenario-then-policy
-// order, deterministically for a fixed seed.
+// Run executes every scenario × tuner × policy combination: per (scenario,
+// tuner) pair, the policy axis fans out through experiments.CrossPolicyOn
+// (and with it the campaign.Sweep worker pool); per cell, the final
+// simulator state is audited by invariants.Check. Cells come back in
+// scenario-then-tuner-then-policy order, deterministically for a fixed
+// seed.
 func (m Matrix) Run(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if len(m.Specs) == 0 {
 		return nil, fmt.Errorf("scenario: matrix has no specs")
+	}
+	for _, t := range opt.Tuners {
+		if err := validTuner(t); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
 	}
 	seen := map[string]bool{}
 	for _, s := range m.Specs {
@@ -230,22 +246,30 @@ func (m Matrix) Run(opt Options) (*Result, error) {
 			curves[s.Workload] = cv
 		}
 
-		audit := newAuditor(opt)
-		rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
-			Theta:   opt.Theta,
-			Seed:    s.Seed,
-			Inspect: audit.inspect,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+		tuners := opt.Tuners
+		if s.Tuner != "" {
+			tuners = []string{s.Tuner}
 		}
-		for _, row := range rows {
-			res.Cells = append(res.Cells, Cell{
-				Scenario:       s.Name,
-				Regime:         s.Regime,
-				CrossPolicyRow: row,
-				Violations:     audit.violations[row.Policy],
+		for _, tname := range tuners {
+			audit := newAuditor(opt)
+			rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
+				Theta:   opt.Theta,
+				Seed:    s.Seed,
+				Tuner:   tname,
+				Inspect: audit.inspect,
 			})
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %s/%s: %w", s.Name, tname, err)
+			}
+			for _, row := range rows {
+				res.Cells = append(res.Cells, Cell{
+					Scenario:       s.Name,
+					Regime:         s.Regime,
+					Tuner:          tname,
+					CrossPolicyRow: row,
+					Violations:     audit.violations[row.Policy],
+				})
+			}
 		}
 	}
 	return res, nil

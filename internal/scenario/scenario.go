@@ -15,6 +15,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/cloudsim"
 	"spottune/internal/market"
+	"spottune/internal/search"
 )
 
 // FaultKind names one fault-injection primitive.
@@ -85,6 +86,9 @@ type Spec struct {
 	// Predictor overrides the revocation predictor kind ("" = RevPred at
 	// full fidelity, the constant predictor in quick mode).
 	Predictor campaign.PredictorKind
+	// Tuner pins this scenario to one search strategy (a search registry
+	// name); "" follows the matrix's tuner axis (Options.Tuners).
+	Tuner string
 	// Faults strike the simulated region during the campaign.
 	Faults []Fault
 }
@@ -103,6 +107,11 @@ func (s Spec) Validate() error {
 		}
 		if !found {
 			return fmt.Errorf("scenario: %s: unknown regime %q (available: %v)", s.Name, s.Regime, market.RegimeNames())
+		}
+	}
+	if s.Tuner != "" {
+		if err := validTuner(s.Tuner); err != nil {
+			return fmt.Errorf("scenario: %s: %w", s.Name, err)
 		}
 	}
 	for _, f := range s.Faults {
@@ -147,6 +156,16 @@ func (s Spec) withDefaults(opt Options) Spec {
 		}
 	}
 	return s
+}
+
+// validTuner checks a tuner name against the search registry.
+func validTuner(name string) error {
+	for _, t := range search.Names() {
+		if t == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown tuner %q (available: %v)", name, search.Names())
 }
 
 // envKey identifies the shareable part of an environment build: specs that

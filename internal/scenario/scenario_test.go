@@ -8,6 +8,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/invariants"
 	"spottune/internal/policy"
+	"spottune/internal/search"
 	"spottune/internal/workload"
 )
 
@@ -217,5 +218,91 @@ func TestMatrixRejectsBadInput(t *testing.T) {
 	}
 	if len(all) < 8 {
 		t.Errorf("default battery has only %d specs", len(all))
+	}
+}
+
+// TestMatrixCrossTunerAxis is the tuner-dimension acceptance test: every
+// registered tuner crosses a fault-heavy scenario subset (including the
+// rung-heavy hyperband/successive-halving schedules whose checkpoint churn
+// stresses restore monotonicity), every cell passes the invariant audit,
+// and the rendered CSV is bit-identical across two runs with the same seed.
+func TestMatrixCrossTunerAxis(t *testing.T) {
+	specs, err := SpecsByName([]string{"volatile", "calm+mass-preemption", "baseline+blackout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.SpotTuneName, policy.FallbackName}
+	opt.Tuners = search.Names()
+	run := func() (*Result, []byte) {
+		res, err := Matrix{Specs: specs}.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	res, csv1 := run()
+	if got, want := len(res.Cells), len(specs)*len(opt.Tuners)*len(opt.Policies); got != want {
+		t.Fatalf("%d cells, want %d", got, want)
+	}
+	if n := res.ViolationCount(); n != 0 {
+		for _, c := range res.Cells {
+			for _, v := range c.Violations {
+				t.Errorf("%s/%s/%s: %v", c.Scenario, c.Tuner, c.Policy, v)
+			}
+		}
+		t.Fatalf("%d invariant violations under tuner churn", n)
+	}
+	seenTuner := map[string]bool{}
+	for _, c := range res.Cells {
+		seenTuner[c.Tuner] = true
+		if c.Cost <= 0 || c.JCTHours <= 0 {
+			t.Errorf("%s/%s/%s: degenerate cost/JCT %v/%v", c.Scenario, c.Tuner, c.Policy, c.Cost, c.JCTHours)
+		}
+		if c.Report.Tuner != c.Tuner {
+			t.Errorf("cell labeled %s ran tuner %q", c.Tuner, c.Report.Tuner)
+		}
+	}
+	for _, name := range search.Names() {
+		if !seenTuner[name] {
+			t.Errorf("tuner %s missing from the matrix", name)
+		}
+	}
+	_, csv2 := run()
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatal("same seed produced different cross-tuner CSVs")
+	}
+}
+
+// TestSpecTunerPinOverridesAxis: a spec with its own Tuner runs only that
+// tuner regardless of the matrix axis, and unknown tuner names are rejected
+// at validation time.
+func TestSpecTunerPinOverridesAxis(t *testing.T) {
+	specs, err := SpecsByName([]string{"calm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs[0].Tuner = search.FullTrainName
+	opt := quickOpts()
+	opt.Policies = []string{policy.SpotTuneName}
+	opt.Tuners = search.Names()
+	res, err := Matrix{Specs: specs}.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Tuner != search.FullTrainName {
+		t.Fatalf("pinned spec produced cells %+v", res.Cells)
+	}
+
+	bad := Spec{Name: "x", Regime: "calm", Tuner: "nope"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown tuner name accepted")
+	}
+	if _, err := (Matrix{Specs: specs}).Run(Options{Seed: 1, Quick: true, Tuners: []string{"nope"}}); err == nil {
+		t.Error("unknown tuner axis accepted")
 	}
 }

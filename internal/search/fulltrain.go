@@ -1,0 +1,53 @@
+package search
+
+func init() {
+	Register(FullTrainName,
+		"no early stop: train every trial to max steps (the paper's cost ceiling baseline)",
+		func(p Params) (Tuner, error) { return &fullTrain{mcnt: p.MCnt}, nil })
+}
+
+// fullTrain is the cost ceiling: every trial trains to max_trial_steps in
+// one round, with no θ-truncation and no elimination — the "tune by brute
+// force" baseline the paper's savings are measured against. The engine's
+// §III-C plateau stop still applies (it is a property of the trial, not the
+// schedule), exactly as it does for spottune at θ=1. The final ranking is
+// by observed final metric, so selection accuracy is ground truth.
+type fullTrain struct {
+	mcnt int
+	done bool
+}
+
+func (t *fullTrain) Name() string { return FullTrainName }
+
+func (t *fullTrain) Next(s State) (Round, bool) {
+	if t.done {
+		return Round{}, false
+	}
+	t.done = true
+	ids := s.TrialIDs()
+	ds := make([]Directive, 0, len(ids))
+	for _, id := range ids {
+		st := s.Status(id)
+		if st.CompletedSteps >= st.MaxSteps || st.Plateaued {
+			continue
+		}
+		ds = append(ds, Directive{TrialID: id, StepLimit: st.MaxSteps})
+	}
+	return Round{Label: "full-train", Directives: ds}, true
+}
+
+func (t *fullTrain) Finish(s State) Outcome {
+	predicted := lastValues(s, s.TrialIDs())
+	ranked := RankByValue(predicted)
+	mcnt := t.mcnt
+	if mcnt > len(ranked) {
+		mcnt = len(ranked)
+	}
+	top := ranked[:mcnt]
+	return Outcome{
+		Predicted: predicted,
+		Ranked:    ranked,
+		Top:       top,
+		Best:      BestByLastValue(s, top),
+	}
+}

@@ -1,0 +1,81 @@
+package search
+
+import "fmt"
+
+func init() {
+	Register(HyperbandName,
+		"hyperband: brackets of successive halving at staggered aggressiveness over a partitioned grid",
+		func(p Params) (Tuner, error) { return &hyperband{eta: p.Eta}, nil })
+}
+
+// hyperband adapts the Hyperband schedule to a fixed HP grid: the trial set
+// is partitioned into B contiguous brackets (B = the rung count a single
+// successive-halving run over the whole grid would use), and bracket i runs
+// successive halving with B−i rungs — bracket 0 the most aggressive (initial
+// budget maxSteps/η^(B−1), deepest elimination cascade), bracket B−1 a plain
+// full-budget train of its chunk. Classic Hyperband samples fresh random
+// configurations per bracket; with a finite grid the partition plays that
+// role, so every trial runs in exactly one bracket and the schedule's
+// aggressiveness diversity is preserved. Brackets run sequentially, which
+// maximizes checkpoint/restore churn per virtual hour: every rung boundary
+// shuts survivors down and later restores them from object storage.
+type hyperband struct {
+	eta     int
+	started bool
+	bracket int
+	runs    []*sha
+}
+
+func (t *hyperband) Name() string { return HyperbandName }
+
+func (t *hyperband) start(ids []string) {
+	t.started = true
+	n := len(ids)
+	brackets := rungCount(n, t.eta)
+	t.runs = make([]*sha, 0, brackets)
+	for i := 0; i < brackets; i++ {
+		lo, hi := i*n/brackets, (i+1)*n/brackets
+		chunk := ids[lo:hi]
+		if len(chunk) == 0 {
+			continue
+		}
+		run := &sha{eta: t.eta, rungs: brackets - i}
+		run.start(chunk)
+		t.runs = append(t.runs, run)
+	}
+}
+
+func (t *hyperband) Next(s State) (Round, bool) {
+	if !t.started {
+		t.start(s.TrialIDs())
+	}
+	for t.bracket < len(t.runs) {
+		label := fmt.Sprintf("bracket %d/%d ", t.bracket+1, len(t.runs))
+		if round, ok := t.runs[t.bracket].next(s, label); ok {
+			return round, true
+		}
+		t.bracket++
+	}
+	return Round{}, false
+}
+
+func (t *hyperband) Finish(s State) Outcome {
+	if !t.started {
+		t.start(s.TrialIDs())
+	}
+	predicted := lastValues(s, s.TrialIDs())
+	// Top is the union of every bracket's final survivor set (brackets
+	// partition the grid, so it is duplicate-free), re-ranked on final
+	// observations so it honors its best-first contract across brackets.
+	var top []string
+	for _, run := range t.runs {
+		top = append(top, run.survivors...)
+	}
+	top = keepTop(s, top, len(top))
+	return Outcome{
+		Predicted: predicted,
+		Ranked:    RankByValue(predicted),
+		Top:       top,
+		Best:      BestByLastValue(s, top),
+	}
+}

@@ -1,0 +1,115 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registered built-in tuner names.
+const (
+	SpotTuneName  = "spottune"
+	HalvingName   = "successive-halving"
+	HyperbandName = "hyperband"
+	FullTrainName = "full-train"
+)
+
+// Params configures tuner construction. Zero values select the paper's
+// defaults, with the same clamping rules as core.Config so a tuner and the
+// report it feeds always agree on θ and MCnt.
+type Params struct {
+	// Theta is the spottune exploration fraction θ ∈ (0, 1] (default 0.7).
+	Theta float64
+	// MCnt is how many top-ranked models spottune (and full-train's
+	// ranking) continues/reports (default 3).
+	MCnt int
+	// Eta is the halving factor η ≥ 2 for successive-halving and hyperband
+	// rung budgets (default 3).
+	Eta int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Theta <= 0 || p.Theta > 1 {
+		p.Theta = 0.7
+	}
+	if p.MCnt <= 0 {
+		p.MCnt = 3
+	}
+	if p.Eta < 2 {
+		p.Eta = 3
+	}
+	return p
+}
+
+// Factory constructs a fresh tuner from params. Tuners are stateful and
+// single-use, so factories must return a new instance per call.
+type Factory func(Params) (Tuner, error)
+
+// Info describes one registered tuner for help text and study labels.
+type Info struct {
+	Name string
+	Doc  string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+	docs     = map[string]string{}
+)
+
+// Register adds a tuner factory under a unique name. Built-ins register in
+// init(); external packages may add their own before campaign assembly.
+func Register(name, doc string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("search: duplicate registration of %q", name))
+	}
+	registry[name] = f
+	docs[name] = doc
+}
+
+// New constructs a registered tuner by name ("" selects spottune, the
+// paper's Algorithm 1 schedule).
+func New(name string, p Params) (Tuner, error) {
+	if name == "" {
+		name = SpotTuneName
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("search: unknown tuner %q (registered: %v)", name, Names())
+	}
+	return f(p.withDefaults())
+}
+
+// Default returns the paper's spottune tuner for the given θ and MCnt — the
+// engine's fallback when no tuner is configured.
+func Default(theta float64, mcnt int) Tuner {
+	return newSpotTune(Params{Theta: theta, MCnt: mcnt}.withDefaults())
+}
+
+// Names lists registered tuner names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos lists registered tuners with their one-line docs, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for name := range registry {
+		out = append(out, Info{Name: name, Doc: docs[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

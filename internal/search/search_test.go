@@ -1,0 +1,455 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"spottune/internal/earlycurve"
+)
+
+// fakeState is a hand-wired search.State for unit-testing tuner schedules
+// without an orchestrator.
+type fakeState struct {
+	ids    []string
+	status map[string]TrialStatus
+	points map[string][]earlycurve.MetricPoint
+	trend  map[string]earlycurve.TrendPredictor
+}
+
+func (f *fakeState) TrialIDs() []string { return f.ids }
+
+func (f *fakeState) Status(id string) TrialStatus {
+	st, ok := f.status[id]
+	if !ok {
+		return TrialStatus{ID: id}
+	}
+	return st
+}
+
+func (f *fakeState) Points(id string) []earlycurve.MetricPoint { return f.points[id] }
+
+func (f *fakeState) Trend(id string) earlycurve.TrendPredictor {
+	if p, ok := f.trend[id]; ok {
+		return p
+	}
+	return failingTrend{}
+}
+
+// failingTrend always refuses to fit, exercising the fallback branches.
+type failingTrend struct{}
+
+func (failingTrend) PredictFinal([]earlycurve.MetricPoint, int) (float64, error) {
+	return 0, errors.New("no fit")
+}
+
+// constTrend predicts a fixed value.
+type constTrend float64
+
+func (c constTrend) PredictFinal([]earlycurve.MetricPoint, int) (float64, error) {
+	return float64(c), nil
+}
+
+func newState(ids ...string) *fakeState {
+	f := &fakeState{
+		ids:    ids,
+		status: map[string]TrialStatus{},
+		points: map[string][]earlycurve.MetricPoint{},
+		trend:  map[string]earlycurve.TrendPredictor{},
+	}
+	for _, id := range ids {
+		f.status[id] = TrialStatus{ID: id, MaxSteps: 100}
+	}
+	return f
+}
+
+// setProgress records completion plus a last observed point.
+func (f *fakeState) setProgress(id string, steps int, last float64) {
+	st := f.status[id]
+	st.CompletedSteps = steps
+	st.HasPoint = true
+	st.LastValue = last
+	f.status[id] = st
+	f.points[id] = append(f.points[id], earlycurve.MetricPoint{Step: steps, Value: last})
+}
+
+// ---------------------------------------------------------------- registry
+
+func TestRegistryShipsFourTuners(t *testing.T) {
+	names := Names()
+	for _, want := range []string{SpotTuneName, HalvingName, HyperbandName, FullTrainName} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("tuner %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := New("no-such-tuner", Params{}); err == nil {
+		t.Error("unknown tuner accepted")
+	}
+	tun, err := New("", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Name() != SpotTuneName {
+		t.Errorf("empty name resolved to %q, want the spottune default", tun.Name())
+	}
+	// Each registered name has a doc line for CLI help.
+	if got := len(Infos()); got != len(names) {
+		t.Errorf("%d infos for %d names", got, len(names))
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Theta != 0.7 || p.MCnt != 3 || p.Eta != 3 {
+		t.Fatalf("zero params resolved to %+v", p)
+	}
+	p = Params{Theta: 1.5, MCnt: -1, Eta: 1}.withDefaults()
+	if p.Theta != 0.7 || p.MCnt != 3 || p.Eta != 3 {
+		t.Fatalf("out-of-range params resolved to %+v", p)
+	}
+}
+
+// ------------------------------------------------------------ determinism
+
+// TestRankByValueTieBreak pins the engine-wide tie order: exactly equal
+// values rank by trial ID, so map-iteration nondeterminism can never leak
+// into rankings, top-MCnt cuts, or halving eliminations. (The top-MCnt
+// selection is ranked[:mcnt], so its determinism is this ranking's.)
+func TestRankByValueTieBreak(t *testing.T) {
+	want := []string{"b-low", "a-tie", "c-tie", "z-tie", "d-high"}
+	// Build the same logical map many times; Go randomizes map layout per
+	// run/insertion, so any order-dependence would flake across attempts.
+	orders := [][]string{
+		{"a-tie", "b-low", "c-tie", "d-high", "z-tie"},
+		{"z-tie", "d-high", "c-tie", "b-low", "a-tie"},
+		{"c-tie", "z-tie", "a-tie", "d-high", "b-low"},
+	}
+	val := func(id string) float64 {
+		switch id {
+		case "b-low":
+			return 1
+		case "d-high":
+			return 3
+		default:
+			return 2
+		}
+	}
+	for _, order := range orders {
+		vals := make(map[string]float64, len(order))
+		for _, id := range order {
+			vals[id] = val(id)
+		}
+		if got := RankByValue(vals); !reflect.DeepEqual(got, want) {
+			t.Fatalf("insertion order %v ranked %v, want %v", order, got, want)
+		}
+	}
+}
+
+func TestBestByLastValueTiesByListOrder(t *testing.T) {
+	s := newState("x", "y", "z")
+	s.setProgress("y", 10, 0.5)
+	s.setProgress("z", 10, 0.5) // exact tie with y
+	if got := BestByLastValue(s, []string{"z", "y", "x"}); got != "z" {
+		t.Fatalf("best %q, want first-listed tie holder z", got)
+	}
+	if got := BestByLastValue(s, []string{"x"}); got != "" {
+		t.Fatalf("pointless trial selected: %q", got)
+	}
+}
+
+// ---------------------------------------------------------------- spottune
+
+func TestSpotTuneSchedule(t *testing.T) {
+	tun, err := New(SpotTuneName, Params{Theta: 0.5, MCnt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState("a", "b", "c")
+
+	round, ok := tun.Next(s)
+	if !ok || len(round.Directives) != 3 {
+		t.Fatalf("explore round = %+v, ok=%v", round, ok)
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		d := round.Directives[i]
+		if d.TrialID != id || d.StepLimit != 50 {
+			t.Fatalf("directive %d = %+v, want %s@50", i, d, id)
+		}
+	}
+
+	// Explore ran: c leads, a second, b worst.
+	s.setProgress("a", 50, 0.4)
+	s.setProgress("b", 50, 0.9)
+	s.setProgress("c", 50, 0.1)
+	for id, v := range map[string]float64{"a": 0.4, "b": 0.9, "c": 0.1} {
+		s.trend[id] = constTrend(v)
+	}
+
+	round, ok = tun.Next(s)
+	if !ok {
+		t.Fatal("no continuation round")
+	}
+	want := []Directive{{TrialID: "c", StepLimit: 100}, {TrialID: "a", StepLimit: 100}}
+	if !reflect.DeepEqual(round.Directives, want) {
+		t.Fatalf("continuation = %+v, want %+v", round.Directives, want)
+	}
+
+	// Continuation ran to completion.
+	s.setProgress("a", 100, 0.35)
+	s.setProgress("c", 100, 0.05)
+
+	if _, ok := tun.Next(s); ok {
+		t.Fatal("spottune emitted a third round")
+	}
+	out := tun.Finish(s)
+	if !reflect.DeepEqual(out.Ranked, []string{"c", "a", "b"}) {
+		t.Fatalf("ranked %v", out.Ranked)
+	}
+	if !reflect.DeepEqual(out.Top, []string{"c", "a"}) {
+		t.Fatalf("top %v", out.Top)
+	}
+	if out.Best != "c" {
+		t.Fatalf("best %q", out.Best)
+	}
+}
+
+func TestExploreLimitClamps(t *testing.T) {
+	if got := ExploreLimit(0.7, 100); got != 70 {
+		t.Errorf("0.7*100 = %d", got)
+	}
+	if got := ExploreLimit(0.001, 100); got != 1 {
+		t.Errorf("tiny theta = %d, want 1", got)
+	}
+	if got := ExploreLimit(1.0, 7); got != 7 {
+		t.Errorf("full theta = %d, want 7", got)
+	}
+}
+
+// TestSpotTunePredictionFallbacks pins the revocation-heavy branches: a
+// trial whose curve cannot be fitted predicts last-observation × 1.05, and a
+// trial that observed nothing predicts +Inf (ranking it last).
+func TestSpotTunePredictionFallbacks(t *testing.T) {
+	tun, err := New(SpotTuneName, Params{Theta: 0.5, MCnt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState("thin", "empty")
+	s.setProgress("thin", 50, 0.8) // has a point; failingTrend refuses to fit
+	// "empty" never observed a metric.
+	st := s.status["empty"]
+	st.CompletedSteps = 50
+	s.status["empty"] = st
+
+	tun.Next(s) // explore
+	tun.Next(s) // predict (+ continuation)
+	for {
+		if _, ok := tun.Next(s); !ok {
+			break
+		}
+	}
+	out := tun.Finish(s)
+	if got := out.Predicted["thin"]; math.Abs(got-0.8*1.05) > 1e-12 {
+		t.Errorf("unfittable curve predicted %v, want last*1.05 = %v", got, 0.8*1.05)
+	}
+	if got := out.Predicted["empty"]; !math.IsInf(got, 1) {
+		t.Errorf("pointless trial predicted %v, want +Inf", got)
+	}
+	if !reflect.DeepEqual(out.Ranked, []string{"thin", "empty"}) {
+		t.Errorf("ranked %v — +Inf must sort last", out.Ranked)
+	}
+}
+
+// ---------------------------------------------------------- rung arithmetic
+
+func TestRungMath(t *testing.T) {
+	cases := []struct{ n, eta, want int }{
+		{1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {9, 3, 2}, {10, 3, 3}, {24, 3, 3}, {8, 2, 3},
+	}
+	for _, c := range cases {
+		if got := rungCount(c.n, c.eta); got != c.want {
+			t.Errorf("rungCount(%d, %d) = %d, want %d", c.n, c.eta, got, c.want)
+		}
+	}
+	// Three rungs at η=3 over 900 steps: 100, 300, 900.
+	for rung, want := range map[int]int{0: 100, 1: 300, 2: 900} {
+		if got := rungLimit(900, 3, rung, 3); got != want {
+			t.Errorf("rungLimit(900, 3, %d, 3) = %d, want %d", rung, got, want)
+		}
+	}
+	if got := rungLimit(5, 3, 0, 3); got != 1 {
+		t.Errorf("tiny budget floor = %d, want 1", got)
+	}
+}
+
+// ------------------------------------------------------ successive halving
+
+func TestHalvingSchedule(t *testing.T) {
+	tun, err := New(HalvingName, Params{Eta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+	s := newState(ids...)
+
+	// 9 candidates at η=3 → 2 rungs: 33 steps, then 100.
+	round, ok := tun.Next(s)
+	if !ok || len(round.Directives) != 9 {
+		t.Fatalf("rung 1 = %+v ok=%v", round, ok)
+	}
+	for _, d := range round.Directives {
+		if d.StepLimit != 33 {
+			t.Fatalf("rung 1 budget %d, want 100/3=33", d.StepLimit)
+		}
+	}
+	// Observe rung 1: value by position, a best ... i worst.
+	for i, id := range ids {
+		s.setProgress(id, 33, float64(i))
+	}
+
+	round, ok = tun.Next(s)
+	if !ok || len(round.Directives) != 3 {
+		t.Fatalf("rung 2 = %+v ok=%v", round, ok)
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		d := round.Directives[i]
+		if d.TrialID != id || d.StepLimit != 100 {
+			t.Fatalf("rung 2 directive %d = %+v", i, d)
+		}
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		s.setProgress(id, 100, s.status[id].LastValue/2)
+	}
+
+	if _, ok := tun.Next(s); ok {
+		t.Fatal("halving emitted a third rung for 9 candidates at η=3")
+	}
+	out := tun.Finish(s)
+	if !reflect.DeepEqual(out.Top, []string{"a", "b", "c"}) {
+		t.Fatalf("final survivors %v", out.Top)
+	}
+	if out.Best != "a" {
+		t.Fatalf("best %q", out.Best)
+	}
+	if len(out.Ranked) != len(ids) || len(out.Predicted) != len(ids) {
+		t.Fatalf("eliminated trials missing from ranking: %v", out.Ranked)
+	}
+}
+
+// TestHalvingSkipsSettledSurvivors: plateaued or already-complete survivors
+// are not redeployed — their last observation stands — so rungs never waste
+// a deployment on a trial with nothing left to train.
+func TestHalvingSkipsSettledSurvivors(t *testing.T) {
+	tun, err := New(HalvingName, Params{Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState("a", "b")
+	st := s.status["a"]
+	st.Plateaued = true
+	st.CompletedSteps = 10
+	st.HasPoint, st.LastValue = true, 0.1
+	s.status["a"] = st
+
+	round, ok := tun.Next(s)
+	if !ok || len(round.Directives) != 1 || round.Directives[0].TrialID != "b" {
+		t.Fatalf("round = %+v ok=%v — plateaued trial must not redeploy", round, ok)
+	}
+}
+
+// ---------------------------------------------------------------- hyperband
+
+func TestHyperbandBrackets(t *testing.T) {
+	tun, err := New(HyperbandName, Params{Eta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 9)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+	}
+	s := newState(ids...)
+
+	// 9 trials → 2 brackets (chunks of 4 and 5). Bracket 1 runs 2 rungs
+	// over a..d; bracket 2 a single full-budget rung over e..i.
+	round, ok := tun.Next(s)
+	if !ok || len(round.Directives) != 4 || round.Directives[0].TrialID != "a" {
+		t.Fatalf("bracket 1 rung 1 = %+v ok=%v", round, ok)
+	}
+	if round.Directives[0].StepLimit != 33 {
+		t.Fatalf("aggressive bracket budget %d, want 33", round.Directives[0].StepLimit)
+	}
+	for i, d := range round.Directives {
+		s.setProgress(d.TrialID, d.StepLimit, float64(i))
+	}
+
+	round, ok = tun.Next(s)
+	if !ok || len(round.Directives) != 2 || round.Directives[0].StepLimit != 100 {
+		t.Fatalf("bracket 1 rung 2 = %+v ok=%v", round, ok)
+	}
+	for _, d := range round.Directives {
+		s.setProgress(d.TrialID, 100, s.status[d.TrialID].LastValue)
+	}
+
+	round, ok = tun.Next(s)
+	if !ok || len(round.Directives) != 5 || round.Directives[0].TrialID != "e" {
+		t.Fatalf("bracket 2 = %+v ok=%v", round, ok)
+	}
+	if round.Directives[0].StepLimit != 100 {
+		t.Fatalf("lazy bracket budget %d, want full 100", round.Directives[0].StepLimit)
+	}
+	for i, d := range round.Directives {
+		s.setProgress(d.TrialID, 100, 10+float64(i))
+	}
+
+	if _, ok := tun.Next(s); ok {
+		t.Fatal("hyperband emitted a round after its last bracket")
+	}
+	out := tun.Finish(s)
+	if len(out.Ranked) != 9 {
+		t.Fatalf("ranking lost trials: %v", out.Ranked)
+	}
+	// Top = bracket survivors: 2 from bracket 1, all 5 of bracket 2.
+	if len(out.Top) != 7 {
+		t.Fatalf("top %v", out.Top)
+	}
+	if out.Best != "a" {
+		t.Fatalf("best %q", out.Best)
+	}
+}
+
+// ---------------------------------------------------------------- full train
+
+func TestFullTrainSchedule(t *testing.T) {
+	tun, err := New(FullTrainName, Params{MCnt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState("a", "b", "c")
+	round, ok := tun.Next(s)
+	if !ok || len(round.Directives) != 3 {
+		t.Fatalf("round = %+v ok=%v", round, ok)
+	}
+	for _, d := range round.Directives {
+		if d.StepLimit != 100 {
+			t.Fatalf("full-train budget %d", d.StepLimit)
+		}
+		s.setProgress(d.TrialID, 100, float64(len(d.TrialID))+map[string]float64{"a": 3, "b": 1, "c": 2}[d.TrialID])
+	}
+	if _, ok := tun.Next(s); ok {
+		t.Fatal("full-train emitted a second round")
+	}
+	out := tun.Finish(s)
+	if !reflect.DeepEqual(out.Ranked, []string{"b", "c", "a"}) {
+		t.Fatalf("ranked %v", out.Ranked)
+	}
+	if !reflect.DeepEqual(out.Top, []string{"b", "c"}) || out.Best != "b" {
+		t.Fatalf("top %v best %q", out.Top, out.Best)
+	}
+}

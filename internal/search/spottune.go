@@ -1,0 +1,140 @@
+package search
+
+import (
+	"math"
+)
+
+func init() {
+	Register(SpotTuneName,
+		"paper Algorithm 1: θ-truncated explore, EarlyCurve prediction, continue top-MCnt (default)",
+		func(p Params) (Tuner, error) { return newSpotTune(p), nil })
+}
+
+// spotTune is the paper's two-phase schedule, lifted verbatim out of the
+// orchestrator's original Run(): one exploration round capping every trial
+// at θ·max_trial_steps, one prediction/ranking pass (EarlyCurve
+// extrapolation with the revocation-heavy fallbacks), then one continuation
+// round training the top-MCnt models to full steps from their checkpoints.
+// It reproduces the legacy hardcoded path bit for bit — the golden and
+// policy-golden suites in internal/core pin this.
+type spotTune struct {
+	theta float64
+	mcnt  int
+
+	round     int
+	predicted map[string]float64
+	ranked    []string
+	top       []string
+	cont      []string
+}
+
+func newSpotTune(p Params) *spotTune {
+	return &spotTune{theta: p.Theta, mcnt: p.MCnt}
+}
+
+func (t *spotTune) Name() string { return SpotTuneName }
+
+// ExploreLimit is the θ-truncated exploration budget of Algorithm 1:
+// round(θ·maxSteps), clamped to [1, maxSteps]. Exported so tests can pin the
+// engine's budget arithmetic against the legacy formula.
+func ExploreLimit(theta float64, maxSteps int) int {
+	l := int(math.Round(theta * float64(maxSteps)))
+	if l < 1 {
+		l = 1
+	}
+	if l > maxSteps {
+		l = maxSteps
+	}
+	return l
+}
+
+func (t *spotTune) Next(s State) (Round, bool) {
+	switch t.round {
+	case 0:
+		// Exploration phase (lines 15–47): every trial in submission
+		// order, capped at θ·max_trial_steps.
+		t.round++
+		ids := s.TrialIDs()
+		ds := make([]Directive, 0, len(ids))
+		for _, id := range ids {
+			ds = append(ds, Directive{
+				TrialID:   id,
+				StepLimit: ExploreLimit(t.theta, s.Status(id).MaxSteps),
+			})
+		}
+		return Round{Label: "explore", Directives: ds}, true
+	case 1:
+		// Prediction phase (lines 48–52) then the continuation round
+		// (line 53): top-MCnt models to full steps.
+		t.round++
+		t.predict(s)
+		if len(t.cont) == 0 {
+			return Round{}, false
+		}
+		ds := make([]Directive, 0, len(t.cont))
+		for _, id := range t.cont {
+			ds = append(ds, Directive{TrialID: id, StepLimit: s.Status(id).MaxSteps})
+		}
+		return Round{Label: "continue", Directives: ds}, true
+	}
+	return Round{}, false
+}
+
+// predict extrapolates each trial's final metric from its partial curve and
+// derives the ranking and continuation set. Fully trained or plateaued
+// trials report their last observation; everything else goes through the
+// trend predictor, falling back — for revocation-heavy runs that never grew
+// a fittable curve — to the last observation pessimistically inflated by
+// 5%, or +Inf when the trial observed nothing at all.
+func (t *spotTune) predict(s State) {
+	ids := s.TrialIDs()
+	t.predicted = make(map[string]float64, len(ids))
+	for _, id := range ids {
+		st := s.Status(id)
+		points := s.Points(id)
+		var (
+			val float64
+			err error
+		)
+		if st.CompletedSteps >= st.MaxSteps || st.Plateaued {
+			// Fully trained, or plateaued (§III-C's convergence special
+			// case): the last observation is the final metric.
+			val = points[len(points)-1].Value
+		} else {
+			val, err = s.Trend(id).PredictFinal(points, st.MaxSteps)
+			if err != nil {
+				if len(points) > 0 {
+					val = points[len(points)-1].Value * 1.05
+				} else {
+					val = math.Inf(1)
+				}
+			}
+		}
+		t.predicted[id] = val
+	}
+	t.ranked = RankByValue(t.predicted)
+	mcnt := t.mcnt
+	if mcnt > len(t.ranked) {
+		mcnt = len(t.ranked)
+	}
+	t.top = t.ranked[:mcnt]
+	for _, id := range t.top {
+		if st := s.Status(id); st.CompletedSteps < st.MaxSteps {
+			t.cont = append(t.cont, id)
+		}
+	}
+}
+
+func (t *spotTune) Finish(s State) Outcome {
+	if t.predicted == nil {
+		// Finish without a completed round sequence (defensive; the engine
+		// always drains Next first).
+		t.predict(s)
+	}
+	return Outcome{
+		Predicted: t.predicted,
+		Ranked:    t.ranked,
+		Top:       t.top,
+		Best:      BestByLastValue(s, t.top),
+	}
+}

@@ -391,8 +391,28 @@ func (r *Replay) Restore(data []byte) error {
 	return nil
 }
 
+// Plateaued is the single authoritative convergence verdict for the
+// currently observed prefix (§III-C's plateau special case): the memoized
+// minimal-converging-prefix precheck (ConvergeStep), then the exact
+// Converged test on the observed values. The precheck is sound — no prefix
+// shorter than the minimal converging one can satisfy Converged — so this
+// is the plain Converged verdict at amortized O(1) until the trial actually
+// reaches its plateau step. Every consumer of "has this trial converged
+// right now?" (the orchestrator's round executor, the tuner-visible
+// TrialStatus) goes through here, so schedulers and tuners can never
+// observe disagreeing plateau verdicts for the same trial state.
+func (r *Replay) Plateaued(window int, tol float64) bool {
+	cs, ok := r.ConvergeStep(window, tol)
+	if !ok || r.CompletedSteps() < cs {
+		return false
+	}
+	return r.Converged(window, tol)
+}
+
 // Converged reports whether the observed curve has plateaued (the special
 // case of §III-C: stop a trial that converges before θ·max_trial_steps).
+// Exact but O(curve); callers on hot paths should use Plateaued, which
+// prechecks via the memoized ConvergeStep before paying for this.
 func (r *Replay) Converged(window int, tol float64) bool {
 	pts := r.Points()
 	values := make([]float64, len(pts))

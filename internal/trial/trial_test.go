@@ -304,3 +304,42 @@ func TestRunForSplitEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPlateauedAgreesWithExactConverged pins the consolidated convergence
+// verdict: at every whole-step progress point of several curve shapes,
+// Plateaued (the fast prechecked path every engine consumer uses) must
+// equal the exact Converged test on the observed prefix — the two can never
+// disagree, which is the whole point of funneling both the round executor
+// and the tuner-visible status through one call site.
+func TestPlateauedAgreesWithExactConverged(t *testing.T) {
+	perf := constPerf{"small": 1}
+	mk := func(name string, vals []float64) *Replay {
+		var pts []earlycurve.MetricPoint
+		for i, v := range vals {
+			pts = append(pts, earlycurve.MetricPoint{Step: 5 * (i + 1), Value: v})
+		}
+		r, err := NewReplay(name, 5*len(vals), pts, perf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	curves := map[string]*Replay{
+		// Plateaus at 0.5, then drops again — the shape where the minimal
+		// converging prefix and the current-prefix verdict differ, i.e.
+		// where a naive "reached ConvergeStep ⇒ converged" would be wrong.
+		"plateau-then-drop": mk("ptd", []float64{1, 0.9, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.2, 0.1, 0.1, 0.1}),
+		"flat":              mk("flat", []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}),
+		"never":             mk("never", []float64{1, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4}),
+	}
+	const window, tol = 4, 0.01
+	for name, r := range curves {
+		for step := 0; step <= r.MaxSteps(); step++ {
+			r.progress = float64(step)
+			exact := len(r.Points()) > 0 && r.Converged(window, tol)
+			if got := r.Plateaued(window, tol); got != exact {
+				t.Fatalf("%s at step %d: Plateaued=%v, exact Converged=%v", name, step, got, exact)
+			}
+		}
+	}
+}

@@ -23,7 +23,12 @@
 // registry also ships Single-Spot baselines, a pure on-demand strategy, an
 // AutoSpotting-style spot-with-on-demand fallback, and a DeepVM-style mixed
 // fleet — all runnable through the same orchestrator and comparable via
-// Environment.RunPolicy or policy-dimension sweeps. The simulation core is
+// Environment.RunPolicy or policy-dimension sweeps. The search strategy is
+// equally pluggable: the trial lifecycle (round budgets, early shutdown,
+// final ranking) is owned by a tuner from the search registry — the paper's
+// Algorithm 1 schedule ("spottune", the default), successive halving,
+// hyperband, and a full-train cost ceiling — selected per campaign via
+// CampaignOptions.Tuner. The simulation core is
 // discrete-event end to end — the orchestrator advances the virtual clock
 // directly to each next trigger instead of polling, and Sweep fans
 // independent campaigns across a worker pool — so multi-day campaigns and
@@ -47,6 +52,7 @@ import (
 	"spottune/internal/market"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
+	"spottune/internal/search"
 	"spottune/internal/workload"
 	"time"
 )
@@ -91,6 +97,21 @@ type (
 	PolicyParams = policy.Params
 	// PolicyInfo names one registered policy with its one-line doc.
 	PolicyInfo = policy.Info
+	// Tuner owns trial-lifecycle decisions: which trials run each round,
+	// their step budgets, when the search stops, and the final ranking.
+	Tuner = search.Tuner
+	// TunerParams tunes search-strategy construction (θ, MCnt, η).
+	TunerParams = search.Params
+	// TunerInfo names one registered tuner with its one-line doc.
+	TunerInfo = search.Info
+	// TunerRound is one batch of per-trial step budgets a Tuner emits.
+	TunerRound = search.Round
+	// TunerDirective is one trial's step budget within a round.
+	TunerDirective = search.Directive
+	// TunerState is what a Tuner observes between rounds.
+	TunerState = search.State
+	// TunerOutcome is a Tuner's final selection output.
+	TunerOutcome = search.Outcome
 )
 
 // Orchestrator loop modes (see DESIGN.md for the equivalence guarantees).
@@ -121,11 +142,34 @@ const (
 	PolicyMixedFleet = policy.MixedFleetName
 )
 
+// Registered tuner (search strategy) names (CampaignOptions.Tuner).
+// TunerSpotTune is the paper's Algorithm 1 schedule and the default.
+const (
+	TunerSpotTune  = search.SpotTuneName
+	TunerHalving   = search.HalvingName
+	TunerHyperband = search.HyperbandName
+	TunerFullTrain = search.FullTrainName
+)
+
 // Policies lists registered provisioning-policy names, sorted.
 func Policies() []string { return policy.Names() }
 
 // PolicyInfos lists registered policies with their one-line docs.
 func PolicyInfos() []PolicyInfo { return policy.Infos() }
+
+// Tuners lists registered tuner (search strategy) names, sorted.
+func Tuners() []string { return search.Names() }
+
+// TunerInfos lists registered tuners with their one-line docs.
+func TunerInfos() []TunerInfo { return search.Infos() }
+
+// RegisterTuner adds a custom search strategy to the registry under a
+// unique name, making it available to CampaignOptions.Tuner, tuner sweeps,
+// and the cross-tuner study. Factories must return a fresh instance per
+// call — tuners are stateful and single-use.
+func RegisterTuner(name, doc string, factory func(TunerParams) (Tuner, error)) {
+	search.Register(name, doc, factory)
+}
 
 // RegisterPolicy adds a custom provisioning policy to the registry under a
 // unique name, making it available to RunPolicy, policy sweeps, and the
