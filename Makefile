@@ -23,17 +23,25 @@ test-short:
 
 # Runs every benchmark once, exports the cross-policy provisioning study as
 # BENCH_policy.json and the cross-tuner search-strategy study as
-# BENCH_tuner.json (cost/JCT per registered tuner), and re-measures the
-# micro benchmarks with -benchmem into BENCH_perf.json (ns/op + allocs/op,
-# diffed against the committed pre-optimization baseline in
-# BENCH_baseline.json). All JSON artifacts are uploaded by CI.
-# The micro-bench output goes through a temp file, not a pipe, so a failing
+# BENCH_tuner.json (cost/JCT per registered tuner), carves the streaming
+# matrix runner's numbers (1k- and 100k-cell grids: cells/s + peak heap)
+# into BENCH_matrix.json, and re-measures the micro benchmarks with
+# -benchmem into BENCH_perf.json (ns/op + allocs/op, diffed against the
+# committed pre-optimization baseline in BENCH_baseline.json — benchperf
+# prints the delta table and fails the recipe when any tracked benchmark
+# regresses past its threshold; the CI lane runs at 20% because shared
+# 1–2 core runners jitter close to the 10% default). All JSON artifacts
+# are uploaded by CI.
+# Benchmark output goes through temp files, not pipes, so a failing
 # benchmark binary fails the recipe instead of being masked by benchperf's
 # exit status.
 bench:
-	$(GO) test -bench=. -run '^$$' -benchtime 1x .
+	$(GO) test -bench=. -run '^$$' -benchtime 1x . > BENCH_all.txt
+	cat BENCH_all.txt
+	grep '^BenchmarkMatrixStreaming' BENCH_all.txt | $(GO) run ./cmd/benchperf -out BENCH_matrix.json
+	rm -f BENCH_all.txt
 	$(GO) test -bench '^(BenchmarkLSTMForwardBackward|BenchmarkRevPredInference|BenchmarkEarlyCurveFit|BenchmarkMarketGenerate|BenchmarkEventQueue|BenchmarkGBTRound)$$' -run '^$$' -benchmem -benchtime 100x . > BENCH_perf.txt
-	$(GO) run ./cmd/benchperf -baseline BENCH_baseline.json -out BENCH_perf.json < BENCH_perf.txt
+	$(GO) run ./cmd/benchperf -baseline BENCH_baseline.json -threshold 0.2 -out BENCH_perf.json < BENCH_perf.txt
 	rm -f BENCH_perf.txt
 	$(GO) run ./cmd/benchfigs -fig none -quick -out results -policyjson BENCH_policy.json -tunerjson BENCH_tuner.json
 
@@ -45,8 +53,11 @@ bench-campaign:
 # and every registered policy, invariant-audited, per-cell CSV in
 # results/scenarios.csv. Exits non-zero on any violation — the rung-heavy
 # hyperband/successive-halving cells are the checkpoint-churn stress lane.
+# The second lane smokes the streaming path: a replicated grid through the
+# seed axis with live progress and aggregate percentiles only.
 scenarios:
 	$(GO) run ./cmd/scenarios -quick -tuners all -out results
+	$(GO) run ./cmd/scenarios -quick -scenarios baseline,calm -replicates 25 -stream
 
 # Native fuzz targets, run briefly (CI runs the same lane). Corpus finds are
 # committed under the packages' testdata/fuzz directories.

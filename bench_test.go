@@ -16,6 +16,7 @@ package spottune
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"spottune/internal/mltrain"
 	"spottune/internal/nn"
 	"spottune/internal/revpred"
+	"spottune/internal/scenario"
 	"spottune/internal/simclock"
 	"spottune/internal/trial"
 
@@ -622,4 +624,73 @@ func BenchmarkAblationPredictors(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkMatrixStreaming drives the streaming matrix runner over grids of
+// increasing size (the replicate axis scales the cell count without adding
+// specs). Beyond cells/s it reports the peak heap observed while streaming —
+// the bounded-memory contract is that this metric stays flat between the
+// 1k-cell and 100k-cell grids.
+func BenchmarkMatrixStreaming(b *testing.B) {
+	for _, cells := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			benchMatrixStreaming(b, cells)
+		})
+	}
+}
+
+func benchMatrixStreaming(b *testing.B, cells int) {
+	m := scenario.Matrix{Specs: []scenario.Spec{{
+		Name:      "bench",
+		Regime:    "calm",
+		Days:      2,
+		TrainDays: 1,
+		Pool:      []string{"r4.large", "m4.2xlarge"},
+	}}}
+	opt := scenario.Options{
+		Seed:     1,
+		Quick:    true,
+		Workload: "LoR",
+		Scale:    0.2,
+		Policies: []string{"spottune", "cheapest-spot"},
+	}
+	reps := cells / len(opt.Policies)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			peak uint64
+			ms   runtime.MemStats
+			seen int
+		)
+		sum, err := m.Stream(scenario.StreamOptions{
+			Options:    opt,
+			Replicates: reps,
+			OnCell: func(scenario.Cell) error {
+				seen++
+				if seen%1024 == 0 {
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak {
+						peak = ms.HeapAlloc
+					}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seen == 0 || peak == 0 {
+			runtime.ReadMemStats(&ms)
+			peak = ms.HeapAlloc
+		}
+		if want := reps * len(opt.Policies); sum.Cells != want {
+			b.Fatalf("streamed %d cells, want %d", sum.Cells, want)
+		}
+		if sum.Violations != 0 {
+			b.Fatalf("%d invariant violations in the streamed grid", sum.Violations)
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+		b.ReportMetric(sum.Cost.Quantile(0.99), "cost-p99-usd")
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }

@@ -3,8 +3,9 @@
 // allocs/op per micro benchmark, plus any custom b.ReportMetric values.
 // When a baseline file is supplied (the committed pre-optimization numbers
 // in BENCH_baseline.json), the artifact also records per-benchmark
-// speedup and allocation-reduction factors, so CI artifacts carry the
-// before/after evidence directly.
+// speedup and allocation-reduction factors, prints a per-benchmark delta
+// table, and exits non-zero when any tracked benchmark has regressed past
+// the -threshold (so `make bench` doubles as a perf-regression gate).
 //
 // Usage:
 //
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -53,17 +55,18 @@ var metricPart = regexp.MustCompile(`([0-9.eE+-]+) (\S+)`)
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_perf.json", "output JSON path")
-		baseline = flag.String("baseline", "", "baseline JSON (same schema) to diff against")
+		out       = flag.String("out", "BENCH_perf.json", "output JSON path")
+		baseline  = flag.String("baseline", "", "baseline JSON (same schema) to diff against")
+		threshold = flag.Float64("threshold", 0.10, "max tolerated slowdown vs baseline (fraction; negative disables the gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline); err != nil {
+	if err := run(*out, *baseline, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchperf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baselinePath string) error {
+func run(out, baselinePath string, threshold float64) error {
 	rep := Report{
 		Note:       "ns/op, B/op, allocs/op per micro benchmark; vs_baseline.speedup_ns = baseline/current (higher is faster)",
 		Benchmarks: map[string]Result{},
@@ -137,5 +140,50 @@ func run(out, baselinePath string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(out, append(blob, '\n'), 0o644)
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	// The artifact is on disk either way; the delta table and the gate only
+	// apply when there is a baseline to compare against.
+	if len(rep.VsBaseline) == 0 {
+		return nil
+	}
+	return printDeltas(rep, threshold)
+}
+
+// printDeltas renders the per-benchmark comparison table and enforces the
+// regression gate: any benchmark tracked by the baseline whose current ns/op
+// exceeds baseline*(1+threshold) fails the run.
+func printDeltas(rep Report, threshold float64) error {
+	names := make([]string, 0, len(rep.VsBaseline))
+	for name := range rep.VsBaseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	fmt.Printf("\n%-34s %14s %14s %9s %9s  %s\n",
+		"benchmark", "baseline ns/op", "current ns/op", "speedup", "allocs×", "status")
+	for _, name := range names {
+		d := rep.VsBaseline[name]
+		base, cur := rep.Baseline[name], rep.Benchmarks[name]
+		status := "ok"
+		slowdown := cur.NsPerOp/base.NsPerOp - 1
+		if threshold >= 0 && slowdown > threshold {
+			status = fmt.Sprintf("REGRESSED (%.0f%% slower)", slowdown*100)
+			regressed = append(regressed, name)
+		}
+		allocs := "-"
+		if d.AllocsFactor > 0 {
+			allocs = fmt.Sprintf("%.2f", d.AllocsFactor)
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %8.2fx %9s  %s\n",
+			name, base.NsPerOp, cur.NsPerOp, d.SpeedupNs, allocs, status)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }

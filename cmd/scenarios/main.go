@@ -9,8 +9,15 @@
 //	scenarios -quick                          # full battery, quick fidelity
 //	scenarios -quick -scenarios calm,crunch -policies spottune,on-demand
 //	scenarios -quick -tuners all              # cross-tuner lane: every search strategy per cell
+//	scenarios -quick -replicates 100 -stream  # large grid: live progress + aggregate percentiles
 //	scenarios -list                           # what's available
 //	scenarios -seed 7 -out results            # full fidelity (slow: trains predictors per scenario)
+//
+// Every run goes through the streaming matrix runner: cells are written to
+// the CSV as they finish (memory stays flat no matter how many replicates),
+// and the default single-replicate grid is bit-identical to the legacy
+// buffered path. -stream swaps the per-cell table for a live progress line
+// plus quantile summaries; there the per-cell CSV is opt-in via -percell.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"spottune/internal/policy"
 	"spottune/internal/scenario"
 	"spottune/internal/search"
+	"spottune/internal/stats"
 )
 
 func main() {
@@ -44,6 +52,9 @@ func run() error {
 		quick     = flag.Bool("quick", false, "fast mode: synthetic curves, constant revocation predictor, short traces")
 		theta     = flag.Float64("theta", 0.7, "early-shutdown rate θ for every cell")
 		outDir    = flag.String("out", "results", "output directory for scenarios.csv")
+		reps      = flag.Int("replicates", 1, "seed-axis replicates per scenario (each with a derived campaign seed)")
+		stream    = flag.Bool("stream", false, "summary mode: live progress + aggregate percentiles instead of the per-cell table")
+		percell   = flag.Bool("percell", false, "with -stream, still write the per-cell CSV (it is always written otherwise)")
 	)
 	flag.Parse()
 
@@ -80,24 +91,66 @@ func run() error {
 		Policies: pols,
 		Tuners:   tuns,
 	}
-	res, err := scenario.Matrix{Specs: specs}.Run(opt)
+	sopt := scenario.StreamOptions{Options: opt, Replicates: *reps}
+
+	// Cells stream straight into the CSV as they finish; the full cell table
+	// never exists in memory, so the footprint is flat in the grid size.
+	var (
+		cw   *scenario.CellWriter
+		f    *os.File
+		path string
+	)
+	if !*stream || *percell {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(*outDir, "scenarios.csv")
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cw, err = scenario.NewCellWriter(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	tab := tablePrinter{replicates: *reps, quiet: *stream}
+	sopt.OnCell = func(c scenario.Cell) error {
+		if cw != nil {
+			if err := cw.Write(c); err != nil {
+				return err
+			}
+		}
+		tab.cell(c)
+		for _, v := range c.Violations {
+			fmt.Fprintf(os.Stderr, "%s/%s/%s: invariant violated: %v\n", c.Scenario, c.Tuner, c.Policy, v)
+		}
+		return nil
+	}
+	if *stream {
+		sopt.Progress = os.Stderr
+	}
+	sum, err := scenario.Matrix{Specs: specs}.Stream(sopt)
 	if err != nil {
 		return err
 	}
-
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		return err
+	if cw != nil {
+		if err := cw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nper-cell CSV written to %s\n", path)
 	}
-	path := filepath.Join(*outDir, "scenarios.csv")
-	if err := res.WriteCSVFile(path); err != nil {
-		return err
+	if *stream {
+		printSummary(sum)
 	}
 
-	printTable(res)
-	fmt.Printf("\nper-cell CSV written to %s\n", path)
-
-	if err := res.ViolationError(os.Stderr); err != nil {
-		return err
+	if sum.Violations > 0 {
+		return fmt.Errorf("%d invariant violations across the matrix", sum.Violations)
 	}
 	fmt.Println("invariant audit: every cell sound")
 	return nil
@@ -145,21 +198,46 @@ func printInventory() {
 	}
 }
 
-// printTable renders the matrix grouped by (scenario, tuner), one row per
-// policy.
-func printTable(res *scenario.Result) {
-	last := ""
-	for _, c := range res.Cells {
-		if group := c.Scenario + "/" + c.Tuner; group != last {
-			fmt.Printf("\n== %s (regime %s, tuner %s, workload %s) ==\n", c.Scenario, c.Regime, c.Tuner, c.Workload)
-			last = c.Scenario + "/" + c.Tuner
-		}
-		flag := ""
-		if len(c.Violations) > 0 {
-			flag = fmt.Sprintf("  !! %d VIOLATIONS", len(c.Violations))
-		}
-		fmt.Printf("  %-17s cost $%8.3f  JCT %7.2fh  refund %5.1f%%  notices %3d  od %d/%d%s\n",
-			c.Policy, c.Cost, c.JCTHours, 100*c.RefundFrac, c.Notices,
-			c.OnDemandDeployments, c.Deployments, flag)
+// tablePrinter renders the matrix table incrementally as cells stream in,
+// grouped by (scenario, replicate, tuner) in emission order — the streamed
+// equivalent of the old whole-result table.
+type tablePrinter struct {
+	replicates int
+	quiet      bool
+	last       string
+}
+
+func (t *tablePrinter) cell(c scenario.Cell) {
+	if t.quiet {
+		return
 	}
+	if group := fmt.Sprintf("%s/%d/%s", c.Scenario, c.Replicate, c.Tuner); group != t.last {
+		rep := ""
+		if t.replicates > 1 {
+			rep = fmt.Sprintf(", replicate %d", c.Replicate)
+		}
+		fmt.Printf("\n== %s (regime %s, tuner %s, workload %s%s) ==\n", c.Scenario, c.Regime, c.Tuner, c.Workload, rep)
+		t.last = group
+	}
+	flag := ""
+	if len(c.Violations) > 0 {
+		flag = fmt.Sprintf("  !! %d VIOLATIONS", len(c.Violations))
+	}
+	fmt.Printf("  %-17s cost $%8.3f  JCT %7.2fh  refund %5.1f%%  notices %3d  od %d/%d%s\n",
+		c.Policy, c.Cost, c.JCTHours, 100*c.RefundFrac, c.Notices,
+		c.OnDemandDeployments, c.Deployments, flag)
+}
+
+// printSummary renders the streamed aggregate: exact counts plus sketch
+// percentiles per headline metric.
+func printSummary(sum *scenario.StreamSummary) {
+	fmt.Printf("\nstreamed %d cells, %d violations\n", sum.Cells, sum.Violations)
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "metric", "mean", "p50", "p90", "p99", "max")
+	row := func(name string, s *stats.QuantileSketch) {
+		fmt.Printf("%-12s %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			name, s.Mean(), s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+	}
+	row("cost_usd", sum.Cost)
+	row("jct_hours", sum.JCTHours)
+	row("refund_frac", sum.RefundFrac)
 }

@@ -77,8 +77,11 @@ func (o EnvOptions) withDefaults() EnvOptions {
 // Environment is an assembled simulated cloud. Build once; every campaign
 // run gets a fresh cluster over the same deterministic markets.
 type Environment struct {
-	Catalog    *market.Catalog
-	Traces     market.TraceSet
+	Catalog *market.Catalog
+	Traces  market.TraceSet
+	// Store is the SoA packing of Traces, built once per environment and
+	// shared read-only by every cluster (and sweep worker) assembled from it.
+	Store      *market.Store
 	Grids      map[string]*market.Grid
 	Predictors map[string]revpred.Predictor
 	Pool       []string
@@ -119,6 +122,7 @@ func NewEnvironment(opts EnvOptions) (*Environment, error) {
 	env := &Environment{
 		Catalog:       catalog,
 		Traces:        traces,
+		Store:         market.NewStore(traces),
 		Grids:         make(map[string]*market.Grid, len(pool)),
 		Predictors:    make(map[string]revpred.Predictor, len(pool)),
 		Pool:          pool,
@@ -186,7 +190,7 @@ func (e *Environment) WithPredictors(preds map[string]revpred.Predictor) (*Envir
 // applies the environment's cluster hooks (fault injections).
 func (e *Environment) NewCluster() (*cloudsim.Cluster, error) {
 	clk := simclock.NewVirtual(e.CampaignStart)
-	cluster, err := cloudsim.NewCluster(clk, e.Catalog, e.Traces)
+	cluster, err := cloudsim.NewClusterWithStore(clk, e.Catalog, e.Traces, e.Store)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +234,12 @@ type Options struct {
 	// Called from whatever goroutine runs the campaign (sweeps run many
 	// concurrently), so implementations must be safe for concurrent use.
 	Inspect func(*RunDetail) error
+	// PerfCache, when set, shares ground-truth step-time curves across
+	// sequential campaigns replaying the same seed and benchmark (the
+	// streaming matrix runner attaches one per worker). The cache is
+	// single-goroutine state: never put one in an Options value handed to
+	// concurrent sweep tasks.
+	PerfCache *trial.PerfCache
 }
 
 // RunDetail is one campaign run's final simulator state: everything an
@@ -284,6 +294,12 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	trials, err := b.Trials(curves, opt.Seed+0xbead)
 	if err != nil {
 		return nil, err
+	}
+	if opt.PerfCache != nil {
+		opt.PerfCache.Use(opt.Seed+0xbead, b.Name)
+		for _, tr := range trials {
+			tr.SharePerfCache(opt.PerfCache)
+		}
 	}
 	// Seed offset matches the pre-policy provisioner wiring so the
 	// spottune policy reproduces historical RunSpotTune reports.

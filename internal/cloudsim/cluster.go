@@ -93,8 +93,8 @@ type Instance struct {
 	NoticeAt time.Time
 	RevokeAt time.Time
 
-	noticeEv *simclock.Event
-	revokeEv *simclock.Event
+	noticeEv simclock.EventRef
+	revokeEv simclock.EventRef
 	// onNotice is the subscriber registered at request time; fault
 	// injections (mass preemptions) deliver their notices through it too.
 	onNotice NoticeFunc
@@ -166,6 +166,10 @@ type Cluster struct {
 	clk     *simclock.Virtual
 	catalog *market.Catalog
 	traces  market.TraceSet
+	// store is the SoA packing of traces every hot-path price query runs
+	// against (bit-identical to the Trace methods). It is immutable and may
+	// be shared across many clusters built from one environment.
+	store *market.Store
 
 	nextID    int
 	instances map[string]*Instance
@@ -179,21 +183,36 @@ type Cluster struct {
 // NewCluster builds a cluster over the given catalog and per-market traces.
 // Every catalog type must have a trace.
 func NewCluster(clk *simclock.Virtual, cat *market.Catalog, traces market.TraceSet) (*Cluster, error) {
+	return NewClusterWithStore(clk, cat, traces, nil)
+}
+
+// NewClusterWithStore is NewCluster with a pre-packed SoA store for the same
+// traces, so environments that build many clusters (sweeps, the streaming
+// matrix runner) pack the buffers once and share them read-only. A nil store
+// is packed here.
+func NewClusterWithStore(clk *simclock.Virtual, cat *market.Catalog, traces market.TraceSet, store *market.Store) (*Cluster, error) {
 	if clk == nil {
 		return nil, errors.New("cloudsim: nil clock")
 	}
-	if err := traces.Validate(); err != nil {
-		return nil, err
+	if store == nil {
+		if err := traces.Validate(); err != nil {
+			return nil, err
+		}
+		store = market.NewStore(traces)
 	}
 	for _, name := range cat.Names() {
 		if _, ok := traces[name]; !ok {
 			return nil, fmt.Errorf("cloudsim: no price trace for instance type %q", name)
+		}
+		if _, ok := store.Lookup(name); !ok {
+			return nil, fmt.Errorf("cloudsim: store has no trace for instance type %q", name)
 		}
 	}
 	return &Cluster{
 		clk:       clk,
 		catalog:   cat,
 		traces:    traces,
+		store:     store,
 		instances: make(map[string]*Instance),
 	}, nil
 }
@@ -214,23 +233,23 @@ func (c *Cluster) Ledger() *Ledger { return &c.ledger }
 
 // CurrentPrice returns the spot market price of a type right now.
 func (c *Cluster) CurrentPrice(typeName string) (float64, error) {
-	tr, ok := c.traces[typeName]
+	ti, ok := c.store.Lookup(typeName)
 	if !ok {
 		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
 	}
-	p, _ := tr.PriceAt(c.clk.Now())
+	p, _ := c.store.PriceAt(ti, c.clk.Now())
 	return p, nil
 }
 
 // AvgPriceLastHour returns the time-weighted average market price over the
 // past hour — the price term of Eq. 1.
 func (c *Cluster) AvgPriceLastHour(typeName string) (float64, error) {
-	tr, ok := c.traces[typeName]
+	ti, ok := c.store.Lookup(typeName)
 	if !ok {
 		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
 	}
 	now := c.clk.Now()
-	return tr.AvgOver(now.Add(-time.Hour), now)
+	return c.store.AvgOver(ti, now.Add(-time.Hour), now)
 }
 
 // OnDemandPrice returns the fixed hourly on-demand quote for a type — the
@@ -256,12 +275,12 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 	if !ok {
 		return nil, fmt.Errorf("cloudsim: unknown instance type %q", typeName)
 	}
-	tr := c.traces[typeName]
+	ti, _ := c.store.Lookup(typeName)
 	now := c.clk.Now()
 	if c.blackedOut(typeName, now) {
 		return nil, fmt.Errorf("%w: %s at %v", ErrCapacityUnavailable, typeName, now)
 	}
-	cur, _ := tr.PriceAt(now)
+	cur, _ := c.store.PriceAt(ti, now)
 	if cur > maxPrice {
 		return nil, fmt.Errorf("%w: %s at %.4f > max %.4f", ErrPriceAboveMax, typeName, cur, maxPrice)
 	}
@@ -276,7 +295,7 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 	}
 	c.instances[inst.ID] = inst
 
-	if exceedAt, found := firstExceed(tr, now, maxPrice); found {
+	if exceedAt, found := c.store.FirstExceed(ti, now, maxPrice); found {
 		noticeAt := exceedAt.Add(-NoticeLeadTime)
 		if noticeAt.Before(now) {
 			noticeAt = now
@@ -359,8 +378,8 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 	if dur > 0 {
 		if inst.OnDemand {
 			usage.GrossCost = inst.Type.OnDemandPrice * dur.Hours()
-		} else {
-			avg, err := c.traces[inst.Type.Name].AvgOver(inst.LaunchedAt, at)
+		} else if ti, ok := c.store.Lookup(inst.Type.Name); ok {
+			avg, err := c.store.AvgOver(ti, inst.LaunchedAt, at)
 			if err == nil {
 				usage.GrossCost = avg * dur.Hours()
 			}
@@ -391,23 +410,11 @@ func (c *Cluster) RunningInstances() []*Instance {
 	return out
 }
 
-// firstExceed finds the first time strictly after `after` at which the
-// market price rises above maxPrice.
-//
-// Hold-last-price contract: spot prices are step functions, so a trace that
-// ends before the campaign horizon holds its final price forever. A trace
-// with no record after `after` above maxPrice therefore never revokes the
-// instance (found=false) — there is no implicit "trace exhausted" eviction —
-// and billing integrates the held price over the remaining lifetime
-// (Trace.AvgOver extends the last record the same way). holdlast_test.go
-// pins this end-to-end.
-func firstExceed(tr *market.Trace, after time.Time, maxPrice float64) (time.Time, bool) {
-	n := len(tr.Records)
-	i := sort.Search(n, func(i int) bool { return tr.Records[i].At.After(after) })
-	for ; i < n; i++ {
-		if tr.Records[i].Price > maxPrice {
-			return tr.Records[i].At, true
-		}
-	}
-	return time.Time{}, false
-}
+// Revocation scheduling note — hold-last-price contract: spot prices are
+// step functions, so a trace that ends before the campaign horizon holds its
+// final price forever. A trace with no record after the launch instant above
+// maxPrice therefore never revokes the instance — there is no implicit
+// "trace exhausted" eviction — and billing integrates the held price over
+// the remaining lifetime (AvgOver extends the last record the same way).
+// market.Store.FirstExceed implements the search; holdlast_test.go pins the
+// behaviour end-to-end.

@@ -229,6 +229,10 @@ type Orchestrator struct {
 	ckptSetup    time.Duration
 	restoreSetup time.Duration
 
+	// ckptBuf is the reusable checkpoint-encode buffer (the store copies
+	// blobs on Put, so one buffer serves every write).
+	ckptBuf []byte
+
 	// trend holds per-trial incremental EarlyCurve trackers (lazily built
 	// when cfg.Trend is the production Predictor). A tracker memoizes its
 	// last staged fit, so repeated progress evaluations over an unchanged
@@ -790,19 +794,16 @@ func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
 	}
 }
 
-// checkpoint writes the trial's state to object storage.
+// checkpoint writes the trial's state to object storage. The encode reuses
+// one orchestrator-owned buffer across the campaign (the store copies on
+// Put), so checkpointing never allocates in steady state.
 func (o *Orchestrator) checkpoint(a *assignment, _ time.Time) {
-	blob, err := a.tr.Checkpoint()
-	if err != nil {
-		// Replay checkpoints cannot fail in practice; losing one only
-		// costs recomputation, matching real SpotTune behaviour.
-		return
-	}
+	o.ckptBuf = a.tr.AppendCheckpoint(o.ckptBuf[:0])
 	cpus := 1
 	if a.inst != nil {
 		cpus = a.inst.Type.CPUs
 	}
-	o.store.PutSized(ckptKey(a.tr.ID()), blob, a.tr.CheckpointMB(), cpus)
+	o.store.PutSized(ckptKey(a.tr.ID()), o.ckptBuf, a.tr.CheckpointMB(), cpus)
 	o.ckptSetup += o.cfg.CheckpointSetup
 	a.lastCkptAt = o.cluster.Clock().Now()
 }

@@ -165,8 +165,102 @@ const minStagePoints = 4
 // given detector for stage boundaries. Points must be in increasing step
 // order.
 func FitCurve(points []MetricPoint, det Detector) (*Fit, error) {
-	f, _, err := fitCurveReuse(points, det, nil)
+	f, _, err := fitCurveReuse(points, det, nil, nil)
 	return f, err
+}
+
+// FitMemo is a content-addressed cache of solved stage fits, shared across
+// trackers (and across whole campaign cells in the streaming matrix runner,
+// where thousands of cells replay the same deterministic trial curves and
+// would otherwise re-run the same Levenberg–Marquardt solves). Results live
+// in one flat arena slice; the index maps segment identity to arena slots.
+//
+// fitStage is a pure function of its segment, so a memo hit returns the same
+// bits a fresh solve would. Segment identity is the full content key (point
+// count, edge steps, and an FNV-1a hash over every step and value), and the
+// memo is size-capped: once full it stops learning but keeps serving hits,
+// so its memory is bounded regardless of how many cells stream through.
+//
+// A FitMemo is not safe for concurrent use; give each sweep worker its own.
+type FitMemo struct {
+	fits  []StageFit
+	index map[memoKey]int32
+}
+
+// memoFitCap bounds the arena (entries are ~56 bytes; the cap keeps a
+// worker's memo under a few MiB even on adversarial workloads).
+const memoFitCap = 1 << 16
+
+type memoKey struct {
+	n         int
+	startStep int
+	endStep   int
+	hash      uint64
+}
+
+// NewFitMemo returns an empty stage-fit cache.
+func NewFitMemo() *FitMemo {
+	return &FitMemo{index: make(map[memoKey]int32)}
+}
+
+// segKey builds the content key for one stage segment.
+func segKey(seg []MetricPoint) memoKey {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range seg {
+		v := uint64(p.Step)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+		v = math.Float64bits(p.Value)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return memoKey{
+		n:         len(seg),
+		startStep: seg[0].Step,
+		endStep:   seg[len(seg)-1].Step,
+		hash:      h,
+	}
+}
+
+// lookup returns the cached fit for a segment, if present.
+func (m *FitMemo) lookup(key memoKey) (StageFit, bool) {
+	if m == nil {
+		return StageFit{}, false
+	}
+	if i, ok := m.index[key]; ok {
+		return m.fits[i], true
+	}
+	return StageFit{}, false
+}
+
+// store caches a solved fit unless the memo is full.
+func (m *FitMemo) store(key memoKey, sf StageFit) {
+	if m == nil || len(m.fits) >= memoFitCap {
+		return
+	}
+	if _, dup := m.index[key]; dup {
+		return
+	}
+	m.fits = append(m.fits, sf)
+	m.index[key] = int32(len(m.fits) - 1)
+}
+
+// Len reports how many stage fits are cached.
+func (m *FitMemo) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.fits)
 }
 
 // trackedStage is one fitted stage annotated with the point-index range it
@@ -179,11 +273,14 @@ type trackedStage struct {
 	fit                StageFit
 }
 
-// fitCurveReuse is FitCurve with a stage-fit memo: any stage whose point
-// range matches a previous fit's exactly is copied instead of re-solved.
-// fitStage is a pure function of its segment, so the result is bit-identical
-// to a cold fit — the memo changes cost, never values.
-func fitCurveReuse(points []MetricPoint, det Detector, prev []trackedStage) (*Fit, []trackedStage, error) {
+// fitCurveReuse is FitCurve with two exact reuse layers: any stage whose
+// point range matches a previous fit's exactly is copied instead of
+// re-solved (prev — the per-tracker incremental memo), and any segment whose
+// full content matches an earlier solve anywhere is served from the shared
+// FitMemo (memo — the cross-tracker arena; nil disables it). fitStage is a
+// pure function of its segment, so the result is bit-identical to a cold
+// fit — the reuse layers change cost, never values.
+func fitCurveReuse(points []MetricPoint, det Detector, prev []trackedStage, memo *FitMemo) (*Fit, []trackedStage, error) {
 	if len(points) < minStagePoints {
 		return nil, nil, fmt.Errorf("%w: %d", ErrTooFewPoints, len(points))
 	}
@@ -214,6 +311,18 @@ func fitCurveReuse(points []MetricPoint, det Detector, prev []trackedStage) (*Fi
 		}
 		seg := points[start:end]
 		sf, ok := reuseStage(prev, si, start, end, seg)
+		if !ok && memo != nil {
+			key := segKey(seg)
+			if sf, ok = memo.lookup(key); !ok {
+				var err error
+				sf, err = fitStage(seg)
+				if err != nil {
+					return nil, nil, fmt.Errorf("earlycurve: fitting stage %d: %w", si, err)
+				}
+				memo.store(key, sf)
+				ok = true
+			}
+		}
 		if !ok {
 			var err error
 			sf, err = fitStage(seg)
@@ -329,6 +438,9 @@ type TrendPredictor interface {
 type Predictor struct {
 	// Detector tunes stage detection; zero value uses paper defaults.
 	Detector Detector
+	// Memo optionally shares solved stage fits across every tracker spawned
+	// from this predictor (see FitMemo). Nil disables sharing.
+	Memo *FitMemo
 }
 
 var _ TrendPredictor = (*Predictor)(nil)
@@ -340,7 +452,7 @@ var _ TrendPredictor = (*Predictor)(nil)
 // falls back to the tail mean. Validation metrics extrapolate downward or
 // sideways, almost never upward past their recent ceiling.
 func (p *Predictor) PredictFinal(points []MetricPoint, finalStep int) (float64, error) {
-	f, err := FitCurve(points, p.Detector.withDefaults())
+	f, _, err := fitCurveReuse(points, p.Detector.withDefaults(), nil, p.Memo)
 	if err != nil {
 		return 0, err
 	}
@@ -348,9 +460,10 @@ func (p *Predictor) PredictFinal(points []MetricPoint, finalStep int) (float64, 
 }
 
 // NewTracker returns an incremental predictor for one append-only metric
-// stream, seeded with this predictor's detector settings.
+// stream, seeded with this predictor's detector settings and sharing its
+// stage-fit memo (when set).
 func (p *Predictor) NewTracker() *Tracker {
-	return &Tracker{Detector: p.Detector}
+	return &Tracker{Detector: p.Detector, Memo: p.Memo}
 }
 
 // guardedPredict extrapolates the fitted curve to finalStep and applies the
@@ -415,6 +528,9 @@ func guardedPredict(f *Fit, points []MetricPoint, finalStep int) (float64, error
 type Tracker struct {
 	// Detector tunes stage detection; zero value uses paper defaults.
 	Detector Detector
+	// Memo optionally consults a shared stage-fit cache before solving (see
+	// FitMemo); hits are bit-identical to fresh solves.
+	Memo *FitMemo
 
 	lastLen   int
 	lastStep  int
@@ -434,7 +550,7 @@ func (t *Tracker) PredictFinal(points []MetricPoint, finalStep int) (float64, er
 		points[n-1].Step == t.lastStep && points[n-1].Value == t.lastValue {
 		return t.pred, t.err
 	}
-	f, tracked, err := fitCurveReuse(points, t.Detector.withDefaults(), t.stages)
+	f, tracked, err := fitCurveReuse(points, t.Detector.withDefaults(), t.stages, t.Memo)
 	if err != nil {
 		t.stages = nil
 		t.pred, t.err = 0, err

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // TreeNode is one node of a regression tree. Exported fields keep gob
@@ -42,6 +42,19 @@ type GBTRegressor struct {
 	Started bool
 	Trees   []*TreeNode
 	Weights []float64 // shrinkage per tree
+
+	// scratch is the per-node split-search buffer, reused across features,
+	// nodes, and boosting rounds (excluded from checkpoints — it is pure
+	// working memory).
+	scratch []featSample
+}
+
+// featSample pairs one candidate sample's feature value with its position in
+// the node's resid slice, so the split scan sorts a flat concrete slice
+// instead of chasing ds.X[idx[order[k]]][f] through a reflective comparator.
+type featSample struct {
+	x float64
+	k int32
 }
 
 var _ Model = (*GBTRegressor)(nil)
@@ -108,17 +121,33 @@ func (m *GBTRegressor) buildTree(ds *Dataset, idx []int, resid []float64, depth 
 	n := float64(len(resid))
 	parentSSE := totalSq - total*total/n
 
-	order := make([]int, len(idx))
+	if cap(m.scratch) < len(idx) {
+		m.scratch = make([]featSample, len(idx))
+	}
+	samples := m.scratch[:len(idx)]
 	for f := 0; f < ds.Dim(); f++ {
-		for k := range order {
-			order[k] = k
+		// Extract the feature column once, then sort the flat pairs with a
+		// concrete comparator (ties broken by node position, so the scan
+		// order — and with it the grown tree — is deterministic).
+		for k, i := range idx {
+			samples[k] = featSample{x: ds.X[i][f], k: int32(k)}
 		}
-		sort.Slice(order, func(a, b int) bool {
-			return ds.X[idx[order[a]]][f] < ds.X[idx[order[b]]][f]
+		slices.SortFunc(samples, func(a, b featSample) int {
+			switch {
+			case a.x < b.x:
+				return -1
+			case a.x > b.x:
+				return 1
+			case a.k < b.k:
+				return -1
+			case a.k > b.k:
+				return 1
+			}
+			return 0
 		})
 		leftSum, leftSq := 0.0, 0.0
-		for pos := 0; pos < len(order)-1; pos++ {
-			r := resid[order[pos]]
+		for pos := 0; pos < len(samples)-1; pos++ {
+			r := resid[samples[pos].k]
 			leftSum += r
 			leftSq += r * r
 			ln := float64(pos + 1)
@@ -126,8 +155,8 @@ func (m *GBTRegressor) buildTree(ds *Dataset, idx []int, resid []float64, depth 
 			if int(ln) < m.MinLeaf || int(rn) < m.MinLeaf {
 				continue
 			}
-			xCur := ds.X[idx[order[pos]]][f]
-			xNext := ds.X[idx[order[pos+1]]][f]
+			xCur := samples[pos].x
+			xNext := samples[pos+1].x
 			if xCur == xNext {
 				continue
 			}
@@ -144,8 +173,16 @@ func (m *GBTRegressor) buildTree(ds *Dataset, idx []int, resid []float64, depth 
 	if bestFeat < 0 {
 		return &TreeNode{IsLeaf: true, Value: mean}
 	}
-	var li, ri []int
-	var lr2, rr []float64
+	nl := 0
+	for _, i := range idx {
+		if ds.X[i][bestFeat] <= bestThresh {
+			nl++
+		}
+	}
+	li := make([]int, 0, nl)
+	ri := make([]int, 0, len(idx)-nl)
+	lr2 := make([]float64, 0, nl)
+	rr := make([]float64, 0, len(idx)-nl)
 	for k, i := range idx {
 		if ds.X[i][bestFeat] <= bestThresh {
 			li = append(li, i)

@@ -120,6 +120,42 @@ func (l *LSTM) ForwardSeqWS(ws *Workspace, xs [][]float64) ([][]float64, *LSTMCa
 	return outs, cache
 }
 
+// ForwardSeqInferWS is ForwardSeqWS without the backward cache: identical
+// arithmetic in identical order (bit-identical hidden outputs), but no
+// per-call cache header reaches the heap. Gate pre-activations reuse one
+// per-step buffer since backward never revisits them.
+func (l *LSTM) ForwardSeqInferWS(ws *Workspace, xs [][]float64) [][]float64 {
+	T := len(xs)
+	H := l.Hidden
+	z := ws.takeRaw(4 * H)
+	cs := ws.takeRaw(T * H)
+	hs := ws.takeRaw(T * H)
+	outs := ws.takeRows(T)
+	hPrev := ws.take(H) // zero initial state
+	cPrev := ws.take(H)
+	for t, x := range xs {
+		if len(x) != l.In {
+			panic(fmt.Sprintf("nn: lstm %s expects input %d, got %d at step %d", l.Wx.Name, l.In, len(x), t))
+		}
+		copy(z, l.B.W)
+		kernels.MatVecAcc(z, l.Wx.W, 4*H, l.In, x)
+		kernels.MatVecAcc(z, l.Wh.W, 4*H, H, hPrev)
+		c := cs[t*H : (t+1)*H]
+		h := hs[t*H : (t+1)*H]
+		for j := 0; j < H; j++ {
+			i := sigmoid(z[j])
+			f := sigmoid(z[H+j])
+			g := math.Tanh(z[2*H+j])
+			o := sigmoid(z[3*H+j])
+			c[j] = f*cPrev[j] + i*g
+			h[j] = o * math.Tanh(c[j])
+		}
+		outs[t] = h
+		hPrev, cPrev = h, c
+	}
+	return outs
+}
+
 // BackwardSeq backpropagates through time; see BackwardSeqWS.
 func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs [][]float64) [][]float64 {
 	return l.BackwardSeqWS(nil, cache, dhs)
@@ -264,6 +300,15 @@ func (s *StackedLSTM) ForwardSeqWS(ws *Workspace, xs [][]float64) ([][]float64, 
 		c.caches = append(c.caches, lc)
 	}
 	return xs, c
+}
+
+// ForwardSeqInferWS runs the stack through the cache-free inference path;
+// bit-identical to ForwardSeqWS (see LSTM.ForwardSeqInferWS).
+func (s *StackedLSTM) ForwardSeqInferWS(ws *Workspace, xs [][]float64) [][]float64 {
+	for _, l := range s.Layers {
+		xs = l.ForwardSeqInferWS(ws, xs)
+	}
+	return xs
 }
 
 // BackwardSeq backpropagates top-down through the stack.

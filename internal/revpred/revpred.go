@@ -380,6 +380,38 @@ func (m *Model) Predict(g *market.Grid, i int, maxPrice float64) float64 {
 	}
 	sc := m.getScratch()
 	defer m.scratch.Put(sc)
+	m.prepareHistory(sc, g, i)
+	return m.scoreAt(sc, g, i, maxPrice)
+}
+
+// PredictBatch is Predict for several maximum prices at the same minute:
+// results are appended to out (one per entry of maxPrices) and out is
+// returned. The history branch runs at most once for the whole batch — the
+// maximum price only enters the present branch — so a wave of candidate
+// bids amortizes the LSTM pass that dominates a cold Predict. Every entry
+// is bit-identical to the corresponding sequential Predict call, and the
+// steady state allocates nothing when out has capacity.
+func (m *Model) PredictBatch(g *market.Grid, i int, maxPrices []float64, out []float64) []float64 {
+	if i < HistorySteps || i >= g.Len() {
+		for range maxPrices {
+			out = append(out, m.PhiPos)
+		}
+		return out
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	m.prepareHistory(sc, g, i)
+	for _, maxPrice := range maxPrices {
+		out = append(out, m.scoreAt(sc, g, i, maxPrice))
+	}
+	return out
+}
+
+// prepareHistory brings sc's normalized window and cached LSTM output up to
+// (g, i): slide-forward reuse when the scratch already holds an overlapping
+// window, full recompute otherwise. Cached and cold paths produce identical
+// bits. The caller must have range-checked i.
+func (m *Model) prepareHistory(sc *inferScratch, g *market.Grid, i int) {
 	const F = market.FeatureCount
 	fresh := HistorySteps // rows to recompute at the window's tail
 	switch {
@@ -399,18 +431,24 @@ func (m *Model) Predict(g *market.Grid, i int, maxPrice float64) float64 {
 	sc.grid, sc.minute, sc.valid = g, i, true
 	if !sc.hiddenOK {
 		sc.ws.Reset()
-		hs, _ := m.hist.ForwardSeqWS(sc.ws, sc.hist)
+		hs := m.hist.ForwardSeqInferWS(sc.ws, sc.hist)
 		copy(sc.lastHidden, hs[len(hs)-1])
 		sc.hiddenOK = true
 	}
+}
+
+// scoreAt runs the present branch and joint head for one maximum price,
+// against the history output already staged in sc by prepareHistory.
+func (m *Model) scoreAt(sc *inferScratch, g *market.Grid, i int, maxPrice float64) float64 {
+	const F = market.FeatureCount
 	normalizeFeaturesInto(sc.present, g.Features(i), g.Type)
 	sc.present[F] = maxPrice / g.Type.OnDemandPrice
 	sc.ws.Reset()
-	emb, _ := m.present.ForwardWS(sc.ws, sc.present)
+	emb := m.present.ForwardInferWS(sc.ws, sc.present)
 	joint := sc.ws.Take(2 * m.Hidden)
 	copy(joint[:m.Hidden], sc.lastHidden)
 	copy(joint[m.Hidden:], emb)
-	z, _ := m.head.ForwardWS(sc.ws, joint)
+	z := m.head.ForwardInferWS(sc.ws, joint)
 	return m.Calibrate(nn.Logistic(z[0]))
 }
 

@@ -81,6 +81,10 @@ type Cell struct {
 	Scenario string
 	Regime   string
 	Tuner    string
+	// Replicate is the cell's index on the streaming runner's seed axis
+	// (always 0 for Matrix.Run and for single-replicate streams; it does
+	// not appear in the CSV schema, whose row order encodes it).
+	Replicate int
 	experiments.CrossPolicyRow
 	Violations []invariants.Violation
 }
@@ -107,33 +111,61 @@ var Header = []string{
 	"violations",
 }
 
+// CellWriter renders cells to CSV one at a time — the incremental form of
+// Result.WriteCSV, for streamed grids where the full cell table never exists
+// in memory. Writing the same cells in the same order produces bytes
+// identical to Result.WriteCSV (which is implemented on top of it).
+type CellWriter struct {
+	cw  *csv.Writer
+	row []string
+}
+
+// NewCellWriter emits the Header and returns a writer ready for cells.
+func NewCellWriter(w io.Writer) (*CellWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header); err != nil {
+		return nil, err
+	}
+	return &CellWriter{cw: cw, row: make([]string, 0, len(Header))}, nil
+}
+
+// Write appends one cell row.
+func (w *CellWriter) Write(c Cell) error {
+	w.row = append(w.row[:0],
+		c.Scenario, c.Regime, c.Tuner, c.Policy, c.Workload,
+		strconv.FormatFloat(c.Cost, 'f', 6, 64),
+		strconv.FormatFloat(c.JCTHours, 'f', 6, 64),
+		strconv.FormatFloat(c.RefundFrac, 'f', 6, 64),
+		strconv.FormatFloat(c.Report.FreeStepFraction(), 'f', 6, 64),
+		strconv.Itoa(c.Deployments),
+		strconv.Itoa(c.OnDemandDeployments),
+		strconv.Itoa(c.Notices),
+		strconv.Itoa(c.Report.Revocations),
+		strconv.Itoa(len(c.Violations)),
+	)
+	return w.cw.Write(w.row)
+}
+
+// Flush drains the underlying csv writer and reports any deferred error.
+func (w *CellWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
 // WriteCSV renders the per-cell table. The encoding is fully deterministic
 // (fixed float precision, cells in scenario-then-policy order as run), so
 // two runs of the same seeded matrix produce bit-identical files.
 func (r *Result) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(Header); err != nil {
+	cw, err := NewCellWriter(w)
+	if err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		row := []string{
-			c.Scenario, c.Regime, c.Tuner, c.Policy, c.Workload,
-			strconv.FormatFloat(c.Cost, 'f', 6, 64),
-			strconv.FormatFloat(c.JCTHours, 'f', 6, 64),
-			strconv.FormatFloat(c.RefundFrac, 'f', 6, 64),
-			strconv.FormatFloat(c.Report.FreeStepFraction(), 'f', 6, 64),
-			strconv.Itoa(c.Deployments),
-			strconv.Itoa(c.OnDemandDeployments),
-			strconv.Itoa(c.Notices),
-			strconv.Itoa(c.Report.Revocations),
-			strconv.Itoa(len(c.Violations)),
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(c); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Flush()
 }
 
 // WriteCSVFile writes the per-cell table to path (shared by cmd/scenarios

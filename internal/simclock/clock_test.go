@@ -82,7 +82,7 @@ func TestCancelPreventsFiring(t *testing.T) {
 }
 
 func TestCancelNilSafe(t *testing.T) {
-	var ev *Event
+	var ev EventRef
 	ev.Cancel() // must not panic
 }
 

@@ -1,7 +1,6 @@
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -20,16 +19,31 @@ import (
 //   - callbacks run one at a time, outside the engine lock, so they may
 //     schedule or cancel further events.
 //
+// Event objects are pooled: once an event fires or is cancelled its slot is
+// recycled for the next Schedule, so a long-running simulation reaches zero
+// steady-state allocations per event. Slots are handed out as EventRef value
+// handles whose generation counter makes Cancel safe against recycling.
+//
 // The zero value is an engine starting at the zero time; NewEngine sets the
 // epoch explicitly. Engines are safe for concurrent use, though simulations
 // are typically single-threaded per engine.
 type Engine struct {
 	mu     sync.Mutex
 	now    time.Time
-	events eventHeap
+	events []*Event // binary heap ordered by (atNanos, seq)
 	seq    uint64
 	fired  uint64
+
+	// Event pooling: recycled slots plus a slab the next fresh slots are
+	// carved from. Slab blocks stay alive as long as any of their events
+	// are referenced, so addresses handed out remain stable.
+	free     []*Event
+	slab     []Event
+	slabUsed int
 }
+
+// eventSlabSize is how many Event slots one slab allocation provides.
+const eventSlabSize = 128
 
 // NewEngine returns an engine whose clock starts at the given instant.
 func NewEngine(start time.Time) *Engine {
@@ -43,47 +57,113 @@ func (e *Engine) Now() time.Time {
 	return e.now
 }
 
-// Event is a scheduled callback. The callback runs with the clock set to the
-// event's due time and must not block.
+// Event is one pooled scheduler slot. Callers never construct or hold
+// *Event directly — Schedule returns an EventRef handle instead, so a slot
+// can be recycled the moment its event fires or is cancelled.
 type Event struct {
-	At time.Time
-	Fn func(now time.Time)
+	at      time.Time
+	atNanos int64 // at.UnixNano(), cached for fast heap compares
+	fn      func(now time.Time)
+	seq     uint64
+	idx     int // heap position; -1 once fired, cancelled, or popped
+	gen     uint64
+	owner   *Engine
+}
 
-	seq   uint64
-	idx   int // heap position; -1 once fired, cancelled, or popped
-	owner *Engine
+// EventRef is a cancellation handle for one scheduled event. It is a small
+// value (copy freely); the zero EventRef is valid and cancels nothing.
+// Because event slots are recycled, the handle pairs the slot with the
+// generation it was issued for: Cancel after the event has fired — even if
+// the slot now carries a different event — is a safe no-op.
+type EventRef struct {
+	ev  *Event
+	gen uint64
 }
 
 // Cancel removes the event from its engine's queue so it will never fire.
-// Removal is O(log n) via the heap index. Safe to call on nil events,
+// Removal is O(log n) via the heap index. Safe to call on the zero EventRef,
 // multiple times, and after the event has fired (no-op).
-func (e *Event) Cancel() {
-	if e == nil || e.owner == nil {
+func (r EventRef) Cancel() {
+	ev := r.ev
+	if ev == nil || ev.owner == nil {
 		return
 	}
-	e.owner.mu.Lock()
-	defer e.owner.mu.Unlock()
-	if e.idx >= 0 {
-		heap.Remove(&e.owner.events, e.idx)
-		e.idx = -1
+	e := ev.owner
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ev.gen == r.gen && ev.idx >= 0 {
+		e.heapRemove(ev.idx)
+		e.recycle(ev)
 	}
+}
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (r EventRef) Pending() bool {
+	ev := r.ev
+	if ev == nil || ev.owner == nil {
+		return false
+	}
+	e := ev.owner
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ev.gen == r.gen && ev.idx >= 0
+}
+
+// alloc hands out a pooled event slot. Caller must hold e.mu. The slot's gen
+// is preserved across reuse so stale EventRefs keep failing their check.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if e.slabUsed == len(e.slab) {
+		e.slab = make([]Event, eventSlabSize)
+		e.slabUsed = 0
+	}
+	ev := &e.slab[e.slabUsed]
+	e.slabUsed++
+	ev.owner = e
+	return ev
+}
+
+// recycle returns a slot (already removed from the heap) to the free list.
+// Caller must hold e.mu. Bumping gen invalidates every outstanding EventRef.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.idx = -1
+	e.free = append(e.free, ev)
 }
 
 // Schedule registers fn to run when the clock reaches at. Events scheduled
 // at or before the current instant fire on the next advance. The returned
-// Event may be cancelled.
-func (e *Engine) Schedule(at time.Time, fn func(now time.Time)) *Event {
+// EventRef may be cancelled.
+func (e *Engine) Schedule(at time.Time, fn func(now time.Time)) EventRef {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.schedule(at, fn)
+}
+
+// schedule is Schedule with e.mu held.
+func (e *Engine) schedule(at time.Time, fn func(now time.Time)) EventRef {
 	e.seq++
-	ev := &Event{At: at, Fn: fn, seq: e.seq, owner: e}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = at
+	ev.atNanos = at.UnixNano()
+	ev.fn = fn
+	ev.seq = e.seq
+	e.heapPush(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAfter registers fn to run d after the current instant.
-func (e *Engine) ScheduleAfter(d time.Duration, fn func(now time.Time)) *Event {
-	return e.Schedule(e.Now().Add(d), fn)
+func (e *Engine) ScheduleAfter(d time.Duration, fn func(now time.Time)) EventRef {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.schedule(e.now.Add(d), fn)
 }
 
 // Peek returns the due time of the earliest pending event without firing
@@ -94,46 +174,43 @@ func (e *Engine) Peek() (at time.Time, ok bool) {
 	if len(e.events) == 0 {
 		return time.Time{}, false
 	}
-	return e.events[0].At, true
+	return e.events[0].at, true
 }
 
-// popNext removes and returns the earliest event, or nil when either the
-// queue is empty or the earliest event is due after limit (when bounded).
-func (e *Engine) popNext(bounded bool, limit time.Time) *Event {
+// popNext removes and recycles the earliest event, returning its callback
+// and due time, or ok=false when either the queue is empty or the earliest
+// event is due after limit (when bounded). It advances the clock to the due
+// time (never backward) and counts the dispatch. Caller must hold e.mu; the
+// returned callback must be invoked outside the lock.
+func (e *Engine) popNext(bounded bool, limitNanos int64) (fn func(now time.Time), now time.Time, ok bool) {
 	if len(e.events) == 0 {
-		return nil
+		return nil, time.Time{}, false
 	}
-	if bounded && e.events[0].At.After(limit) {
-		return nil
+	ev := e.events[0]
+	if bounded && ev.atNanos > limitNanos {
+		return nil, time.Time{}, false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	ev.idx = -1
-	return ev
-}
-
-// dispatch advances the clock to the event's due time (never backward) and
-// runs its callback outside the lock.
-func (e *Engine) dispatch(ev *Event) {
-	e.mu.Lock()
-	if ev.At.After(e.now) {
-		e.now = ev.At
+	e.heapRemove(0)
+	if ev.at.After(e.now) {
+		e.now = ev.at
 	}
-	now := e.now
+	fn = ev.fn
+	now = e.now
 	e.fired++
-	e.mu.Unlock()
-	ev.Fn(now)
+	e.recycle(ev)
+	return fn, now, true
 }
 
 // Step fires exactly the earliest pending event, advancing the clock to its
 // due time. It reports whether an event fired.
 func (e *Engine) Step() bool {
 	e.mu.Lock()
-	ev := e.popNext(false, time.Time{})
+	fn, now, ok := e.popNext(false, 0)
 	e.mu.Unlock()
-	if ev == nil {
+	if !ok {
 		return false
 	}
-	e.dispatch(ev)
+	fn(now)
 	return true
 }
 
@@ -141,6 +218,7 @@ func (e *Engine) Step() bool {
 // leaves the clock at target, and returns the number of events fired. If
 // target is before the current instant it is a no-op.
 func (e *Engine) RunUntil(target time.Time) int {
+	targetNanos := target.UnixNano()
 	fired := 0
 	for {
 		e.mu.Lock()
@@ -148,14 +226,14 @@ func (e *Engine) RunUntil(target time.Time) int {
 			e.mu.Unlock()
 			return fired
 		}
-		ev := e.popNext(true, target)
-		if ev == nil {
+		fn, now, ok := e.popNext(true, targetNanos)
+		if !ok {
 			e.now = target
 			e.mu.Unlock()
 			return fired
 		}
 		e.mu.Unlock()
-		e.dispatch(ev)
+		fn(now)
 		fired++
 	}
 }
@@ -192,39 +270,82 @@ func (e *Engine) FiredEvents() uint64 {
 	return e.fired
 }
 
-// eventHeap orders events by (At, seq) so same-instant events fire in
-// insertion order, keeping simulations deterministic. The idx field is kept
-// current under Swap/Push/Pop so Cancel can remove mid-heap entries in
-// O(log n).
-type eventHeap []*Event
+// The heap below is a concrete-typed binary heap ordered by (atNanos, seq)
+// so same-instant events fire in insertion order, keeping simulations
+// deterministic. A hand-rolled heap (rather than container/heap) avoids the
+// interface dispatch on every compare/swap in the hottest loop of the
+// simulator, and the idx field kept current under every move lets Cancel
+// remove mid-heap entries in O(log n).
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At.Equal(h[j].At) {
-		return h[i].seq < h[j].seq
+// less orders the heap by (due instant, schedule order).
+func eventLess(a, b *Event) bool {
+	if a.atNanos == b.atNanos {
+		return a.seq < b.seq
 	}
-	return h[i].At.Before(h[j].At)
+	return a.atNanos < b.atNanos
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// heapPush appends ev and restores heap order. Caller must hold e.mu.
+func (e *Engine) heapPush(ev *Event) {
+	ev.idx = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.idx)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+// heapRemove removes the event at heap position i. Caller must hold e.mu.
+func (e *Engine) heapRemove(i int) {
+	h := e.events
+	n := len(h) - 1
+	removed := h[i]
+	if i != n {
+		h[i], h[n] = h[n], h[i]
+		h[i].idx = i
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	removed.idx = -1
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	ev.idx = -1
-	return ev
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && eventLess(h[right], h[left]) {
+			child = right
+		}
+		if !eventLess(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].idx = i
+		i = child
+	}
+	h[i] = ev
+	ev.idx = i
 }

@@ -84,7 +84,7 @@ func TestEngineCancelDuringDispatch(t *testing.T) {
 	e := NewEngine(t0)
 	at := t0.Add(time.Minute)
 	fired := make([]bool, 3)
-	var victim *Event
+	var victim EventRef
 	e.Schedule(at, func(time.Time) {
 		fired[0] = true
 		victim.Cancel()
@@ -103,7 +103,7 @@ func TestEngineCancelDuringDispatch(t *testing.T) {
 // immediately (O(log n) heap removal), so Peek/PendingEvents never see it.
 func TestEngineCancelIsEager(t *testing.T) {
 	e := NewEngine(t0)
-	evs := make([]*Event, 100)
+	evs := make([]EventRef, 100)
 	for i := range evs {
 		evs[i] = e.Schedule(t0.Add(time.Duration(i+1)*time.Second), func(time.Time) {})
 	}
@@ -151,5 +151,48 @@ func TestEngineFiredEvents(t *testing.T) {
 	e.RunUntil(t0.Add(time.Minute))
 	if got := e.FiredEvents(); got != 5 {
 		t.Fatalf("FiredEvents = %d, want 5", got)
+	}
+}
+
+// TestEngineSteadyStateAllocs pins the pooling contract: once the slab and
+// free list are warm, a schedule→fire cycle allocates nothing.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := NewEngine(t0)
+	noop := func(time.Time) {}
+	// Warm the pool past one slab and the heap slice's growth.
+	for i := 0; i < 300; i++ {
+		e.Schedule(e.Now().Add(time.Second), noop)
+	}
+	e.RunUntil(e.Now().Add(time.Hour))
+
+	allocs := testing.AllocsPerRun(200, func() {
+		due := e.Now().Add(time.Second)
+		e.Schedule(due, noop)
+		e.RunUntil(due)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestEngineCancelAfterRecycleIsNoOp: a stale EventRef whose slot has been
+// recycled for a newer event must not cancel that newer event.
+func TestEngineCancelAfterRecycleIsNoOp(t *testing.T) {
+	e := NewEngine(t0)
+	fired := 0
+	stale := e.Schedule(t0.Add(time.Second), func(time.Time) { fired++ })
+	e.RunUntil(t0.Add(time.Second)) // fires and recycles the slot
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// The next schedule reuses the recycled slot (same engine, empty heap).
+	fresh := e.Schedule(e.Now().Add(time.Second), func(time.Time) { fired++ })
+	stale.Cancel() // must not touch the recycled slot's new occupant
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel removed a recycled slot's new event")
+	}
+	e.RunUntil(e.Now().Add(time.Minute))
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
 	}
 }

@@ -44,6 +44,9 @@ type Replay struct {
 	// function of (type, hp, step), so the cache never invalidates; it
 	// turns SecondsToReach into O(1) after one O(maxSteps) build.
 	cumSecs map[string][]float64
+	// cache, when set, replaces cumSecs with a cross-campaign store so
+	// replays of the same (seed, benchmark) world share one curve build.
+	cache *PerfCache
 	// convergeAt caches ConvergeStep results per (window, tol) — the
 	// observed prefix is a pure function of the fixed curve.
 	convergeAt map[convKey]convVal
@@ -111,7 +114,12 @@ func (r *Replay) cumFor(it market.InstanceType, uptoStep int, capSecs float64) [
 	if uptoStep > r.maxSteps {
 		uptoStep = r.maxSteps
 	}
-	cum := r.cumSecs[it.Name]
+	var cum []float64
+	if r.cache != nil {
+		cum = r.cache.cum[perfCacheKey{inst: it.Name, hp: r.id}]
+	} else {
+		cum = r.cumSecs[it.Name]
+	}
 	if cum == nil {
 		cum = make([]float64, 1, uptoStep+1)
 	}
@@ -125,12 +133,56 @@ func (r *Replay) cumFor(it market.InstanceType, uptoStep int, capSecs float64) [
 		}
 		cum = append(cum, cum[k]+sec)
 	}
-	if r.cumSecs == nil {
-		r.cumSecs = make(map[string][]float64)
+	if r.cache != nil {
+		r.cache.cum[perfCacheKey{inst: it.Name, hp: r.id}] = cum
+	} else {
+		if r.cumSecs == nil {
+			r.cumSecs = make(map[string][]float64)
+		}
+		r.cumSecs[it.Name] = cum
 	}
-	r.cumSecs[it.Name] = cum
 	return cum
 }
+
+// PerfCache shares ground-truth step-time prefix sums across campaigns that
+// replay the same (perf seed, benchmark) world — e.g. every tuner × policy
+// cell of one scenario replicate, which would otherwise rebuild identical
+// curves from scratch. The cache is owned by a single goroutine (one stream
+// worker); Use resets it whenever the world changes, so memory stays bounded
+// by one world's curves no matter how many cells flow through.
+type PerfCache struct {
+	seed  uint64
+	bench string
+	valid bool
+	cum   map[perfCacheKey][]float64
+}
+
+type perfCacheKey struct {
+	inst, hp string
+}
+
+// NewPerfCache returns an empty cache.
+func NewPerfCache() *PerfCache {
+	return &PerfCache{cum: map[perfCacheKey][]float64{}}
+}
+
+// Use readies the cache for campaigns replaying the given perf seed and
+// benchmark, dropping every stored curve when either changes. Curves are
+// pure functions of (seed, benchmark, instance, hp, step), so reuse under a
+// matching key is bit-identical to a cold rebuild.
+func (c *PerfCache) Use(seed uint64, bench string) {
+	if c.valid && c.seed == seed && c.bench == bench {
+		return
+	}
+	c.seed, c.bench, c.valid = seed, bench, true
+	clear(c.cum)
+}
+
+// SharePerfCache routes this replay's step-time prefix sums through a
+// cross-campaign cache instead of the private per-replay store. The caller
+// must have pointed the cache at this replay's world via PerfCache.Use and
+// must not share it across concurrent campaigns.
+func (r *Replay) SharePerfCache(c *PerfCache) { r.cache = c }
 
 // elapsedAt maps fractional progress to cumulative compute seconds on the
 // cum scale (linear interpolation inside the current step).
@@ -323,14 +375,19 @@ func (r *Replay) MetricAtOrBefore(step int) (float64, bool) {
 // the simulator's per-segment cost.
 const ckptMagic = 0x51
 
-// encodeCheckpoint serializes one (id, progress) pair in the wire format.
+// appendCheckpoint serializes one (id, progress) pair in the wire format,
+// appending to dst.
+func appendCheckpoint(dst []byte, id string, progress float64) []byte {
+	dst = append(dst, ckptMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	dst = append(dst, id...)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(progress))
+	return dst
+}
+
+// encodeCheckpoint serializes one (id, progress) pair into a fresh buffer.
 func encodeCheckpoint(id string, progress float64) []byte {
-	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(id)+8)
-	buf = append(buf, ckptMagic)
-	buf = binary.AppendUvarint(buf, uint64(len(id)))
-	buf = append(buf, id...)
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(progress))
-	return buf
+	return appendCheckpoint(make([]byte, 0, 1+binary.MaxVarintLen64+len(id)+8), id, progress)
 }
 
 // DecodeCheckpoint parses a checkpoint blob without applying it: the trial
@@ -370,6 +427,14 @@ func DecodeCheckpoint(data []byte) (id string, progress float64, err error) {
 // notices, hourly restarts, and early shutdowns).
 func (r *Replay) Checkpoint() ([]byte, error) {
 	return encodeCheckpoint(r.id, r.progress), nil
+}
+
+// AppendCheckpoint is Checkpoint in append form: the blob is written onto
+// dst and the extended slice returned, so a caller that checkpoints every
+// hourly restart and revocation can reuse one buffer for the whole campaign
+// (the object store copies blobs on Put). Byte-identical to Checkpoint.
+func (r *Replay) AppendCheckpoint(dst []byte) []byte {
+	return appendCheckpoint(dst, r.id, r.progress)
 }
 
 // Restore loads a Checkpoint blob. Progress can only move backward if the
@@ -432,28 +497,48 @@ type NoisyPerf struct {
 	COV float64
 	// Seed decorrelates campaigns.
 	Seed uint64
+
+	// lastInst/lastHP memoize the step-invariant parts of the last
+	// (instance, hp) pair scored: the base seconds and the hash prefix over
+	// the identifying strings. Callers walk steps of one pair at a time
+	// (Replay.cumFor), so a single entry removes the per-step base model
+	// call and half the string hashing. One campaign owns one NoisyPerf on
+	// one goroutine, so the memo needs no locking.
+	lastInst, lastHP string
+	lastBase         float64
+	lastPre          uint64
 }
 
 var _ PerfModel = (*NoisyPerf)(nil)
 
 // StepSeconds implements PerfModel.
 func (n *NoisyPerf) StepSeconds(it market.InstanceType, hpID string, step int) float64 {
-	base := n.Base(it, hpID)
 	if n.COV <= 0 {
-		return base
+		return n.Base(it, hpID)
 	}
-	z := hashGauss(n.Seed, it.Name, hpID, step)
+	if it.Name != n.lastInst || hpID != n.lastHP {
+		n.lastInst, n.lastHP = it.Name, hpID
+		n.lastBase = n.Base(it, hpID)
+		n.lastPre = fnvPrefix(n.Seed, it.Name, hpID)
+	}
+	z := hashGaussPre(n.lastPre, it.Name, hpID, step)
 	f := 1 + n.COV*z
 	if f < 0.5 {
 		f = 0.5
 	}
-	return base * f
+	return n.lastBase * f
 }
 
 // hashGauss maps the tuple to a deterministic standard-normal-ish value via
 // a Box–Muller transform over two hash-derived uniforms.
 func hashGauss(seed uint64, inst, hp string, step int) float64 {
-	h := fnv64(seed, inst, hp, uint64(step))
+	return hashGaussPre(fnvPrefix(seed, inst, hp), inst, hp, step)
+}
+
+// hashGaussPre is hashGauss with the (seed, inst, hp) hash prefix already
+// mixed — bit-identical, since FNV folds bytes strictly left to right.
+func hashGaussPre(pre uint64, inst, hp string, step int) float64 {
+	h := fnvTail(pre, uint64(step))
 	u1 := float64(h>>11) / float64(1<<53)
 	h2 := fnv64(h, hp, inst, uint64(step)*2654435761)
 	u2 := float64(h2>>11) / float64(1<<53)
@@ -464,19 +549,28 @@ func hashGauss(seed uint64, inst, hp string, step int) float64 {
 }
 
 func fnv64(seed uint64, a, b string, c uint64) uint64 {
+	return fnvTail(fnvPrefix(seed, a, b), c)
+}
+
+// fnvPrefix folds the two strings into the seeded FNV-1a state.
+func fnvPrefix(seed uint64, a, b string) uint64 {
 	h := uint64(1469598103934665603) ^ seed
-	mix := func(x byte) {
-		h ^= uint64(x)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
 		h *= 1099511628211
 	}
-	for i := 0; i < len(a); i++ {
-		mix(a[i])
-	}
 	for i := 0; i < len(b); i++ {
-		mix(b[i])
+		h ^= uint64(b[i])
+		h *= 1099511628211
 	}
+	return h
+}
+
+// fnvTail folds the 8 little-endian bytes of c into the running state.
+func fnvTail(h, c uint64) uint64 {
 	for i := 0; i < 8; i++ {
-		mix(byte(c >> (8 * i)))
+		h ^= uint64(byte(c >> (8 * i)))
+		h *= 1099511628211
 	}
 	return h
 }

@@ -1,6 +1,7 @@
 package trial
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -341,5 +342,35 @@ func TestPlateauedAgreesWithExactConverged(t *testing.T) {
 				t.Fatalf("%s at step %d: Plateaued=%v, exact Converged=%v", name, step, got, exact)
 			}
 		}
+	}
+}
+
+// TestAppendCheckpointMatchesCheckpoint pins the append-form encoder to the
+// allocating one byte for byte, and to zero steady-state allocations when
+// the destination has capacity (the orchestrator reuses one buffer across
+// every hourly restart and revocation write).
+func TestAppendCheckpointMatchesCheckpoint(t *testing.T) {
+	r := mkReplay(t)
+	for _, p := range []float64{0, 0.5, 17.25, 100} {
+		r.progress = p
+		want, err := r.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.AppendCheckpoint(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("progress %v: append form %x, checkpoint %x", p, got, want)
+		}
+		// Append semantics: existing bytes are preserved.
+		withPrefix := r.AppendCheckpoint([]byte{0xAA, 0xBB})
+		if !bytes.Equal(withPrefix[:2], []byte{0xAA, 0xBB}) || !bytes.Equal(withPrefix[2:], want) {
+			t.Fatalf("progress %v: prefix not preserved: %x", p, withPrefix)
+		}
+	}
+	buf := r.AppendCheckpoint(nil)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = r.AppendCheckpoint(buf[:0])
+	}); avg > 0 {
+		t.Errorf("AppendCheckpoint into a warm buffer allocates %.1f times, want 0", avg)
 	}
 }
