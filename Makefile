@@ -4,7 +4,7 @@ GO ?= go
 # target (and CI's coverage lane) fail if the suite drops below it.
 COVER_FLOOR ?= 73.0
 
-.PHONY: all vet build test test-short bench bench-campaign scenarios fuzz cover ci
+.PHONY: all vet build test test-short bench bench-campaign bench-obs trace scenarios fuzz cover ci
 
 all: ci
 
@@ -48,6 +48,24 @@ bench:
 bench-campaign:
 	$(GO) test -bench 'BenchmarkCampaign' -run '^$$' -benchtime 5x .
 
+# Flight-recorder overhead lane: the same campaign with and without a live
+# recording, gated at 5% through benchperf's ratio check (BENCH_obs.json).
+# The disabled path is covered separately by the zero-alloc Nop-tracer test
+# in internal/obs.
+bench-obs:
+	$(GO) test -bench '^(BenchmarkCampaignTraced|BenchmarkCampaignUntraced)$$' -run '^$$' -benchmem -benchtime 50x . > BENCH_obs.txt
+	$(GO) run ./cmd/benchperf -ratio CampaignTraced,CampaignUntraced -maxratio 1.05 -out BENCH_obs.json < BENCH_obs.txt
+	rm -f BENCH_obs.txt
+
+# Golden trace artifact: the -quick battery with the flight recorder on.
+# results/battery.jsonl is the deterministic JSONL trace (byte-identical
+# across runs and worker counts), results/battery.jsonl.trace.json the
+# chrome://tracing form. The event schema itself is pinned by the committed
+# fixture internal/obs/testdata/schema.golden.json (TestSchemaGolden fails
+# on any drift).
+trace:
+	$(GO) run ./cmd/scenarios -quick -out results -trace results/battery.jsonl -trace-format all
+
 # The full scenario x tuner x policy matrix at quick fidelity: every regime
 # and fault scenario crossed with every registered tuner (search strategy)
 # and every registered policy, invariant-audited, per-cell CSV in
@@ -74,4 +92,4 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: vet build test-short bench-campaign scenarios
+ci: vet build test-short bench-campaign bench-obs scenarios

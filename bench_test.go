@@ -15,6 +15,7 @@ package spottune
 // `go run ./cmd/benchfigs -fig all`; see EXPERIMENTS.md.
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"testing"
@@ -28,6 +29,7 @@ import (
 	"spottune/internal/market"
 	"spottune/internal/mltrain"
 	"spottune/internal/nn"
+	"spottune/internal/obs"
 	"spottune/internal/revpred"
 	"spottune/internal/scenario"
 	"spottune/internal/simclock"
@@ -562,6 +564,74 @@ func BenchmarkCampaignEnv(b *testing.B) {
 				b.ReportMetric(rep.JCT.Hours(), "virtual_jct_hours")
 				b.ReportMetric(float64(rep.LoopIterations), "loop_iters")
 			}
+		})
+	}
+}
+
+// BenchmarkCampaignUntraced / BenchmarkCampaignTraced are the flight
+// recorder's overhead lane: the same synthetic-environment campaign with the
+// no-op tracer (the default) and with a live recording. `make bench` feeds
+// both through benchperf's ratio gate — traced/untraced must stay ≤ 1.05.
+func BenchmarkCampaignUntraced(b *testing.B) {
+	benchCampaignTrace(b, false)
+}
+
+func BenchmarkCampaignTraced(b *testing.B) {
+	benchCampaignTrace(b, true)
+}
+
+func benchCampaignTrace(b *testing.B, traced bool) {
+	env, bench, curves := campaignBenchEnv(b)
+	var events int
+	opt := campaign.Options{
+		Theta: 0.7,
+		Trace: traced,
+		Inspect: func(d *campaign.RunDetail) error {
+			if d.Trace != nil {
+				events = d.Trace.Len()
+			}
+			return nil
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i)
+		if _, err := env.RunSpotTune(bench, curves, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if traced {
+		b.ReportMetric(float64(events), "trace_events")
+	}
+}
+
+// BenchmarkTraceExport measures turning a finished recording into its JSONL
+// and Chrome trace_event forms — the cost a user pays only at write-out.
+func BenchmarkTraceExport(b *testing.B) {
+	env, bench, curves := campaignBenchEnv(b)
+	var rec *obs.Recording
+	_, err := env.RunSpotTune(bench, curves, campaign.Options{
+		Theta: 0.7, Trace: true,
+		Inspect: func(d *campaign.RunDetail) error { rec = d.Trace; return nil },
+	})
+	if err != nil || rec == nil {
+		b.Fatalf("no recording (err=%v)", err)
+	}
+	for _, format := range []string{"jsonl", "chrome"} {
+		b.Run(format, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := obs.WriteTrace(&buf, format, rec); err != nil {
+					b.Fatal(err)
+				}
+				n = buf.Len()
+			}
+			b.ReportMetric(float64(rec.Len()), "events")
+			b.ReportMetric(float64(n)/float64(rec.Len()), "bytes_per_event")
 		})
 	}
 }

@@ -47,6 +47,8 @@ func run() error {
 		scenariosF = flag.String("scenarios", "none", "also run the scenario x policy matrix: comma-separated scenario names, 'all', or 'none'")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		trace      = flag.String("trace", "", "flight-recorder output path for the cross-policy study (implies -policy; one recording per policy row)")
+		traceFmt   = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	)
 	flag.Parse()
 
@@ -144,8 +146,8 @@ func run() error {
 			return fmt.Errorf("ablation: %w", err)
 		}
 	}
-	if *policyS || *policyJS != "" {
-		if err := runPolicyStudy(ctx, w, *policyJS); err != nil {
+	if *policyS || *policyJS != "" || *trace != "" {
+		if err := runPolicyStudy(ctx, w, *policyJS, *trace, *traceFmt); err != nil {
 			return fmt.Errorf("policy study: %w", err)
 		}
 	}

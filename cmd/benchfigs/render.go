@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"spottune/internal/experiments"
+	"spottune/internal/obs"
 	"spottune/internal/scenario"
 )
 
@@ -403,10 +404,36 @@ func runAblation(ctx *experiments.Context, w *writer) error {
 // provisioning policy on one Table II workload through campaign.Sweep),
 // writes policy.csv, prints the ASCII comparison, and — when jsonPath is
 // non-empty — emits the rows as JSON (the CI benchmark-smoke artifact).
-func runPolicyStudy(ctx *experiments.Context, w *writer, jsonPath string) error {
-	rows, err := experiments.CrossPolicy(ctx)
-	if err != nil {
-		return err
+// When tracePath is non-empty the study runs with the flight recorder on
+// and writes one recording per policy row to that path; tracing is purely
+// observational, so the rows (and the JSON artifact) are byte-identical to
+// an untraced study.
+func runPolicyStudy(ctx *experiments.Context, w *writer, jsonPath, tracePath, traceFormat string) error {
+	var rows []experiments.CrossPolicyRow
+	var err error
+	if tracePath != "" {
+		var recs []*obs.Recording
+		rows, recs, err = experiments.CrossPolicyTraced(ctx)
+		if err != nil {
+			return err
+		}
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := obs.WriteTrace(tf, traceFormat, recs...); err != nil {
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("cross-policy trace written to %s (format %s)\n", tracePath, traceFormat)
+	} else {
+		rows, err = experiments.CrossPolicy(ctx)
+		if err != nil {
+			return err
+		}
 	}
 	var out [][]string
 	for _, r := range rows {

@@ -39,12 +39,22 @@ type Delta struct {
 	AllocsFactor float64 `json:"allocs_factor,omitempty"` // baseline allocs / current allocs
 }
 
+// RatioGate records one -ratio check: ns/op of Num over ns/op of Den,
+// gated at Max (the traced-vs-untraced overhead lane).
+type RatioGate struct {
+	Num   string  `json:"num"`
+	Den   string  `json:"den"`
+	Ratio float64 `json:"ratio"`
+	Max   float64 `json:"max"`
+}
+
 // Report is the BENCH_perf.json schema.
 type Report struct {
 	Note       string            `json:"note"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 	Baseline   map[string]Result `json:"baseline,omitempty"`
 	VsBaseline map[string]Delta  `json:"vs_baseline,omitempty"`
+	Ratio      *RatioGate        `json:"ratio,omitempty"`
 }
 
 // benchLine matches `BenchmarkName[-procs]   N   12345 ns/op   <rest>`.
@@ -58,15 +68,17 @@ func main() {
 		out       = flag.String("out", "BENCH_perf.json", "output JSON path")
 		baseline  = flag.String("baseline", "", "baseline JSON (same schema) to diff against")
 		threshold = flag.Float64("threshold", 0.10, "max tolerated slowdown vs baseline (fraction; negative disables the gate)")
+		ratio     = flag.String("ratio", "", "benchmark pair NUM,DEN (without the Benchmark prefix): also gate on ns/op(NUM)/ns/op(DEN) ≤ -maxratio")
+		maxRatio  = flag.Float64("maxratio", 1.05, "max tolerated ns/op ratio for the -ratio pair")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline, *threshold); err != nil {
+	if err := run(*out, *baseline, *threshold, *ratio, *maxRatio); err != nil {
 		fmt.Fprintln(os.Stderr, "benchperf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baselinePath string, threshold float64) error {
+func run(out, baselinePath string, threshold float64, ratio string, maxRatio float64) error {
 	rep := Report{
 		Note:       "ns/op, B/op, allocs/op per micro benchmark; vs_baseline.speedup_ns = baseline/current (higher is faster)",
 		Benchmarks: map[string]Result{},
@@ -136,12 +148,29 @@ func run(out, baselinePath string, threshold float64) error {
 		}
 	}
 
+	var ratioErr error
+	if ratio != "" {
+		gate, err := checkRatio(rep, ratio, maxRatio)
+		if err != nil {
+			return err
+		}
+		rep.Ratio = gate
+		fmt.Printf("\nratio gate: %s / %s = %.4f (max %.4f)\n", gate.Num, gate.Den, gate.Ratio, gate.Max)
+		if gate.Ratio > gate.Max {
+			ratioErr = fmt.Errorf("ratio %s/%s = %.4f exceeds max %.4f (%.1f%% overhead)",
+				gate.Num, gate.Den, gate.Ratio, gate.Max, (gate.Ratio-1)*100)
+		}
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		return err
+	}
+	if ratioErr != nil {
+		return ratioErr
 	}
 
 	// The artifact is on disk either way; the delta table and the gate only
@@ -150,6 +179,28 @@ func run(out, baselinePath string, threshold float64) error {
 		return nil
 	}
 	return printDeltas(rep, threshold)
+}
+
+// checkRatio resolves the -ratio pair against the measured benchmarks and
+// computes ns/op(num)/ns/op(den).
+func checkRatio(rep Report, pair string, maxRatio float64) (*RatioGate, error) {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("-ratio wants NUM,DEN, got %q", pair)
+	}
+	num, den := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	nr, ok := rep.Benchmarks[num]
+	if !ok {
+		return nil, fmt.Errorf("-ratio: benchmark %q not found on stdin", num)
+	}
+	dr, ok := rep.Benchmarks[den]
+	if !ok {
+		return nil, fmt.Errorf("-ratio: benchmark %q not found on stdin", den)
+	}
+	if dr.NsPerOp == 0 {
+		return nil, fmt.Errorf("-ratio: benchmark %q measured 0 ns/op", den)
+	}
+	return &RatioGate{Num: num, Den: den, Ratio: nr.NsPerOp / dr.NsPerOp, Max: maxRatio}, nil
 }
 
 // printDeltas renders the per-benchmark comparison table and enforces the

@@ -25,9 +25,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"spottune/internal/market"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/scenario"
 	"spottune/internal/search"
@@ -55,8 +59,38 @@ func run() error {
 		reps      = flag.Int("replicates", 1, "seed-axis replicates per scenario (each with a derived campaign seed)")
 		stream    = flag.Bool("stream", false, "summary mode: live progress + aggregate percentiles instead of the per-cell table")
 		percell   = flag.Bool("percell", false, "with -stream, still write the per-cell CSV (it is always written otherwise)")
+		trace     = flag.String("trace", "", "flight-recorder output path; turns tracing on (same seed, byte-identical file)")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl, chrome, or all (with 'all', chrome lands next to -trace with a .trace.json suffix)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		printInventory()
@@ -90,8 +124,53 @@ func run() error {
 		Theta:    *theta,
 		Policies: pols,
 		Tuners:   tuns,
+		Trace:    *trace != "",
 	}
 	sopt := scenario.StreamOptions{Options: opt, Replicates: *reps}
+
+	// Trace sinks stream cell by cell in grid order, so the files are
+	// byte-identical for a given seed regardless of worker count and the
+	// recordings never accumulate in memory.
+	var (
+		jsonlF  *os.File
+		chromeF *os.File
+		chromeW *obs.ChromeWriter
+	)
+	if *trace != "" {
+		wantJSONL, wantChrome := false, false
+		switch *traceFmt {
+		case "jsonl":
+			wantJSONL = true
+		case "chrome":
+			wantChrome = true
+		case "all":
+			wantJSONL, wantChrome = true, true
+		default:
+			return fmt.Errorf("-trace-format %q: want jsonl, chrome, or all", *traceFmt)
+		}
+		if dir := filepath.Dir(*trace); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		if wantJSONL {
+			if jsonlF, err = os.Create(*trace); err != nil {
+				return err
+			}
+			defer jsonlF.Close()
+		}
+		if wantChrome {
+			path := *trace
+			if wantJSONL {
+				path += ".trace.json"
+			}
+			if chromeF, err = os.Create(path); err != nil {
+				return err
+			}
+			defer chromeF.Close()
+			chromeW = obs.NewChromeWriter(chromeF)
+		}
+	}
 
 	// Cells stream straight into the CSV as they finish; the full cell table
 	// never exists in memory, so the footprint is flat in the grid size.
@@ -123,9 +202,22 @@ func run() error {
 				return err
 			}
 		}
+		if c.Trace != nil {
+			if jsonlF != nil {
+				if err := obs.WriteTrace(jsonlF, "jsonl", c.Trace); err != nil {
+					return err
+				}
+			}
+			if chromeW != nil {
+				if err := chromeW.Add(c.Trace); err != nil {
+					return err
+				}
+			}
+		}
 		tab.cell(c)
 		for _, v := range c.Violations {
 			fmt.Fprintf(os.Stderr, "%s/%s/%s: invariant violated: %v\n", c.Scenario, c.Tuner, c.Policy, v)
+			printViolationEvents(os.Stderr, v.Events)
 		}
 		return nil
 	}
@@ -145,8 +237,24 @@ func run() error {
 		}
 		fmt.Printf("\nper-cell CSV written to %s\n", path)
 	}
+	if chromeW != nil {
+		if err := chromeW.Close(); err != nil {
+			return err
+		}
+	}
+	if jsonlF != nil {
+		if err := jsonlF.Close(); err != nil {
+			return err
+		}
+	}
+	if *trace != "" {
+		fmt.Printf("flight-recorder trace written to %s (format %s)\n", *trace, *traceFmt)
+	}
 	if *stream {
 		printSummary(sum)
+	}
+	if sum.Metrics != nil {
+		printMetrics(sum.Metrics)
 	}
 
 	if sum.Violations > 0 {
@@ -226,6 +334,38 @@ func (t *tablePrinter) cell(c scenario.Cell) {
 	fmt.Printf("  %-17s cost $%8.3f  JCT %7.2fh  refund %5.1f%%  notices %3d  od %d/%d%s\n",
 		c.Policy, c.Cost, c.JCTHours, 100*c.RefundFrac, c.Notices,
 		c.OnDemandDeployments, c.Deployments, flag)
+}
+
+// printViolationEvents renders a violation's attached flight-recorder
+// context (the last few events relevant to its subject), one line per event.
+func printViolationEvents(w *os.File, events []obs.Event) {
+	for _, e := range events {
+		subject := e.Trial
+		if e.Inst != "" {
+			subject += "@" + e.Inst
+		}
+		fmt.Fprintf(w, "    #%-5d %s %-14s %-24s %-12s a=%-12g b=%-12g n=%d\n",
+			e.Seq, e.VT.UTC().Format(time.RFC3339), e.Kind, subject, e.Label, e.A, e.B, e.N)
+	}
+}
+
+// printMetrics renders the battery-wide flight-recorder aggregate: exact
+// event counters plus sketch percentiles per histogram.
+func printMetrics(m *obs.Metrics) {
+	fmt.Println("\nflight-recorder metrics (battery-wide):")
+	for _, name := range m.CounterNames() {
+		fmt.Printf("  %-22s %d\n", name, m.Counter(name))
+	}
+	hists := m.HistogramNames()
+	if len(hists) == 0 {
+		return
+	}
+	fmt.Printf("  %-22s %8s %10s %10s %10s %10s\n", "histogram", "n", "mean", "p50", "p99", "max")
+	for _, name := range hists {
+		s := m.Histogram(name)
+		fmt.Printf("  %-22s %8d %10.4f %10.4f %10.4f %10.4f\n",
+			name, s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+	}
 }
 
 // printSummary renders the streamed aggregate: exact counts plus sketch

@@ -10,6 +10,7 @@
 //	spottune -workload LoR -tuner hyperband
 //	spottune -workload LoR -baseline r4.large
 //	spottune -workload GBTR -theta 0.5 -pred oracle -real
+//	spottune -workload LoR -trace campaign.jsonl          # flight recorder + cost attribution
 //
 // Run with -help to see the registered policies and tuners.
 package main
@@ -24,6 +25,7 @@ import (
 
 	"spottune/internal/campaign"
 	"spottune/internal/core"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/search"
 	"spottune/internal/workload"
@@ -54,6 +56,8 @@ func run() error {
 		real     = flag.Bool("real", false, "record curves with real pure-Go training (slower) instead of synthetic curves")
 		days     = flag.Int("days", 8, "days of market history to generate")
 		train    = flag.Int("train", 2, "days of history used to train predictors")
+		trace    = flag.String("trace", "", "flight-recorder output path; turns tracing on and prints the per-trial cost attribution")
+		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -100,6 +104,7 @@ func run() error {
 	}
 
 	var rep *core.Report
+	var rec *obs.Recording
 	if *baseline != "" {
 		if *polName != policy.SpotTuneName {
 			return fmt.Errorf("-baseline and -policy are mutually exclusive "+
@@ -108,6 +113,10 @@ func run() error {
 		if *tunName != search.SpotTuneName {
 			return fmt.Errorf("-baseline and -tuner are mutually exclusive "+
 				"(the legacy baseline loop ignores tuners; did you mean -tuner %s alone?)", *tunName)
+		}
+		if *trace != "" {
+			return fmt.Errorf("-baseline and -trace are mutually exclusive " +
+				"(the legacy baseline loop predates the flight recorder)")
 		}
 		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
 	} else {
@@ -119,12 +128,35 @@ func run() error {
 			Policy:        *polName,
 			Tuner:         *tunName,
 			TunerParams:   search.Params{Eta: *eta},
+			Trace:         *trace != "",
+			Inspect: func(d *campaign.RunDetail) error {
+				rec = d.Trace
+				return nil
+			},
 		})
 	}
 	if err != nil {
 		return err
 	}
 	printReport(rep, bench, curves)
+	if rec != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteTrace(f, *traceFmt, rec); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace (%d events) written to %s (format %s)\n", rec.Len(), *trace, *traceFmt)
+		fmt.Println("\nper-trial cost attribution (trace-derived, ledger-reconciled):")
+		if err := obs.Attribute(rec).WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"spottune/internal/core"
 	"spottune/internal/earlycurve"
 	"spottune/internal/market"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/search"
@@ -240,6 +241,11 @@ type Options struct {
 	// single-goroutine state: never put one in an Options value handed to
 	// concurrent sweep tasks.
 	PerfCache *trial.PerfCache
+	// Trace turns on the flight recorder: each run gets its own fresh
+	// obs.Recording (so the same Options value stays safe across concurrent
+	// sweep tasks) and hands it back through RunDetail.Trace. Off by
+	// default — the no-op tracer adds zero allocations to the event loop.
+	Trace bool
 }
 
 // RunDetail is one campaign run's final simulator state: everything an
@@ -253,6 +259,11 @@ type RunDetail struct {
 	Cluster *cloudsim.Cluster
 	Store   *cloudsim.ObjectStore
 	Trials  []*trial.Replay
+	// Trace is the run's flight recording (nil unless Options.Trace). The
+	// invariant checker reconciles it against the ledger and attaches
+	// event context to violations; exporters turn it into JSONL/Chrome
+	// timelines.
+	Trace *obs.Recording
 }
 
 // NewPolicy constructs a registered provisioning policy bound to this
@@ -316,14 +327,28 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if err != nil {
 		return nil, err
 	}
-	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, core.Config{
+	cfg := core.Config{
 		Mode:          opt.Mode,
 		Theta:         opt.Theta,
 		MCnt:          opt.MCnt,
 		MaxConcurrent: opt.MaxConcurrent,
 		Trend:         opt.Trend,
 		Tuner:         tun,
-	})
+	}
+	// A fresh recording per run: a shared one would interleave concurrent
+	// sweep tasks. Assign the concrete type only when tracing is on — a
+	// nil *Recording stored into the Tracer interface would be non-nil.
+	var rec *obs.Recording
+	if opt.Trace {
+		rec = obs.NewRecording(obs.Meta{
+			Tuner:    tun.Name(),
+			Policy:   pol.Name(),
+			Workload: b.Name,
+			Seed:     opt.Seed,
+		})
+		cfg.Tracer = rec
+	}
+	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -339,6 +364,7 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 			Cluster: cluster,
 			Store:   store,
 			Trials:  trials,
+			Trace:   rec,
 		}
 		if err := opt.Inspect(detail); err != nil {
 			return nil, fmt.Errorf("campaign: inspecting %s run: %w", pol.Name(), err)

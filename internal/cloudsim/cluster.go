@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"spottune/internal/market"
+	"spottune/internal/obs"
 	"spottune/internal/simclock"
 )
 
@@ -178,6 +179,11 @@ type Cluster struct {
 	// blackouts are the installed capacity-unavailability windows, in
 	// installation order (fault injection; see faults.go).
 	blackouts []Blackout
+
+	// trc receives billing events (ledger postings, first-hour refunds) at
+	// the exact moment each ledger record is appended, so a trace's
+	// posting order is the ledger's record order. Never nil (obs.Nop).
+	trc obs.Tracer
 }
 
 // NewCluster builds a cluster over the given catalog and per-market traces.
@@ -214,7 +220,19 @@ func NewClusterWithStore(clk *simclock.Virtual, cat *market.Catalog, traces mark
 		traces:    traces,
 		store:     store,
 		instances: make(map[string]*Instance),
+		trc:       obs.Nop{},
 	}, nil
+}
+
+// SetTracer installs the flight recorder billing events flow through
+// (nil restores the no-op default). The orchestrator wires its own tracer
+// here so cluster-side settlements land in the same recording, in the same
+// deterministic single-goroutine order, as orchestration events.
+func (c *Cluster) SetTracer(t obs.Tracer) {
+	if t == nil {
+		t = obs.Nop{}
+	}
+	c.trc = t
 }
 
 // Clock exposes the cluster's virtual clock.
@@ -390,6 +408,29 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 		usage.Refunded = usage.GrossCost
 	}
 	c.ledger.Records = append(c.ledger.Records, usage)
+	var od int64
+	if inst.OnDemand {
+		od = 1
+	}
+	c.trc.Emit(obs.Event{
+		VT:    at,
+		Kind:  obs.KindPosting,
+		Inst:  inst.ID,
+		Type:  inst.Type.Name,
+		Label: reason.String(),
+		A:     usage.GrossCost,
+		B:     usage.Refunded,
+		N:     od,
+	})
+	if usage.Refunded > 0 {
+		c.trc.Emit(obs.Event{
+			VT:   at,
+			Kind: obs.KindRefund,
+			Inst: inst.ID,
+			Type: inst.Type.Name,
+			A:    usage.Refunded,
+		})
+	}
 }
 
 // Instance returns a live instance by ID.

@@ -8,6 +8,7 @@ import (
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/earlycurve"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/search"
 	"spottune/internal/trial"
@@ -84,6 +85,13 @@ type Config struct {
 	// single-use — each Run consumes one; construct a fresh instance
 	// (search.New) per campaign.
 	Tuner search.Tuner
+	// Tracer is the campaign's flight recorder (internal/obs): every
+	// deploy, notice, checkpoint, restore, round, elimination, ranking,
+	// and ledger posting lands in it with virtual timestamps and monotonic
+	// sequence numbers. Nil selects obs.Nop — tracing off, zero overhead.
+	// The orchestrator installs the same tracer on the cluster so billing
+	// settlements share the recording.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +137,9 @@ func (c Config) withDefaults() Config {
 		// Tight enough that plateau noise on near-tied configs does not
 		// truncate observation before the ranking that depends on it.
 		c.ConvergeTol = 5e-4
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.Nop{}
 	}
 	return c
 }
@@ -245,6 +256,11 @@ type Orchestrator struct {
 	// schedule); limits holds the active round's per-trial step caps.
 	tuner  search.Tuner
 	limits map[string]int
+
+	// trc is the flight recorder (Config.Tracer; never nil — obs.Nop when
+	// tracing is off). Also installed on the cluster, so the recording
+	// interleaves orchestration and billing events in true emission order.
+	trc obs.Tracer
 }
 
 // NewOrchestrator wires a campaign over the given trials using the paper's
@@ -313,6 +329,8 @@ func NewPolicyOrchestrator(
 	if o.tuner == nil {
 		o.tuner = search.Default(o.cfg.Theta, o.cfg.MCnt)
 	}
+	o.trc = o.cfg.Tracer
+	cluster.SetTracer(o.trc)
 	return o, nil
 }
 
@@ -327,9 +345,18 @@ func ckptKey(trialID string) string { return "ckpt/" + trialID }
 // continuation phase. It returns the campaign report.
 func (o *Orchestrator) Run() (*Report, error) {
 	start := o.cluster.Clock().Now()
+	o.trc.Emit(obs.Event{
+		VT:    start,
+		Kind:  obs.KindCampaignStart,
+		Type:  o.tuner.Name(),
+		Label: o.approach,
+		A:     o.cfg.Theta,
+		N:     int64(len(o.order)),
+	})
 	view := &tunerView{o: o}
 	for {
 		round, ok := o.tuner.Next(view)
+		o.emitEliminations(round)
 		if !ok || len(round.Directives) == 0 {
 			// A tuner with nothing left to schedule is done whether it
 			// says so (ok=false) or hands back an empty round — the
@@ -341,6 +368,19 @@ func (o *Orchestrator) Run() (*Report, error) {
 		}
 	}
 	return o.buildReport(start, o.tuner.Finish(view)), nil
+}
+
+// emitEliminations records the trials a round dropped. Eliminations can
+// ride on any round, including the final declined one, so they are handled
+// before the round is executed (or the loop breaks).
+func (o *Orchestrator) emitEliminations(round search.Round) {
+	if len(round.Eliminated) == 0 || !o.trc.Enabled() {
+		return
+	}
+	now := o.cluster.Clock().Now()
+	for _, id := range round.Eliminated {
+		o.trc.Emit(obs.Event{VT: now, Kind: obs.KindEliminate, Trial: id, Label: round.Label})
+	}
 }
 
 // tunerView implements search.State over live orchestrator state.
@@ -407,10 +447,40 @@ func (o *Orchestrator) runPhase(round search.Round) error {
 	if len(o.waiting) == 0 {
 		return nil
 	}
-	if o.cfg.Mode == LoopPolling {
-		return o.runPhasePolling()
+	if o.trc.Enabled() {
+		now := o.cluster.Clock().Now()
+		o.trc.Emit(obs.Event{
+			VT:    now,
+			Kind:  obs.KindRoundOpen,
+			Label: round.Label,
+			N:     int64(len(round.Directives)),
+		})
+		for _, d := range round.Directives {
+			o.trc.Emit(obs.Event{
+				VT:    now,
+				Kind:  obs.KindBudget,
+				Trial: d.TrialID,
+				Label: round.Label,
+				N:     int64(o.limits[d.TrialID]),
+			})
+		}
 	}
-	return o.runPhaseEvent()
+	var err error
+	if o.cfg.Mode == LoopPolling {
+		err = o.runPhasePolling()
+	} else {
+		err = o.runPhaseEvent()
+	}
+	if err != nil {
+		return err
+	}
+	o.trc.Emit(obs.Event{
+		VT:    o.cluster.Clock().Now(),
+		Kind:  obs.KindRoundClose,
+		Label: round.Label,
+		N:     int64(len(round.Directives)),
+	})
+	return nil
 }
 
 // limitFor is the active round's step cap for one trial.
@@ -553,6 +623,7 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 			},
 			ActiveOnDemand: o.activeOnDemand(),
 			SecPerStep:     func(tn string) float64 { return o.perf.Get(tn, id) },
+			Tracer:         o.trc,
 		})
 		if err != nil {
 			return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
@@ -586,6 +657,13 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 				// event loop trades its sparse-wakeup advantage for
 				// decision equivalence while a blackout lasts.
 				o.spotFailures[id]++
+				o.trc.Emit(obs.Event{
+					VT:    now,
+					Kind:  obs.KindBlackoutRetry,
+					Trial: id,
+					Type:  req.TypeName,
+					N:     int64(o.spotFailures[id]),
+				})
 				o.blackoutRetryAt[id] = now.Add(o.cfg.PollInterval)
 				return now.Add(o.cfg.PollInterval), false, nil
 			}
@@ -602,6 +680,20 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 		a.deployedAt = now
 		a.lastCkptAt = now
 		a.oversized = oversizedFor(tr.CheckpointMB(), inst.Type.CPUs)
+		deployLabel, deployPrice := "spot", req.MaxPrice
+		if req.OnDemand {
+			deployLabel, deployPrice = "on-demand", inst.Type.OnDemandPrice
+		}
+		o.trc.Emit(obs.Event{
+			VT:    now,
+			Kind:  obs.KindDeploy,
+			Trial: id,
+			Inst:  inst.ID,
+			Type:  inst.Type.Name,
+			Label: deployLabel,
+			A:     deployPrice,
+			N:     int64(tr.CompletedSteps()),
+		})
 		busy := now.Add(o.cfg.StartupDelay)
 		// Oversized trials need a baseline recovery point before
 		// any revocation can strike: without it, a notice arriving
@@ -623,6 +715,14 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 			a.stepsBefore = tr.CompletedSteps()
 			busy = busy.Add(d + o.cfg.RestoreSetup)
 			o.restoreSetup += o.cfg.RestoreSetup
+			o.trc.Emit(obs.Event{
+				VT:    now,
+				Kind:  obs.KindRestore,
+				Trial: id,
+				Inst:  inst.ID,
+				A:     (d + o.cfg.RestoreSetup).Seconds(),
+				N:     int64(tr.CompletedSteps()),
+			})
 		}
 		a.busyAt = busy
 		a.lastAdvance = busy
@@ -780,6 +880,14 @@ func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
 	}
 	o.notices++
 	o.spotFailures[a.tr.ID()]++
+	o.trc.Emit(obs.Event{
+		VT:    at,
+		Kind:  obs.KindNotice,
+		Trial: a.tr.ID(),
+		Inst:  a.inst.ID,
+		Type:  a.inst.Type.Name,
+		N:     int64(o.spotFailures[a.tr.ID()]),
+	})
 	o.advance(a, at)
 	if !a.oversized {
 		o.checkpoint(a, at)
@@ -806,6 +914,18 @@ func (o *Orchestrator) checkpoint(a *assignment, _ time.Time) {
 	o.store.PutSized(ckptKey(a.tr.ID()), o.ckptBuf, a.tr.CheckpointMB(), cpus)
 	o.ckptSetup += o.cfg.CheckpointSetup
 	a.lastCkptAt = o.cluster.Clock().Now()
+	instID := ""
+	if a.inst != nil {
+		instID = a.inst.ID
+	}
+	o.trc.Emit(obs.Event{
+		VT:    a.lastCkptAt,
+		Kind:  obs.KindCheckpoint,
+		Trial: a.tr.ID(),
+		Inst:  instID,
+		A:     a.tr.CheckpointMB(),
+		N:     int64(a.tr.CompletedSteps()),
+	})
 }
 
 // endAssignment terminates the instance (user-initiated) and records the
@@ -819,6 +939,14 @@ func (o *Orchestrator) endAssignment(a *assignment, terminate bool) {
 	if a.inst != nil && !a.inst.OnDemand {
 		// A spot segment that ended without a notice is evidence the
 		// market is livable; clear the trial's failure streak.
+		if n := o.spotFailures[a.tr.ID()]; n > 0 {
+			o.trc.Emit(obs.Event{
+				VT:    o.cluster.Clock().Now(),
+				Kind:  obs.KindStreakClear,
+				Trial: a.tr.ID(),
+				N:     int64(n),
+			})
+		}
 		delete(o.spotFailures, a.tr.ID())
 	}
 	if terminate && a.inst != nil && a.inst.Running() {
@@ -840,6 +968,13 @@ func (o *Orchestrator) recordSegment(a *assignment) {
 		instID = a.inst.ID
 	}
 	o.segments = append(o.segments, segment{instanceID: instID, trialID: a.tr.ID(), steps: steps})
+	o.trc.Emit(obs.Event{
+		VT:    o.cluster.Clock().Now(),
+		Kind:  obs.KindSegment,
+		Trial: a.tr.ID(),
+		Inst:  instID,
+		N:     int64(steps),
+	})
 }
 
 // activeOnDemand counts live assignments on on-demand capacity (fed to

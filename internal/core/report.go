@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"spottune/internal/cloudsim"
+	"spottune/internal/obs"
 	"spottune/internal/search"
 )
 
@@ -139,7 +141,7 @@ func (o *Orchestrator) buildReport(start time.Time, out search.Outcome) *Report 
 		})
 	}
 	stats := o.store.Stats()
-	return &Report{
+	rep := &Report{
 		Approach:            o.approach,
 		Tuner:               o.tuner.Name(),
 		Theta:               o.cfg.Theta,
@@ -163,4 +165,25 @@ func (o *Orchestrator) buildReport(start time.Time, out search.Outcome) *Report 
 		PerfObservations:    o.perf.Snapshot(),
 		Segments:            segments,
 	}
+	if o.trc.Enabled() {
+		now := clk.Now()
+		for i, id := range rep.Ranked {
+			v, ok := rep.PredictedFinals[id]
+			if !ok {
+				v = math.Inf(1)
+			}
+			o.trc.Emit(obs.Event{VT: now, Kind: obs.KindRank, Trial: id, A: v, N: int64(i + 1)})
+		}
+		if rep.Best != "" {
+			o.trc.Emit(obs.Event{VT: now, Kind: obs.KindSelect, Trial: rep.Best, N: int64(len(rep.Top))})
+		}
+		o.trc.Emit(obs.Event{
+			VT:   now,
+			Kind: obs.KindCampaignEnd,
+			A:    rep.NetCost,
+			B:    rep.JCT.Hours(),
+			N:    int64(rep.LoopIterations),
+		})
+	}
+	return rep
 }

@@ -3,9 +3,11 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"spottune/internal/campaign"
 	"spottune/internal/core"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/workload"
 )
@@ -49,6 +51,54 @@ func CrossPolicy(ctx *Context) ([]CrossPolicyRow, error) {
 	}
 	return CrossPolicyOn(env, bench, curves, policy.Names(),
 		campaign.Options{Theta: 0.7, Seed: ctx.Opts.Seed})
+}
+
+// CrossPolicyTraced is CrossPolicy with the flight recorder on: the returned
+// recordings parallel the rows (recs[i] is rows[i]'s campaign trace).
+// Tracing is purely observational, so the rows are identical to an untraced
+// study. The collection map is mutex-guarded because the sweep pool calls
+// Inspect from worker goroutines; the returned order is row order, so output
+// stays deterministic regardless of scheduling.
+func CrossPolicyTraced(ctx *Context) ([]CrossPolicyRow, []*obs.Recording, error) {
+	if len(ctx.Opts.Workloads) == 0 {
+		return nil, nil, errors.New("experiments: no study workload configured")
+	}
+	name := ctx.Opts.Workloads[0]
+	env, err := ctx.Env(ctx.defaultKind())
+	if err != nil {
+		return nil, nil, err
+	}
+	bench, err := ctx.Bench(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	curves, err := ctx.Curves(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mu sync.Mutex
+	byPolicy := map[string]*obs.Recording{}
+	rows, err := CrossPolicyOn(env, bench, curves, policy.Names(), campaign.Options{
+		Theta: 0.7,
+		Seed:  ctx.Opts.Seed,
+		Trace: true,
+		Inspect: func(d *campaign.RunDetail) error {
+			if d.Trace != nil {
+				mu.Lock()
+				byPolicy[d.Trace.Meta.Policy] = d.Trace
+				mu.Unlock()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]*obs.Recording, len(rows))
+	for i, r := range rows {
+		recs[i] = byPolicy[r.Policy]
+	}
+	return rows, recs, nil
 }
 
 // CrossPolicyOn fans the named provisioning policies (every registered one

@@ -7,7 +7,10 @@
 //
 // Each violated property yields a Violation with a distinct Code, so tests
 // can assert not just that a corrupted state is rejected but that it is
-// rejected for the right reason.
+// rejected for the right reason. When the run carried a flight recording
+// (State.Trace), every violation additionally carries the last few trace
+// events relevant to its subject — the simulator's own account of what led
+// up to the broken state.
 package invariants
 
 import (
@@ -17,6 +20,7 @@ import (
 	"spottune/internal/cloudsim"
 	"spottune/internal/core"
 	"spottune/internal/market"
+	"spottune/internal/obs"
 	"spottune/internal/trial"
 )
 
@@ -57,12 +61,24 @@ const (
 	// Policy accounting consistency (selection outputs).
 	CodeRankingCorrupt Code = "ranking-corrupt" // ranking is not a permutation ordered by prediction
 	CodeBestNotRanked  Code = "best-not-ranked" // selected best absent from the ranking
+
+	// Trace/ledger reconciliation (flight-recorder accounting). Only
+	// audited when the run carried a recording.
+	CodeTraceLedgerMismatch Code = "trace-ledger-mismatch" // trace-attributed totals not bit-identical to the ledger
+	CodeTraceUnattributed   Code = "trace-unattributed"    // a posting's instance has no deploy event
+	CodeTraceIncomplete     Code = "trace-incomplete"      // trace is missing settlement or lifecycle events
 )
 
-// Violation is one broken invariant.
+// Violation is one broken invariant. Trial and Instance, when non-empty,
+// name the simulated entities the violation is about; Events, when the run
+// carried a flight recording, holds the last few trace events relevant to
+// that subject (chronological, ending at the campaign's final event).
 type Violation struct {
-	Code   Code
-	Detail string
+	Code     Code
+	Detail   string
+	Trial    string
+	Instance string
+	Events   []obs.Event
 }
 
 // Error renders the violation as "code: detail".
@@ -71,75 +87,103 @@ func (v Violation) Error() string { return fmt.Sprintf("%s: %s", v.Code, v.Detai
 // State is the final simulator state of one campaign run. Ledger and Report
 // are required; the remaining fields widen coverage when present:
 // Checkpoints enables the checkpoint-monotonicity audit (keys are
-// object-store keys "ckpt/<trial>"), Trials enables progress bounds, and
-// Catalog enables on-demand billing cross-checks.
+// object-store keys "ckpt/<trial>"), Trials enables progress bounds, Catalog
+// enables on-demand billing cross-checks, and Trace enables the
+// flight-recorder reconciliation audit plus per-violation event context.
 type State struct {
 	Ledger      *cloudsim.Ledger
 	Report      *core.Report
 	Trials      []*trial.Replay
 	Catalog     *market.Catalog
 	Checkpoints map[string][]byte
+	Trace       *obs.Recording
 }
 
 // costTol absorbs float dust in USD sums; billing is exact arithmetic over
 // trace integrals, so anything beyond dust is a real conservation failure.
 const costTol = 1e-6
 
+// violationContextK is how many trailing trace events attach to each
+// violation — enough to see the deploy/notice/posting run-up without
+// ballooning cell output.
+const violationContextK = 8
+
 // Check validates every invariant the state's fields allow and returns all
 // violations found (nil when the state is sound).
 func Check(st State) []Violation {
-	var out []Violation
-	add := func(code Code, format string, args ...any) {
-		out = append(out, Violation{Code: code, Detail: fmt.Sprintf(format, args...)})
-	}
+	c := &collector{}
 	if st.Ledger == nil || st.Report == nil {
-		add(CodeLedgerMismatch, "state needs both a ledger and a report")
-		return out
+		c.add(CodeLedgerMismatch, "state needs both a ledger and a report")
+		return c.out
 	}
 
-	checkLedger(st, add)
-	checkReconciliation(st, add)
-	checkSegments(st, add)
-	checkCheckpoints(st, add)
-	checkSelection(st, add)
-	return out
+	checkLedger(st, c)
+	checkReconciliation(st, c)
+	checkSegments(st, c)
+	checkCheckpoints(st, c)
+	checkSelection(st, c)
+	checkTrace(st, c)
+	if st.Trace != nil && len(c.out) > 0 {
+		q := obs.NewTraceQuery(st.Trace)
+		for i := range c.out {
+			v := &c.out[i]
+			v.Events = q.LastK(v.Trial, v.Instance, violationContextK)
+		}
+	}
+	return c.out
 }
 
-type addFunc func(code Code, format string, args ...any)
+// collector accumulates violations. add records a campaign-level violation;
+// addFor additionally names the trial and/or instance the violation is
+// about, which is what the trace-context attachment keys on.
+type collector struct{ out []Violation }
+
+func (c *collector) add(code Code, format string, args ...any) {
+	c.addFor(code, "", "", format, args...)
+}
+
+func (c *collector) addFor(code Code, trialID, instID string, format string, args ...any) {
+	c.out = append(c.out, Violation{
+		Code:     code,
+		Detail:   fmt.Sprintf(format, args...),
+		Trial:    trialID,
+		Instance: instID,
+	})
+}
 
 // checkLedger audits per-record billing arithmetic: net = gross − refunds,
 // and refunds exist only on first-hour spot revocations, in full.
-func checkLedger(st State, add addFunc) {
+func checkLedger(st State, c *collector) {
 	for _, u := range st.Ledger.Records {
 		if u.Ended.Before(u.Launched) {
-			add(CodeTimeTravel, "instance %s ended %v before launch %v", u.InstanceID, u.Ended, u.Launched)
+			c.addFor(CodeTimeTravel, "", u.InstanceID, "instance %s ended %v before launch %v", u.InstanceID, u.Ended, u.Launched)
 		}
 		if u.GrossCost < 0 {
-			add(CodeNegativeGross, "instance %s gross %v", u.InstanceID, u.GrossCost)
+			c.addFor(CodeNegativeGross, "", u.InstanceID, "instance %s gross %v", u.InstanceID, u.GrossCost)
 		}
 		if u.Refunded < 0 {
-			add(CodeNegativeRefund, "instance %s refund %v", u.InstanceID, u.Refunded)
+			c.addFor(CodeNegativeRefund, "", u.InstanceID, "instance %s refund %v", u.InstanceID, u.Refunded)
 			continue
 		}
 		if u.Refunded == 0 {
 			continue
 		}
 		if u.Refunded > u.GrossCost+costTol {
-			add(CodeRefundExceedsGross, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
+			c.addFor(CodeRefundExceedsGross, "", u.InstanceID, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
 			continue
 		}
 		// The first-hour rule is all-or-nothing.
 		if u.Refunded < u.GrossCost-costTol {
-			add(CodePartialRefund, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
+			c.addFor(CodePartialRefund, "", u.InstanceID, "instance %s refunded %v of gross %v", u.InstanceID, u.Refunded, u.GrossCost)
 		}
 		if u.OnDemand {
-			add(CodeRefundOnDemand, "instance %s is on-demand yet refunded %v", u.InstanceID, u.Refunded)
+			c.addFor(CodeRefundOnDemand, "", u.InstanceID, "instance %s is on-demand yet refunded %v", u.InstanceID, u.Refunded)
 		}
 		if u.End != cloudsim.EndRevoked {
-			add(CodeRefundNotRevoked, "instance %s refunded but ended %v", u.InstanceID, u.End)
+			c.addFor(CodeRefundNotRevoked, "", u.InstanceID, "instance %s refunded but ended %v", u.InstanceID, u.End)
 		}
 		if u.Duration() > cloudsim.RefundWindow {
-			add(CodeLateRefund, "instance %s refunded after %v of life (window %v)",
+			c.addFor(CodeLateRefund, "", u.InstanceID, "instance %s refunded after %v of life (window %v)",
 				u.InstanceID, u.Duration(), cloudsim.RefundWindow)
 		}
 	}
@@ -154,7 +198,7 @@ func checkLedger(st State, add addFunc) {
 			}
 			want := it.OnDemandPrice * u.Duration().Hours()
 			if math.Abs(u.GrossCost-want) > costTol+1e-9*want {
-				add(CodeOnDemandBilling, "instance %s gross %v, want %v (%v for %v)",
+				c.addFor(CodeOnDemandBilling, "", u.InstanceID, "instance %s gross %v, want %v (%v for %v)",
 					u.InstanceID, u.GrossCost, want, it.OnDemandPrice, u.Duration())
 			}
 		}
@@ -162,16 +206,16 @@ func checkLedger(st State, add addFunc) {
 }
 
 // checkReconciliation ties the report's campaign totals back to the ledger.
-func checkReconciliation(st State, add addFunc) {
+func checkReconciliation(st State, c *collector) {
 	led, rep := st.Ledger, st.Report
 	if d := math.Abs(rep.GrossCost - led.TotalGross()); d > costTol {
-		add(CodeLedgerMismatch, "report gross %v vs ledger %v", rep.GrossCost, led.TotalGross())
+		c.add(CodeLedgerMismatch, "report gross %v vs ledger %v", rep.GrossCost, led.TotalGross())
 	}
 	if d := math.Abs(rep.Refund - led.TotalRefunded()); d > costTol {
-		add(CodeLedgerMismatch, "report refund %v vs ledger %v", rep.Refund, led.TotalRefunded())
+		c.add(CodeLedgerMismatch, "report refund %v vs ledger %v", rep.Refund, led.TotalRefunded())
 	}
 	if d := math.Abs(rep.NetCost - (rep.GrossCost - rep.Refund)); d > costTol {
-		add(CodeLedgerMismatch, "report net %v vs gross-refund %v", rep.NetCost, rep.GrossCost-rep.Refund)
+		c.add(CodeLedgerMismatch, "report net %v vs gross-refund %v", rep.NetCost, rep.GrossCost-rep.Refund)
 	}
 	revoked, onDemand := 0, 0
 	for _, u := range led.Records {
@@ -186,25 +230,25 @@ func checkReconciliation(st State, add addFunc) {
 		// Every deployment rents exactly one instance, and a settled
 		// campaign has ended them all — a zeroed counter against a
 		// non-empty ledger is exactly the corruption this catches.
-		add(CodeDeploymentMismatch, "report deployments %d vs ledger instances %d", rep.Deployments, len(led.Records))
+		c.add(CodeDeploymentMismatch, "report deployments %d vs ledger instances %d", rep.Deployments, len(led.Records))
 	}
 	if rep.OnDemandDeployments != onDemand {
-		add(CodeDeploymentMismatch, "report on-demand deployments %d vs ledger %d", rep.OnDemandDeployments, onDemand)
+		c.add(CodeDeploymentMismatch, "report on-demand deployments %d vs ledger %d", rep.OnDemandDeployments, onDemand)
 	}
 	if rep.Revocations != revoked {
-		add(CodeRevocationMismatch, "report revocations %d vs ledger %d", rep.Revocations, revoked)
+		c.add(CodeRevocationMismatch, "report revocations %d vs ledger %d", rep.Revocations, revoked)
 	}
 	if rep.Revocations > rep.Notices {
 		// Both market revocations and injected mass preemptions deliver
 		// the two-minute notice first.
-		add(CodeNoticeDeficit, "%d revocations but only %d notices", rep.Revocations, rep.Notices)
+		c.add(CodeNoticeDeficit, "%d revocations but only %d notices", rep.Revocations, rep.Notices)
 	}
 }
 
 // checkSegments audits step attribution: all progress ran on instances the
 // ledger saw alive, and the free-step split matches the refund split. Skipped
 // when the report carries no attribution (legacy baseline runs).
-func checkSegments(st State, add addFunc) {
+func checkSegments(st State, c *collector) {
 	rep := st.Report
 	if rep.Segments == nil {
 		return
@@ -216,20 +260,20 @@ func checkSegments(st State, add addFunc) {
 	total, free := 0, 0
 	for _, seg := range rep.Segments {
 		if seg.Steps < 0 {
-			add(CodeNegativeSteps, "segment %s/%s has %d steps", seg.InstanceID, seg.TrialID, seg.Steps)
+			c.addFor(CodeNegativeSteps, seg.TrialID, seg.InstanceID, "segment %s/%s has %d steps", seg.InstanceID, seg.TrialID, seg.Steps)
 			continue
 		}
 		total += seg.Steps
 		u, ok := usage[seg.InstanceID]
 		if !ok {
 			if seg.Steps > 0 {
-				add(CodeGhostProgress, "segment %s/%s ran %d steps on an instance the ledger never saw",
+				c.addFor(CodeGhostProgress, seg.TrialID, seg.InstanceID, "segment %s/%s ran %d steps on an instance the ledger never saw",
 					seg.InstanceID, seg.TrialID, seg.Steps)
 			}
 			continue
 		}
 		if seg.Steps > 0 && !u.Ended.After(u.Launched) {
-			add(CodeGhostProgress, "segment %s/%s ran %d steps on an instance with zero lifetime",
+			c.addFor(CodeGhostProgress, seg.TrialID, seg.InstanceID, "segment %s/%s ran %d steps on an instance with zero lifetime",
 				seg.InstanceID, seg.TrialID, seg.Steps)
 		}
 		if u.Refunded > 0 {
@@ -237,24 +281,24 @@ func checkSegments(st State, add addFunc) {
 		}
 	}
 	if total != rep.TotalSteps {
-		add(CodeStepMismatch, "segments sum to %d steps, report says %d", total, rep.TotalSteps)
+		c.add(CodeStepMismatch, "segments sum to %d steps, report says %d", total, rep.TotalSteps)
 	}
 	if free != rep.FreeSteps {
-		add(CodeFreeStepMismatch, "refunded segments sum to %d steps, report says %d", free, rep.FreeSteps)
+		c.add(CodeFreeStepMismatch, "refunded segments sum to %d steps, report says %d", free, rep.FreeSteps)
 	}
 }
 
 // checkCheckpoints audits checkpoint-restore monotonicity: every persisted
 // blob decodes, names the trial its key claims, and holds progress at or
 // behind the live trial (a checkpoint is a photograph of the past).
-func checkCheckpoints(st State, add addFunc) {
+func checkCheckpoints(st State, c *collector) {
 	// Progress bounds need only the trials — they must not hide behind the
 	// optional checkpoint snapshot. (Replay trials clamp RunFor/Restore at
 	// MaxSteps, so this is unreachable for them; it guards future trial
 	// implementations without that property.)
 	for _, tr := range st.Trials {
 		if tr.Progress() > float64(tr.MaxSteps())+1e-9 {
-			add(CodeProgressOverrun, "trial %s at %v of max %d steps", tr.ID(), tr.Progress(), tr.MaxSteps())
+			c.addFor(CodeProgressOverrun, tr.ID(), "", "trial %s at %v of max %d steps", tr.ID(), tr.Progress(), tr.MaxSteps())
 		}
 	}
 	if st.Checkpoints == nil {
@@ -267,11 +311,11 @@ func checkCheckpoints(st State, add addFunc) {
 	for key, blob := range st.Checkpoints {
 		id, progress, err := trial.DecodeCheckpoint(blob)
 		if err != nil {
-			add(CodeCheckpointCorrupt, "key %s: %v", key, err)
+			c.add(CodeCheckpointCorrupt, "key %s: %v", key, err)
 			continue
 		}
 		if want := "ckpt/" + id; key != want {
-			add(CodeCheckpointForeign, "key %s holds a checkpoint for trial %q", key, id)
+			c.addFor(CodeCheckpointForeign, id, "", "key %s holds a checkpoint for trial %q", key, id)
 			continue
 		}
 		tr, ok := byID[id]
@@ -279,10 +323,10 @@ func checkCheckpoints(st State, add addFunc) {
 			continue // a trial outside this run's set; nothing to compare
 		}
 		if progress > tr.Progress()+1e-9 {
-			add(CodeCheckpointAhead, "trial %s stored progress %v ahead of live %v", id, progress, tr.Progress())
+			c.addFor(CodeCheckpointAhead, id, "", "trial %s stored progress %v ahead of live %v", id, progress, tr.Progress())
 		}
 		if progress < 0 || math.IsNaN(progress) || progress > float64(tr.MaxSteps()) {
-			add(CodeCheckpointCorrupt, "trial %s stored progress %v outside [0, %d]", id, progress, tr.MaxSteps())
+			c.addFor(CodeCheckpointCorrupt, id, "", "trial %s stored progress %v outside [0, %d]", id, progress, tr.MaxSteps())
 		}
 	}
 }
@@ -290,48 +334,95 @@ func checkCheckpoints(st State, add addFunc) {
 // checkSelection audits the policy-facing outputs: the ranking is a
 // permutation of the predicted set ordered by predicted value, and the
 // selected best was actually ranked.
-func checkSelection(st State, add addFunc) {
+func checkSelection(st State, c *collector) {
 	rep := st.Report
 	if len(rep.Ranked) == 0 {
 		// An empty ranking is legitimate only on a report with no
 		// selection outputs at all; a wiped ranking alongside surviving
 		// predictions or a selected best is a selection bug.
 		if len(rep.PredictedFinals) > 0 || rep.Best != "" || len(rep.Top) > 0 {
-			add(CodeRankingCorrupt, "empty ranking with %d predictions, best %q, %d top",
+			c.add(CodeRankingCorrupt, "empty ranking with %d predictions, best %q, %d top",
 				len(rep.PredictedFinals), rep.Best, len(rep.Top))
 		}
 		return
 	}
 	if len(rep.Ranked) != len(rep.PredictedFinals) {
-		add(CodeRankingCorrupt, "%d ranked vs %d predictions", len(rep.Ranked), len(rep.PredictedFinals))
+		c.add(CodeRankingCorrupt, "%d ranked vs %d predictions", len(rep.Ranked), len(rep.PredictedFinals))
 		return
 	}
 	seen := make(map[string]bool, len(rep.Ranked))
 	for i, id := range rep.Ranked {
 		if seen[id] {
-			add(CodeRankingCorrupt, "trial %s ranked twice", id)
+			c.addFor(CodeRankingCorrupt, id, "", "trial %s ranked twice", id)
 			return
 		}
 		seen[id] = true
 		v, ok := rep.PredictedFinals[id]
 		if !ok {
-			add(CodeRankingCorrupt, "ranked trial %s has no prediction", id)
+			c.addFor(CodeRankingCorrupt, id, "", "ranked trial %s has no prediction", id)
 			return
 		}
 		if i > 0 {
 			prev := rep.PredictedFinals[rep.Ranked[i-1]]
 			if v < prev {
-				add(CodeRankingCorrupt, "ranking not ascending at %s (%v after %v)", id, v, prev)
+				c.addFor(CodeRankingCorrupt, id, "", "ranking not ascending at %s (%v after %v)", id, v, prev)
 				return
 			}
 		}
 	}
 	if rep.Best != "" && !seen[rep.Best] {
-		add(CodeBestNotRanked, "best %q absent from ranking", rep.Best)
+		c.addFor(CodeBestNotRanked, rep.Best, "", "best %q absent from ranking", rep.Best)
 	}
 	for _, id := range rep.Top {
 		if !seen[id] {
-			add(CodeBestNotRanked, "top trial %q absent from ranking", id)
+			c.addFor(CodeBestNotRanked, id, "", "top trial %q absent from ranking", id)
 		}
+	}
+}
+
+// checkTrace reconciles the flight recording against the ledger and report.
+// Posting events are emitted at the exact moment the cluster appends each
+// ledger record, so the trace-attributed grand totals must equal the ledger
+// totals bit for bit — same values summed in the same order — not merely
+// within tolerance. Skipped when the run carried no recording.
+func checkTrace(st State, c *collector) {
+	if st.Trace == nil {
+		return
+	}
+	led, rep := st.Ledger, st.Report
+	att := obs.Attribute(st.Trace)
+	if att.Postings != len(led.Records) {
+		c.add(CodeTraceIncomplete, "trace settled %d postings, ledger holds %d records", att.Postings, len(led.Records))
+	}
+	if math.Float64bits(att.Gross) != math.Float64bits(led.TotalGross()) {
+		c.add(CodeTraceLedgerMismatch, "trace gross %v (bits %016x) vs ledger %v (bits %016x)",
+			att.Gross, math.Float64bits(att.Gross), led.TotalGross(), math.Float64bits(led.TotalGross()))
+	}
+	if math.Float64bits(att.Refunded) != math.Float64bits(led.TotalRefunded()) {
+		c.add(CodeTraceLedgerMismatch, "trace refunded %v (bits %016x) vs ledger %v (bits %016x)",
+			att.Refunded, math.Float64bits(att.Refunded), led.TotalRefunded(), math.Float64bits(led.TotalRefunded()))
+	}
+	if math.Float64bits(att.Net) != math.Float64bits(led.TotalNet()) {
+		c.add(CodeTraceLedgerMismatch, "trace net %v (bits %016x) vs ledger %v (bits %016x)",
+			att.Net, math.Float64bits(att.Net), led.TotalNet(), math.Float64bits(led.TotalNet()))
+	}
+	if att.UnattributedPostings > 0 {
+		c.add(CodeTraceUnattributed, "%d postings ($%v gross) on instances with no deploy event",
+			att.UnattributedPostings, att.Unattributed)
+	}
+	deploys, ends := 0, 0
+	for _, e := range st.Trace.Events() {
+		switch e.Kind {
+		case obs.KindDeploy:
+			deploys++
+		case obs.KindCampaignEnd:
+			ends++
+		}
+	}
+	if deploys != rep.Deployments {
+		c.add(CodeTraceIncomplete, "trace recorded %d deploys, report says %d", deploys, rep.Deployments)
+	}
+	if ends != 1 {
+		c.add(CodeTraceIncomplete, "trace holds %d campaign-end events, want exactly 1", ends)
 	}
 }

@@ -1,0 +1,149 @@
+package invariants
+
+import (
+	"testing"
+	"time"
+
+	"spottune/internal/obs"
+)
+
+// soundTrace builds the flight recording that matches soundState exactly:
+// one deploy/settlement pair per ledger record (same dollar values, same
+// order), segments mirroring the report's attribution, and the campaign
+// lifecycle events. keep filters events out (nil keeps everything), which is
+// how the corruption cases below remove lifecycle pieces.
+func soundTrace(keep func(obs.Event) bool) *obs.Recording {
+	r := obs.NewRecording(obs.Meta{Tuner: "spottune", Policy: "spottune", Workload: "LoR", Seed: 1})
+	emit := func(e obs.Event) {
+		if keep == nil || keep(e) {
+			r.Emit(e)
+		}
+	}
+	emit(obs.Event{VT: t0, Kind: obs.KindCampaignStart, Type: "spottune", Label: "SpotTune", A: 0.7, N: 2})
+	emit(obs.Event{VT: t0, Kind: obs.KindDeploy, Trial: "hp-1", Inst: "i-000001", Type: "a", Label: "spot", A: 0.05})
+	emit(obs.Event{VT: t0.Add(28 * time.Minute), Kind: obs.KindNotice, Trial: "hp-1", Inst: "i-000001", Type: "a", N: 1})
+	emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindSegment, Trial: "hp-1", Inst: "i-000001", N: 10})
+	emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindPosting, Inst: "i-000001", Type: "a", Label: "revoked", A: 0.025, B: 0.025})
+	emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindRefund, Inst: "i-000001", Type: "a", A: 0.025})
+	emit(obs.Event{VT: t0.Add(time.Hour), Kind: obs.KindDeploy, Trial: "hp-1", Inst: "i-000002", Type: "a", Label: "spot", A: 0.06, N: 10})
+	emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindSegment, Trial: "hp-1", Inst: "i-000002", N: 50})
+	emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindPosting, Inst: "i-000002", Type: "a", Label: "user-terminated", A: 0.11})
+	emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindDeploy, Trial: "hp-2", Inst: "i-000003", Type: "a", Label: "on-demand", A: 0.2})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindSegment, Trial: "hp-2", Inst: "i-000003", N: 30})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindPosting, Inst: "i-000003", Type: "a", Label: "user-terminated", A: 0.4, N: 1})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindRank, Trial: "hp-1", A: 0.4, N: 1})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindRank, Trial: "hp-2", A: 0.6, N: 2})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindSelect, Trial: "hp-1", N: 1})
+	emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindCampaignEnd, A: 0.51, B: 5, N: 9})
+	return r
+}
+
+func TestSoundStateWithTracePasses(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(nil)
+	if vs := Check(st); len(vs) != 0 {
+		t.Fatalf("sound traced state rejected: %v", vs)
+	}
+}
+
+func TestTraceMissingCampaignEnd(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(func(e obs.Event) bool { return e.Kind != obs.KindCampaignEnd })
+	requireCode(t, Check(st), CodeTraceIncomplete)
+}
+
+func TestTraceMissingDeployIsUnattributed(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(func(e obs.Event) bool {
+		return !(e.Kind == obs.KindDeploy && e.Inst == "i-000002")
+	})
+	vs := Check(st)
+	requireCode(t, vs, CodeTraceUnattributed)
+	// The dropped deploy also desyncs the deploy count from the report.
+	requireCode(t, vs, CodeTraceIncomplete)
+}
+
+func TestTraceMissingPosting(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(func(e obs.Event) bool {
+		return !(e.Kind == obs.KindPosting && e.Inst == "i-000002")
+	})
+	vs := Check(st)
+	requireCode(t, vs, CodeTraceIncomplete)
+	requireCode(t, vs, CodeTraceLedgerMismatch)
+}
+
+// TestTraceReconciliationIsBitwise pins the contract that separates the
+// trace audit from the report audit: a 1e-12 perturbation of a posting is a
+// million times smaller than the report checks' dust tolerance, yet the
+// trace reconciliation must still reject it.
+func TestTraceReconciliationIsBitwise(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(nil)
+	evs := st.Trace.Events()
+	for i := range evs {
+		if evs[i].Kind == obs.KindPosting && evs[i].Inst == "i-000002" {
+			evs[i].A += 1e-12
+		}
+	}
+	vs := Check(st)
+	requireCode(t, vs, CodeTraceLedgerMismatch)
+	for _, v := range vs {
+		if v.Code != CodeTraceLedgerMismatch {
+			t.Fatalf("ulp perturbation tripped %s too: %v", v.Code, v)
+		}
+	}
+}
+
+// TestViolationsCarryEventContext: with a recording present, violations
+// come back with the last-K trace events relevant to their subject.
+func TestViolationsCarryEventContext(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(nil)
+	st.Ledger.Records[1].GrossCost = -0.11
+	st.Report.GrossCost = 0.315
+	st.Report.NetCost = 0.29
+	vs := Check(st)
+	var hit *Violation
+	for i := range vs {
+		if vs[i].Code == CodeNegativeGross {
+			hit = &vs[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("negative gross not raised: %v", vs)
+	}
+	if hit.Instance != "i-000002" {
+		t.Fatalf("violation subject %q, want i-000002", hit.Instance)
+	}
+	if len(hit.Events) == 0 {
+		t.Fatal("violation carries no event context despite a recording")
+	}
+	if len(hit.Events) > violationContextK {
+		t.Fatalf("%d context events, cap is %d", len(hit.Events), violationContextK)
+	}
+	// The context is the subject's own timeline: i-000002 belongs to hp-1,
+	// so nothing from hp-2 (or its instance) may appear.
+	for _, e := range hit.Events {
+		if e.Trial == "hp-2" || e.Inst == "i-000003" {
+			t.Fatalf("foreign event in context: %+v", e)
+		}
+	}
+	// Without a recording the same corruption yields bare violations.
+	st.Trace = nil
+	for _, v := range Check(st) {
+		if len(v.Events) != 0 {
+			t.Fatalf("events attached without a recording: %v", v)
+		}
+	}
+}
+
+func requireCode(t *testing.T, vs []Violation, want Code) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Code == want {
+			return
+		}
+	}
+	t.Fatalf("code %s not raised; got %v", want, vs)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TrialCost is one trial's share of the campaign's spend, attributed from
+// trace events: deploys bind instances to trials, segments bind retained
+// step progress to instances, and ledger postings carry the dollars.
+type TrialCost struct {
+	Trial string
+	// SpotGross/OnDemandGross split pre-refund spend by market tier.
+	SpotGross     float64
+	OnDemandGross float64
+	// Refunded is the first-hour refund total granted on this trial's
+	// instances.
+	Refunded float64
+	// Net is what the trial actually cost: SpotGross + OnDemandGross −
+	// Refunded.
+	Net float64
+	// Wasted is the ghost-progress spend: net dollars on instances that
+	// retained zero steps for the trial (revoked before the first
+	// checkpointable step, or work rolled back to an earlier checkpoint).
+	Wasted float64
+	// Steps is the retained step progress across the trial's segments.
+	Steps int64
+	// Instances is how many instances served the trial.
+	Instances int
+}
+
+// CostAttribution is the per-trial cost breakdown of one recording,
+// reconciled against the billing ledger.
+//
+// Reconciliation contract: the grand totals (Gross, Refunded) are
+// accumulated in posting-event order, and posting events are emitted at the
+// exact moment the cluster appends each ledger record — the same values
+// summed in the same order as Ledger.TotalGross/TotalRefunded. The totals
+// therefore match the ledger bit for bit, not approximately (pinned by the
+// reconciliation property test and audited per cell by internal/invariants).
+// Per-trial subtotals regroup the same postings and are exact per posting
+// but, like any float regrouping, may differ from a differently-ordered sum
+// in the last ulp.
+type CostAttribution struct {
+	Trials []TrialCost // ascending by trial ID
+
+	// Gross/Refunded/Net are the ledger-order grand totals.
+	Gross    float64
+	Refunded float64
+	Net      float64
+	// Wasted sums the trials' ghost-progress dollars.
+	Wasted float64
+	// Postings counts settled instances.
+	Postings int
+	// Unattributed is gross spend on postings whose instance has no deploy
+	// event — always zero for a trace recorded by the orchestrator, and an
+	// invariant violation when not.
+	Unattributed         float64
+	UnattributedPostings int
+}
+
+// Attribute folds a recording into its per-trial cost breakdown. It is a
+// pure function of the event slice: byte-identical traces attribute
+// identically.
+func Attribute(r *Recording) CostAttribution {
+	var ca CostAttribution
+	instTrial := map[string]string{}
+	instOD := map[string]bool{}
+	instSteps := map[string]int64{}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindDeploy:
+			instTrial[e.Inst] = e.Trial
+			instOD[e.Inst] = e.Label == "on-demand"
+		case KindSegment:
+			instSteps[e.Inst] += e.N
+		}
+	}
+	byTrial := map[string]*TrialCost{}
+	trialOf := func(id string) *TrialCost {
+		tc, ok := byTrial[id]
+		if !ok {
+			tc = &TrialCost{Trial: id}
+			byTrial[id] = tc
+		}
+		return tc
+	}
+	for _, e := range r.Events() {
+		if e.Kind != KindPosting {
+			continue
+		}
+		ca.Postings++
+		ca.Gross += e.A
+		ca.Refunded += e.B
+		trial, ok := instTrial[e.Inst]
+		if !ok {
+			ca.Unattributed += e.A
+			ca.UnattributedPostings++
+			continue
+		}
+		tc := trialOf(trial)
+		tc.Instances++
+		if instOD[e.Inst] {
+			tc.OnDemandGross += e.A
+		} else {
+			tc.SpotGross += e.A
+		}
+		tc.Refunded += e.B
+		if instSteps[e.Inst] == 0 {
+			tc.Wasted += e.A - e.B
+		}
+	}
+	ids := make([]string, 0, len(byTrial))
+	for id := range byTrial {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		tc := byTrial[id]
+		tc.Net = tc.SpotGross + tc.OnDemandGross - tc.Refunded
+		tc.Steps = 0
+		for inst, steps := range instSteps {
+			if instTrial[inst] == id {
+				tc.Steps += steps
+			}
+		}
+		ca.Wasted += tc.Wasted
+		ca.Trials = append(ca.Trials, *tc)
+	}
+	ca.Net = ca.Gross - ca.Refunded
+	return ca
+}
+
+// WriteTable renders the breakdown as an aligned text table (the CLI's
+// per-trial cost-attribution view).
+func (ca CostAttribution) WriteTable(w io.Writer) error {
+	width := len("trial")
+	for _, tc := range ca.Trials {
+		if len(tc.Trial) > width {
+			width = len(tc.Trial)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %10s %10s %10s %10s %10s %7s %5s\n",
+		width, "trial", "spot$", "ondemand$", "refund$", "net$", "wasted$", "steps", "insts"); err != nil {
+		return err
+	}
+	for _, tc := range ca.Trials {
+		if _, err := fmt.Fprintf(w, "%-*s %10.4f %10.4f %10.4f %10.4f %10.4f %7d %5d\n",
+			width, tc.Trial, tc.SpotGross, tc.OnDemandGross, tc.Refunded, tc.Net, tc.Wasted, tc.Steps, tc.Instances); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s %10.4f %10s %10.4f %10.4f %10.4f (postings %d, unattributed %d)\n",
+		width, "TOTAL", ca.Gross, "", ca.Refunded, ca.Net, ca.Wasted, ca.Postings, ca.UnattributedPostings)
+	return err
+}

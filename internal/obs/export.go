@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// The exporters hand-build their JSON: encoding/json rejects the ±Inf
+// payloads rank events legitimately carry (unobservable trials are ranked
+// at +Inf), and hand-built output keeps field order and float formatting
+// (strconv 'g', shortest round-trip) under our control — the byte-identity
+// contract is over these exact bytes.
+
+// appendJSONString appends s as a quoted JSON string.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f as a JSON number, or as the quoted strings
+// "inf"/"-inf"/"nan" for the values JSON numbers cannot carry.
+func appendJSONFloat(b []byte, f float64) []byte {
+	switch {
+	case math.IsInf(f, 1):
+		return append(b, `"inf"`...)
+	case math.IsInf(f, -1):
+		return append(b, `"-inf"`...)
+	case math.IsNaN(f):
+		return append(b, `"nan"`...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendEventJSON appends one event as a single-line JSON object with fixed
+// field order. Identity fields are omitted when empty; numeric payloads are
+// always present.
+func appendEventJSON(b []byte, e Event) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"vt":"`...)
+	b = e.VT.UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","kind":`...)
+	b = appendJSONString(b, e.Kind.String())
+	if e.Trial != "" {
+		b = append(b, `,"trial":`...)
+		b = appendJSONString(b, e.Trial)
+	}
+	if e.Inst != "" {
+		b = append(b, `,"inst":`...)
+		b = appendJSONString(b, e.Inst)
+	}
+	if e.Type != "" {
+		b = append(b, `,"type":`...)
+		b = appendJSONString(b, e.Type)
+	}
+	if e.Label != "" {
+		b = append(b, `,"label":`...)
+		b = appendJSONString(b, e.Label)
+	}
+	b = append(b, `,"a":`...)
+	b = appendJSONFloat(b, e.A)
+	b = append(b, `,"b":`...)
+	b = appendJSONFloat(b, e.B)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, e.N, 10)
+	return append(b, '}')
+}
+
+// WriteJSONL writes a recording as JSON Lines: one meta header object, then
+// one object per event in sequence order. Output bytes are a pure function
+// of the recording, so same-seed campaigns export byte-identical files —
+// the determinism contract CI's golden-trace diff rides on.
+func WriteJSONL(w io.Writer, r *Recording) error {
+	bw := bufio.NewWriter(w)
+	meta, err := json.Marshal(r.Meta)
+	if err != nil {
+		return err
+	}
+	bw.WriteString(`{"meta":`)
+	bw.Write(meta)
+	bw.WriteString("}\n")
+	var line []byte
+	for _, e := range r.Events() {
+		line = appendEventJSON(line[:0], e)
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ChromeWriter streams one or more recordings into a Chrome trace_event
+// JSON file (the JSON-array format chrome://tracing and Perfetto load).
+// Each recording becomes one "process": thread 0 is the tuner's round
+// timeline, and each trial gets its own thread showing the instances that
+// served it as complete ("X") spans from deploy to ledger posting —
+// fleet occupancy per trial at a glance. Notices, checkpoints, restores,
+// refunds, fallbacks, and eliminations appear as instant events.
+type ChromeWriter struct {
+	bw    *bufio.Writer
+	pid   int
+	wrote bool
+}
+
+// NewChromeWriter starts a trace_event stream on w. Call Add per recording,
+// then Close to terminate the JSON array.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{bw: bufio.NewWriter(w)}
+	cw.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return cw
+}
+
+// emit writes one pre-built JSON object, comma-separating as needed.
+func (cw *ChromeWriter) emit(obj []byte) {
+	if cw.wrote {
+		cw.bw.WriteByte(',')
+	}
+	cw.wrote = true
+	cw.bw.WriteByte('\n')
+	cw.bw.Write(obj)
+}
+
+// chromeTS is the event's timestamp in microseconds since the recording's
+// first event (Chrome traces use relative microseconds).
+func chromeTS(base, at time.Time) int64 { return at.Sub(base).Microseconds() }
+
+// metaEvent builds a trace_event metadata record (process/thread names).
+func metaEvent(name string, pid, tid int, key, value string) []byte {
+	b := append([]byte(nil), `{"ph":"M","name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{`...)
+	b = appendJSONString(b, key)
+	b = append(b, ':')
+	b = appendJSONString(b, value)
+	return append(b, `}}`...)
+}
+
+// span builds a complete ("X") event.
+func span(name, cat string, pid, tid int, ts, dur int64, args []byte) []byte {
+	b := append([]byte(nil), `{"ph":"X","name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, cat)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendInt(b, dur, 10)
+	if len(args) > 0 {
+		b = append(b, `,"args":`...)
+		b = append(b, args...)
+	}
+	return append(b, '}')
+}
+
+// instant builds an instant ("i") event, thread-scoped.
+func instant(name, cat string, pid, tid int, ts int64, args []byte) []byte {
+	b := append([]byte(nil), `{"ph":"i","s":"t","name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, cat)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	if len(args) > 0 {
+		b = append(b, `,"args":`...)
+		b = append(b, args...)
+	}
+	return append(b, '}')
+}
+
+// processLabel renders a recording's meta as its Chrome process name.
+func processLabel(m Meta, pid int) string {
+	label := m.Scenario
+	if label == "" {
+		label = "campaign"
+	}
+	if m.Tuner != "" {
+		label += "/" + m.Tuner
+	}
+	if m.Policy != "" {
+		label += "/" + m.Policy
+	}
+	if m.Replicate > 0 {
+		label += fmt.Sprintf("/r%d", m.Replicate)
+	}
+	if label == "campaign" {
+		label = fmt.Sprintf("campaign-%d", pid)
+	}
+	return label
+}
+
+// Add renders one recording into the stream.
+func (cw *ChromeWriter) Add(r *Recording) error {
+	events := r.Events()
+	cw.pid++
+	pid := cw.pid
+	cw.emit(metaEvent("process_name", pid, 0, "name", processLabel(r.Meta, pid)))
+	cw.emit(metaEvent("thread_name", pid, 0, "name", "tuner"))
+	if len(events) == 0 {
+		return nil
+	}
+	base := events[0].VT
+
+	// Threads: tid 0 is the tuner; trials get tids in order of first
+	// appearance (trial submission order, so the layout is deterministic).
+	tids := map[string]int{}
+	tidOf := func(trial string) int {
+		if trial == "" {
+			return 0
+		}
+		tid, ok := tids[trial]
+		if !ok {
+			tid = len(tids) + 1
+			tids[trial] = tid
+			cw.emit(metaEvent("thread_name", pid, tid, "name", "trial "+trial))
+		}
+		return tid
+	}
+
+	// Open deploys and rounds awaiting their closing event.
+	type open struct {
+		ts    int64
+		name  string
+		trial string
+	}
+	deploys := map[string]open{} // by instance ID
+	instTrial := map[string]string{}
+	var rounds []open
+
+	lastTS := chromeTS(base, events[len(events)-1].VT)
+	var args []byte
+	for _, e := range events {
+		ts := chromeTS(base, e.VT)
+		switch e.Kind {
+		case KindDeploy:
+			instTrial[e.Inst] = e.Trial
+			deploys[e.Inst] = open{
+				ts:    ts,
+				name:  e.Inst + " " + e.Type + " (" + e.Label + ")",
+				trial: e.Trial,
+			}
+		case KindPosting:
+			d, ok := deploys[e.Inst]
+			if !ok {
+				continue
+			}
+			delete(deploys, e.Inst)
+			args = append(args[:0], `{"gross_usd":`...)
+			args = appendJSONFloat(args, e.A)
+			args = append(args, `,"refunded_usd":`...)
+			args = appendJSONFloat(args, e.B)
+			args = append(args, `,"end":`...)
+			args = appendJSONString(args, e.Label)
+			args = append(args, '}')
+			cw.emit(span(d.name, "fleet", pid, tidOf(d.trial), d.ts, ts-d.ts, args))
+		case KindRoundOpen:
+			rounds = append(rounds, open{ts: ts, name: e.Label})
+		case KindRoundClose:
+			if len(rounds) == 0 {
+				continue
+			}
+			ro := rounds[len(rounds)-1]
+			rounds = rounds[:len(rounds)-1]
+			cw.emit(span("round "+ro.name, "tuner", pid, 0, ro.ts, ts-ro.ts, nil))
+		case KindNotice, KindCheckpoint, KindRestore, KindFallback, KindBlackoutRetry:
+			cw.emit(instant(e.Kind.String(), "trial", pid, tidOf(e.Trial), ts, nil))
+		case KindRefund:
+			args = append(args[:0], `{"usd":`...)
+			args = appendJSONFloat(args, e.A)
+			args = append(args, '}')
+			cw.emit(instant("refund", "ledger", pid, tidOf(instTrial[e.Inst]), ts, args))
+		case KindEliminate:
+			cw.emit(instant("eliminate "+e.Trial, "tuner", pid, 0, ts, nil))
+		case KindSelect:
+			cw.emit(instant("select "+e.Trial, "tuner", pid, 0, ts, nil))
+		}
+	}
+	// Anything still open at campaign end (an instance with no settlement —
+	// should not happen, but the exporter must not lose it) spans to the
+	// last event.
+	for _, inst := range sortedNames(deploys) {
+		d := deploys[inst]
+		cw.emit(span(d.name+" [unsettled]", "fleet", pid, tidOf(d.trial), d.ts, lastTS-d.ts, nil))
+	}
+	for i := len(rounds) - 1; i >= 0; i-- {
+		cw.emit(span("round "+rounds[i].name+" [open]", "tuner", pid, 0, rounds[i].ts, lastTS-rounds[i].ts, nil))
+	}
+	return nil
+}
+
+// Close terminates the JSON array and flushes.
+func (cw *ChromeWriter) Close() error {
+	cw.bw.WriteString("\n]}\n")
+	return cw.bw.Flush()
+}
+
+// TraceFormats lists the formats WriteTrace accepts.
+var TraceFormats = []string{"jsonl", "chrome"}
+
+// WriteTrace writes the recordings to w in the named format: "jsonl"
+// concatenates one JSONL document per recording (each with its meta header
+// line), "chrome" builds a single Chrome trace_event JSON with one process
+// per recording. Recording order is the caller's — emit cells in grid order
+// for byte-identical battery traces.
+func WriteTrace(w io.Writer, format string, recs ...*Recording) error {
+	switch format {
+	case "jsonl":
+		for _, r := range recs {
+			if r == nil {
+				continue
+			}
+			if err := WriteJSONL(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "chrome":
+		cw := NewChromeWriter(w)
+		for _, r := range recs {
+			if r == nil {
+				continue
+			}
+			if err := cw.Add(r); err != nil {
+				return err
+			}
+		}
+		return cw.Close()
+	}
+	return fmt.Errorf("obs: unknown trace format %q (have %v)", format, TraceFormats)
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"errors"
+	"sort"
+
+	"spottune/internal/stats"
+)
+
+// Metrics is a small deterministic metrics registry: named counters, gauges,
+// and QuantileSketch-backed histograms. Everything about it is
+// order-independent — counters add, sketches merge bucket-wise — so metrics
+// aggregated across streamed cells in scheduling-dependent order equal
+// metrics aggregated sequentially, bit for bit (the same contract
+// stats.QuantileSketch gives the matrix summary).
+type Metrics struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*stats.QuantileSketch
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*stats.QuantileSketch{},
+	}
+}
+
+// Count adds delta to a counter.
+func (m *Metrics) Count(name string, delta int64) { m.counters[name] += delta }
+
+// SetGauge records a point-in-time value (last write wins).
+func (m *Metrics) SetGauge(name string, v float64) { m.gauges[name] = v }
+
+// Observe adds one sample to a histogram, creating it at
+// stats.DefaultSketchAlpha on first use.
+func (m *Metrics) Observe(name string, v float64) {
+	h, ok := m.hists[name]
+	if !ok {
+		h = stats.NewQuantileSketch(stats.DefaultSketchAlpha)
+		m.hists[name] = h
+	}
+	h.Add(v)
+}
+
+// Counter returns a counter's value (0 when never counted).
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Gauge returns a gauge's value and whether it was ever set.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	v, ok := m.gauges[name]
+	return v, ok
+}
+
+// Histogram returns a histogram by name, or nil.
+func (m *Metrics) Histogram(name string) *stats.QuantileSketch { return m.hists[name] }
+
+// CounterNames/GaugeNames/HistogramNames list registered names in sorted
+// order — the iteration order every exporter and printer uses, so output
+// never depends on map ordering.
+func (m *Metrics) CounterNames() []string   { return sortedNames(m.counters) }
+func (m *Metrics) GaugeNames() []string     { return sortedNames(m.gauges) }
+func (m *Metrics) HistogramNames() []string { return sortedNames(m.hists) }
+
+func sortedNames[V any](mp map[string]V) []string {
+	names := make([]string, 0, len(mp))
+	for n := range mp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other into m: counters add, histograms merge bucket-wise,
+// gauges keep the most recently merged value. Gauges are point-in-time
+// numbers — to aggregate one across cells, observe it into a histogram
+// instead (CampaignMetrics does this for cost and JCT).
+func (m *Metrics) Merge(other *Metrics) error {
+	if other == nil {
+		return nil
+	}
+	for n, v := range other.counters {
+		m.counters[n] += v
+	}
+	for n, v := range other.gauges {
+		m.gauges[n] = v
+	}
+	for _, n := range other.HistogramNames() {
+		h, ok := m.hists[n]
+		if !ok {
+			h = stats.NewQuantileSketch(stats.DefaultSketchAlpha)
+			m.hists[n] = h
+		}
+		if err := h.Merge(other.hists[n]); err != nil {
+			return errors.New("obs: merging histogram " + n + ": " + err.Error())
+		}
+	}
+	return nil
+}
+
+// CampaignMetrics derives the standard per-campaign metric set from a
+// recording. Counters count events by kind (deploys split by market tier),
+// histograms sketch the economic distributions (posting dollars, segment
+// steps, checkpoint sizes) plus the headline cost/JCT outcomes so merged
+// cell metrics stream straight into battery-level percentiles, and gauges
+// carry the campaign's point outcomes.
+//
+// Derivation is a pure fold over the event slice, so two byte-identical
+// traces always produce identical metrics.
+func CampaignMetrics(r *Recording) *Metrics {
+	m := NewMetrics()
+	if r == nil {
+		return m
+	}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindDeploy:
+			m.Count("deploys", 1)
+			if e.Label == "on-demand" {
+				m.Count("deploys.on_demand", 1)
+			} else {
+				m.Count("deploys.spot", 1)
+			}
+		case KindNotice:
+			m.Count("notices", 1)
+		case KindBlackoutRetry:
+			m.Count("blackout_retries", 1)
+		case KindCheckpoint:
+			m.Count("checkpoints", 1)
+			m.Observe("checkpoint_mb", e.A)
+		case KindRestore:
+			m.Count("restores", 1)
+			m.Observe("restore_secs", e.A)
+		case KindSegment:
+			m.Count("segments", 1)
+			m.Observe("segment_steps", float64(e.N))
+		case KindPosting:
+			m.Count("postings", 1)
+			m.Observe("posting_gross_usd", e.A)
+			if e.Label == "revoked" {
+				m.Count("revocations", 1)
+			}
+		case KindRefund:
+			m.Count("refunds", 1)
+			m.Observe("refund_usd", e.A)
+		case KindFallback:
+			m.Count("fallbacks", 1)
+		case KindRoundOpen:
+			m.Count("rounds", 1)
+		case KindEliminate:
+			m.Count("eliminations", 1)
+		case KindCampaignEnd:
+			m.SetGauge("net_cost_usd", e.A)
+			m.SetGauge("jct_hours", e.B)
+			m.SetGauge("loop_iterations", float64(e.N))
+			m.Observe("cell_net_cost_usd", e.A)
+			m.Observe("cell_jct_hours", e.B)
+		}
+	}
+	return m
+}

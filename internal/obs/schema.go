@@ -1,0 +1,88 @@
+package obs
+
+import "encoding/json"
+
+// TraceSchema is the machine-readable description of the JSONL trace
+// format: the per-line fields and every event kind with its payload
+// meaning. CI diffs SchemaJSON against the committed fixture
+// (testdata/schema.golden.json), so adding, removing, or re-documenting a
+// kind is an explicit, reviewed change — downstream trace consumers never
+// meet a silently different format.
+type TraceSchema struct {
+	Version int           `json:"version"`
+	Fields  []FieldSchema `json:"fields"`
+	Kinds   []KindSchema  `json:"kinds"`
+}
+
+// FieldSchema documents one JSONL field.
+type FieldSchema struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// KindSchema documents one event kind's payload.
+type KindSchema struct {
+	Kind string `json:"kind"`
+	Doc  string `json:"doc"`
+}
+
+// SchemaVersion increments whenever the trace format changes
+// incompatibly (field meaning, kind removal). Additive kinds keep the
+// version and extend the kind list.
+const SchemaVersion = 1
+
+var kindDocs = [numKinds]string{
+	KindUnknown:       "unused placeholder",
+	KindCampaignStart: "campaign opens: label=approach, type=tuner, a=theta, n=trial count",
+	KindRoundOpen:     "tuner round begins: label=round, n=directive count",
+	KindBudget:        "round directive: trial, n=absolute step budget, label=round",
+	KindEliminate:     "tuner drops a trial at round close: trial, label=round",
+	KindRoundClose:    "tuner round ends: label=round, n=directive count",
+	KindDeploy:        "instance launch: trial, inst, type, label=spot|on-demand, a=max/hourly price, n=steps already done",
+	KindRestore:       "checkpoint restore: trial, inst, a=transfer+setup seconds, n=restored steps",
+	KindCheckpoint:    "checkpoint save: trial, inst, a=checkpoint MB, n=steps captured",
+	KindNotice:        "revocation notice: trial, inst, type, n=spot-failure streak after it",
+	KindBlackoutRetry: "spot request rejected by capacity blackout: trial, type, n=streak after it",
+	KindStreakClear:   "clean spot segment resets the failure streak: trial, n=streak cleared",
+	KindFallback:      "fallback-policy transition: trial, label=doomed|streak|spot-return, a=signal, n=streak",
+	KindSegment:       "work segment closes: trial, inst, n=retained steps",
+	KindPosting:       "ledger posting at settlement: inst, type, label=end reason, a=gross USD, b=refunded USD, n=1 if on-demand",
+	KindRefund:        "first-hour refund granted: inst, type, a=refunded USD",
+	KindRank:          "prediction outcome: trial, a=predicted final metric (inf=unobservable), n=1-based rank",
+	KindSelect:        "final selection: trial=best, n=top-set size",
+	KindCampaignEnd:   "campaign closes: a=net cost USD, b=JCT hours, n=loop iterations",
+}
+
+// Schema returns the current trace schema, kinds in numeric (emission
+// precedence) order.
+func Schema() TraceSchema {
+	s := TraceSchema{
+		Version: SchemaVersion,
+		Fields: []FieldSchema{
+			{"seq", "monotonic per-recording sequence number, 1-based"},
+			{"vt", "virtual instant, RFC3339Nano UTC"},
+			{"kind", "event kind name"},
+			{"trial", "trial ID (omitted when empty)"},
+			{"inst", "instance ID (omitted when empty)"},
+			{"type", "instance-type name (omitted when empty)"},
+			{"label", "per-kind discriminator (omitted when empty)"},
+			{"a", "per-kind float payload; inf/-inf/nan encoded as quoted strings"},
+			{"b", "per-kind float payload"},
+			{"n", "per-kind integer payload"},
+		},
+	}
+	for k := KindCampaignStart; k < numKinds; k++ {
+		s.Kinds = append(s.Kinds, KindSchema{Kind: k.String(), Doc: kindDocs[k]})
+	}
+	return s
+}
+
+// SchemaJSON renders the schema as stable, indented JSON — the bytes the
+// committed fixture pins.
+func SchemaJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(Schema(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,5 +1,7 @@
 package policy
 
+import "spottune/internal/obs"
+
 func init() {
 	Register(FallbackName,
 		"AutoSpotting-style: Eq. 2 spot until K failures or a doom window, then on-demand; back to spot when calm",
@@ -45,7 +47,33 @@ func (f *fallback) Decide(ctx Context) (Request, error) {
 	doomed := spot.RevProb >= f.doomProb
 	trapped := ctx.Trial.SpotFailures >= f.fallbackAfter && !calm
 	if doomed || trapped {
+		if ctx.Tracer != nil {
+			label := "streak"
+			if doomed {
+				label = "doomed"
+			}
+			ctx.Tracer.Emit(obs.Event{
+				VT:    ctx.Market.Now(),
+				Kind:  obs.KindFallback,
+				Trial: ctx.Trial.ID,
+				Label: label,
+				A:     spot.RevProb,
+				N:     int64(ctx.Trial.SpotFailures),
+			})
+		}
 		return bestOnDemand(ctx, f.pool)
+	}
+	if ctx.Tracer != nil && ctx.Trial.SpotFailures >= f.fallbackAfter && calm {
+		// The streak alone would have trapped us on on-demand; the calm
+		// market is what sends the trial back to spot.
+		ctx.Tracer.Emit(obs.Event{
+			VT:    ctx.Market.Now(),
+			Kind:  obs.KindFallback,
+			Trial: ctx.Trial.ID,
+			Label: "spot-return",
+			A:     spot.RevProb,
+			N:     int64(ctx.Trial.SpotFailures),
+		})
 	}
 	return spot, nil
 }

@@ -21,6 +21,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"time"
+
+	"spottune/internal/obs"
 )
 
 // Default bid-delta interval (Algorithm 1 line 4): a spot maximum price is
@@ -74,6 +76,11 @@ type Context struct {
 	ActiveOnDemand int
 	// SecPerStep is the performance matrix row M[·][hp] for this trial.
 	SecPerStep func(typeName string) float64
+	// Tracer receives policy-side events (fallback tier transitions). The
+	// orchestrator always supplies one (obs.Nop when tracing is off);
+	// custom callers may leave it nil, so policies must nil-check before
+	// emitting.
+	Tracer obs.Tracer
 }
 
 // Request is a provisioning decision: rent this type, spot or on-demand.

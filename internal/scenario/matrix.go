@@ -13,6 +13,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/experiments"
 	"spottune/internal/invariants"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/revpred"
 	"spottune/internal/search"
@@ -44,6 +45,14 @@ type Options struct {
 	// SkipInvariants disables the per-cell invariant audit (the audit is
 	// on by default; this exists for timing comparisons only).
 	SkipInvariants bool
+	// Trace turns on the flight recorder for every cell: each campaign
+	// records its events into an obs.Recording handed back on Cell.Trace,
+	// the invariant audit reconciles trace-derived cost attribution against
+	// the ledger and attaches event context to violations, and the
+	// streaming summary aggregates per-cell metrics. Only the streaming
+	// path (Matrix.Stream) threads traces; the legacy buffered Run ignores
+	// this field.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +96,9 @@ type Cell struct {
 	Replicate int
 	experiments.CrossPolicyRow
 	Violations []invariants.Violation
+	// Trace is the cell's flight recording (nil unless Options.Trace on the
+	// streaming path). Meta carries the cell coordinates.
+	Trace *obs.Recording
 }
 
 // Result is a completed matrix.
@@ -346,6 +358,7 @@ func StateFor(d *campaign.RunDetail) invariants.State {
 		Trials:      d.Trials,
 		Catalog:     d.Cluster.Catalog(),
 		Checkpoints: storeBlobs(d),
+		Trace:       d.Trace,
 	}
 }
 

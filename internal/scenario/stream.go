@@ -10,6 +10,7 @@ import (
 	"spottune/internal/earlycurve"
 	"spottune/internal/experiments"
 	"spottune/internal/invariants"
+	"spottune/internal/obs"
 	"spottune/internal/stats"
 	"spottune/internal/trial"
 	"spottune/internal/workload"
@@ -64,6 +65,11 @@ type StreamSummary struct {
 	Cost       *stats.QuantileSketch
 	JCTHours   *stats.QuantileSketch
 	RefundFrac *stats.QuantileSketch
+
+	// Metrics aggregates every cell's flight-recorder metrics (event
+	// counters plus latency/size/cost histograms), merged in grid order by
+	// the in-order emitter. Nil unless Options.Trace is on.
+	Metrics *obs.Metrics
 }
 
 // cellOutcome carries one finished cell from a worker to the in-order
@@ -152,6 +158,9 @@ func (m Matrix) Stream(opt StreamOptions) (*StreamSummary, error) {
 		JCTHours:   stats.NewQuantileSketch(stats.DefaultSketchAlpha),
 		RefundFrac: stats.NewQuantileSketch(stats.DefaultSketchAlpha),
 	}
+	if o.Trace {
+		summary.Metrics = obs.NewMetrics()
+	}
 
 	jobs := make(chan cellJob)
 	outcomes := make(chan cellOutcome, workers)
@@ -230,6 +239,11 @@ func (m Matrix) Stream(opt StreamOptions) (*StreamSummary, error) {
 			summary.Cost.Add(o2.cell.Cost)
 			summary.JCTHours.Add(o2.cell.JCTHours)
 			summary.RefundFrac.Add(o2.cell.RefundFrac)
+			if summary.Metrics != nil && o2.cell.Trace != nil {
+				// Counters add and sketches merge order-independently, so
+				// the aggregate is worker-count invariant like the cells.
+				summary.Metrics.Merge(obs.CampaignMetrics(o2.cell.Trace))
+			}
 			if opt.OnCell != nil {
 				if err := opt.OnCell(o2.cell); err != nil {
 					firstErr = fmt.Errorf("scenario: cell %s/%s/%s: %w",
@@ -313,11 +327,13 @@ func (m Matrix) buildBlocks(o Options) ([]*specBlock, error) {
 func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.PerfCache) (Cell, error) {
 	b := job.block
 	var violations []invariants.Violation
+	var rec *obs.Recording
 	copt := campaign.Options{
 		Theta:  o.Theta,
 		Seed:   replicateSeed(b.spec.Seed, job.rep),
 		Tuner:  job.tuner,
 		Policy: job.policy,
+		Trace:  o.Trace,
 		// The worker's shared fit memo rides in on the trend predictor, and
 		// its perf cache shares ground-truth step curves across same-seed
 		// cells; both reuses are bit-identical to cold builds, so this
@@ -325,9 +341,17 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 		Trend:     &earlycurve.Predictor{Memo: memo},
 		PerfCache: perfc,
 	}
-	if !o.SkipInvariants {
+	if !o.SkipInvariants || o.Trace {
 		copt.Inspect = func(d *campaign.RunDetail) error {
-			violations = append(violations, invariants.Check(StateFor(d))...)
+			if rec = d.Trace; rec != nil {
+				// The campaign stamped tuner/policy/workload/seed; the cell
+				// coordinates are the scenario layer's to add.
+				rec.Meta.Scenario = b.spec.Name
+				rec.Meta.Replicate = job.rep
+			}
+			if !o.SkipInvariants {
+				violations = append(violations, invariants.Check(StateFor(d))...)
+			}
 			return nil
 		}
 	}
@@ -353,5 +377,6 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 			Report:              rep,
 		},
 		Violations: violations,
+		Trace:      rec,
 	}, nil
 }

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"spottune/internal/obs"
+	"spottune/internal/policy"
+	"spottune/internal/search"
+)
+
+// traceBattery streams a small fault-heavy matrix with tracing on and
+// returns the concatenated JSONL trace, the cells, and the summary.
+func traceBattery(t *testing.T, workers int) ([]byte, []Cell, *StreamSummary) {
+	t.Helper()
+	specs, err := SpecsByName([]string{"baseline+blackout", "calm", "flash-crash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{Specs: specs}
+	opt := quickOpts()
+	opt.Trace = true
+	opt.Policies = []string{policy.SpotTuneName, policy.FallbackName}
+	opt.Tuners = []string{search.SpotTuneName}
+
+	var buf bytes.Buffer
+	var cells []Cell
+	sum, err := m.Stream(StreamOptions{
+		Options:    opt,
+		Replicates: 2,
+		Workers:    workers,
+		OnCell: func(c Cell) error {
+			cells = append(cells, c)
+			return obs.WriteJSONL(&buf, c.Trace)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), cells, sum
+}
+
+// TestStreamTraceDeterminism is the flight recorder's acceptance test: the
+// same seeded battery produces byte-identical JSONL traces regardless of how
+// many Stream workers raced to produce the cells, and the invariant audit —
+// which includes the bitwise trace-vs-ledger reconciliation — stays clean.
+func TestStreamTraceDeterminism(t *testing.T) {
+	seq, cells1, sum1 := traceBattery(t, 1)
+	par, cells4, sum4 := traceBattery(t, 4)
+	if len(seq) == 0 {
+		t.Fatal("no trace bytes emitted")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("trace bytes diverge across worker counts: %d vs %d bytes", len(seq), len(par))
+	}
+	if sum1.Violations != 0 || sum4.Violations != 0 {
+		t.Fatalf("traced battery raised violations: %d / %d", sum1.Violations, sum4.Violations)
+	}
+	if len(cells1) != len(cells4) {
+		t.Fatalf("%d cells sequential vs %d parallel", len(cells1), len(cells4))
+	}
+
+	for i, c := range cells1 {
+		if c.Trace == nil {
+			t.Fatalf("cell %d (%s/%s) has no recording", i, c.Scenario, c.Policy)
+		}
+		if c.Trace.Len() == 0 {
+			t.Fatalf("cell %d: empty recording", i)
+		}
+		meta := c.Trace.Meta
+		if meta.Scenario != c.Scenario || meta.Policy != c.Policy ||
+			meta.Tuner != c.Tuner || meta.Replicate != c.Replicate {
+			t.Fatalf("cell %d: meta (%s,%s,%s,rep%d) disagrees with cell (%s,%s,%s,rep%d)",
+				i, meta.Scenario, meta.Tuner, meta.Policy, meta.Replicate,
+				c.Scenario, c.Tuner, c.Policy, c.Replicate)
+		}
+		// Per-trial cost attribution from the trace reconciles with the
+		// cell's headline economics.
+		att := obs.Attribute(c.Trace)
+		if att.UnattributedPostings != 0 {
+			t.Fatalf("cell %d: %d unattributed postings", i, att.UnattributedPostings)
+		}
+		if math.Float64bits(att.Net) != math.Float64bits(c.Cost) {
+			t.Fatalf("cell %d (%s/%s): attributed net %v != cell cost %v",
+				i, c.Scenario, c.Policy, att.Net, c.Cost)
+		}
+	}
+
+	// The blackout scenario must actually exercise the fault-path events.
+	var retries, fallbacks int64
+	for _, c := range cells1 {
+		if c.Scenario != "baseline+blackout" {
+			continue
+		}
+		for _, e := range c.Trace.Events() {
+			switch e.Kind {
+			case obs.KindBlackoutRetry:
+				retries++
+			case obs.KindFallback:
+				fallbacks++
+			}
+		}
+	}
+	if retries == 0 {
+		t.Error("blackout battery recorded zero blackout-retry events")
+	}
+	if fallbacks == 0 {
+		t.Error("blackout battery recorded zero fallback transitions")
+	}
+}
+
+// TestStreamMetricsAggregate pins the battery-level metrics: present only
+// when tracing is on, counters consistent with the cells that produced them,
+// and worker-count invariant (sketch merge is order-independent).
+func TestStreamMetricsAggregate(t *testing.T) {
+	_, cells, sum1 := traceBattery(t, 1)
+	_, _, sum4 := traceBattery(t, 4)
+	if sum1.Metrics == nil || sum4.Metrics == nil {
+		t.Fatal("traced stream returned no metrics")
+	}
+
+	var deploys int64
+	for _, c := range cells {
+		deploys += int64(c.Deployments)
+	}
+	if got := sum1.Metrics.Counter("deploys"); got != deploys {
+		t.Fatalf("metrics count %d deploys, cells report %d", got, deploys)
+	}
+	if sum1.Metrics.Counter("postings") == 0 {
+		t.Error("no ledger postings counted")
+	}
+
+	for _, name := range sum1.Metrics.CounterNames() {
+		if a, b := sum1.Metrics.Counter(name), sum4.Metrics.Counter(name); a != b {
+			t.Errorf("counter %s: %d sequential vs %d parallel", name, a, b)
+		}
+	}
+	for _, name := range sum1.Metrics.HistogramNames() {
+		h1, h4 := sum1.Metrics.Histogram(name), sum4.Metrics.Histogram(name)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if math.Float64bits(h1.Quantile(q)) != math.Float64bits(h4.Quantile(q)) {
+				t.Errorf("histogram %s q=%v diverges across worker counts", name, q)
+			}
+		}
+	}
+
+	// Untraced streams must not pay for any of this.
+	specs, err := SpecsByName([]string{"calm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.SpotTuneName}
+	sum, err := (Matrix{Specs: specs}).Stream(StreamOptions{
+		Options: opt,
+		OnCell: func(c Cell) error {
+			if c.Trace != nil {
+				t.Error("untraced cell carries a recording")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Metrics != nil {
+		t.Error("untraced stream returned metrics")
+	}
+}

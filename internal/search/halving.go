@@ -53,6 +53,10 @@ type sha struct {
 	issued bool
 
 	survivors []string
+	// pendingElim accumulates trials cut since the last emitted round; the
+	// next round (including the final ok=false one) carries them out as
+	// Round.Eliminated.
+	pendingElim []string
 }
 
 // start initializes the run over ids, deriving the rung count when the
@@ -66,9 +70,27 @@ func (h *sha) start(ids []string) {
 }
 
 // cut eliminates down to the top ceil(len/η) survivors by last observed
-// value (unobserved trials rank last; exact ties break by trial ID).
+// value (unobserved trials rank last; exact ties break by trial ID). Cut
+// trials queue on pendingElim in survivor order.
 func (h *sha) cut(s State) {
-	h.survivors = keepTop(s, h.survivors, ceilDiv(len(h.survivors), h.eta))
+	keep := keepTop(s, h.survivors, ceilDiv(len(h.survivors), h.eta))
+	kept := make(map[string]bool, len(keep))
+	for _, id := range keep {
+		kept[id] = true
+	}
+	for _, id := range h.survivors {
+		if !kept[id] {
+			h.pendingElim = append(h.pendingElim, id)
+		}
+	}
+	h.survivors = keep
+}
+
+// takeElim drains the pending eliminations.
+func (h *sha) takeElim() []string {
+	e := h.pendingElim
+	h.pendingElim = nil
+	return e
 }
 
 // next returns the next rung's round, or ok=false when every rung has run.
@@ -99,12 +121,13 @@ func (h *sha) next(s State, label string) (Round, bool) {
 			return Round{
 				Label:      fmt.Sprintf("%srung %d/%d", label, h.rung+1, h.rungs),
 				Directives: ds,
+				Eliminated: h.takeElim(),
 			}, true
 		}
 		// Every survivor is settled at this budget; the elimination runs on
 		// what is already observed and the loop moves on.
 	}
-	return Round{}, false
+	return Round{Eliminated: h.takeElim()}, false
 }
 
 // directives builds the rung's marching orders, skipping survivors with

@@ -24,6 +24,9 @@ type hyperband struct {
 	started bool
 	bracket int
 	runs    []*sha
+	// pendingElim carries eliminations a finishing bracket reported on its
+	// final ok=false round into the next emitted round.
+	pendingElim []string
 }
 
 func (t *hyperband) Name() string { return HyperbandName }
@@ -51,12 +54,18 @@ func (t *hyperband) Next(s State) (Round, bool) {
 	}
 	for t.bracket < len(t.runs) {
 		label := fmt.Sprintf("bracket %d/%d ", t.bracket+1, len(t.runs))
-		if round, ok := t.runs[t.bracket].next(s, label); ok {
+		round, ok := t.runs[t.bracket].next(s, label)
+		if ok {
+			round.Eliminated = append(t.pendingElim, round.Eliminated...)
+			t.pendingElim = nil
 			return round, true
 		}
+		t.pendingElim = append(t.pendingElim, round.Eliminated...)
 		t.bracket++
 	}
-	return Round{}, false
+	elim := t.pendingElim
+	t.pendingElim = nil
+	return Round{Eliminated: elim}, false
 }
 
 func (t *hyperband) Finish(s State) Outcome {

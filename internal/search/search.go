@@ -44,6 +44,12 @@ type Round struct {
 	// Label names the round in diagnostics ("explore", "rung 2/3").
 	Label      string
 	Directives []Directive
+	// Eliminated lists the trials the tuner dropped while deciding this
+	// round (successive-halving cuts, spottune's below-top-MCnt tail), in
+	// elimination order. Purely observational — the engine emits them to
+	// the flight recorder; directives alone drive execution. A tuner may
+	// attach eliminations to its final ok=false round too.
+	Eliminated []string
 }
 
 // TrialStatus is the tuner-visible snapshot of one trial between rounds.

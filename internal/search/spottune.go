@@ -65,17 +65,19 @@ func (t *spotTune) Next(s State) (Round, bool) {
 		return Round{Label: "explore", Directives: ds}, true
 	case 1:
 		// Prediction phase (lines 48–52) then the continuation round
-		// (line 53): top-MCnt models to full steps.
+		// (line 53): top-MCnt models to full steps. The below-top-MCnt
+		// tail is eliminated here, in rank order.
 		t.round++
 		t.predict(s)
+		elim := t.ranked[len(t.top):]
 		if len(t.cont) == 0 {
-			return Round{}, false
+			return Round{Label: "continue", Eliminated: elim}, false
 		}
 		ds := make([]Directive, 0, len(t.cont))
 		for _, id := range t.cont {
 			ds = append(ds, Directive{TrialID: id, StepLimit: s.Status(id).MaxSteps})
 		}
-		return Round{Label: "continue", Directives: ds}, true
+		return Round{Label: "continue", Directives: ds, Eliminated: elim}, true
 	}
 	return Round{}, false
 }

@@ -1,0 +1,45 @@
+package spottune
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoStdlibLogUnderInternal enforces the observability contract: library
+// code under internal/ never logs to a global sink. Diagnostics flow through
+// the obs flight recorder (typed, deterministic, reconcilable) or come back
+// as errors; only the cmd/ binaries talk to the user. The stdlib log package
+// would bypass all of that with wall-clock-stamped, unstructured side output.
+func TestNoStdlibLogUnderInternal(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "log" || p == "log/slog" || strings.HasPrefix(p, "log/") {
+				t.Errorf("%s imports %q: internal packages must use the obs tracer, not global logging", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
