@@ -4,7 +4,7 @@ GO ?= go
 # target (and CI's coverage lane) fail if the suite drops below it.
 COVER_FLOOR ?= 73.0
 
-.PHONY: all vet build test test-short bench bench-campaign bench-obs trace scenarios fuzz cover ci
+.PHONY: all vet build test test-short bench bench-campaign bench-obs trace scenarios storm fuzz cover ci
 
 all: ci
 
@@ -77,11 +77,23 @@ scenarios:
 	$(GO) run ./cmd/scenarios -quick -tuners all -out results
 	$(GO) run ./cmd/scenarios -quick -scenarios baseline,calm -replicates 25 -stream
 
+# Chaos storm battery: the seeded adversarial fault schedules (revocation
+# storms, blackout fronts, mid-notice blackouts, mixed) crossed with every
+# tuner and every recovery strategy, invariant-audited — the resilience
+# layer's acceptance lane. Exits non-zero on any violation; battery-wide
+# survival rate, lost-work percentiles, and degradation transitions land in
+# results/BENCH_resilience.json (uploaded by CI). Same -chaos-seed, same
+# storm: a violating schedule replays bit-identically.
+storm:
+	$(GO) run ./cmd/scenarios -quick -storm all -chaos-seed 1 -tuners all -strategies all \
+		-out results/storm -resiliencejson results/BENCH_resilience.json
+
 # Native fuzz targets, run briefly (CI runs the same lane). Corpus finds are
 # committed under the packages' testdata/fuzz directories.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceCSVRoundTrip -fuzztime 10s ./internal/market
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointCodec -fuzztime 10s ./internal/trial
+	$(GO) test -run '^$$' -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/scenario
 
 # Coverage gate: total -short statement coverage must stay at or above
 # COVER_FLOOR (the level recorded when the scenario engine landed).
@@ -92,4 +104,4 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: vet build test-short bench-campaign bench-obs scenarios
+ci: vet build test-short bench-campaign bench-obs scenarios storm

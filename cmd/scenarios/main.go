@@ -10,6 +10,9 @@
 //	scenarios -quick -scenarios calm,crunch -policies spottune,on-demand
 //	scenarios -quick -tuners all              # cross-tuner lane: every search strategy per cell
 //	scenarios -quick -replicates 100 -stream  # large grid: live progress + aggregate percentiles
+//	scenarios -quick -storm all -strategies all -chaos-seed 1 \
+//	          -resiliencejson results/BENCH_resilience.json
+//	                                          # chaos battery: seeded storms × every recovery strategy
 //	scenarios -list                           # what's available
 //	scenarios -seed 7 -out results            # full fidelity (slow: trains predictors per scenario)
 //
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,9 +34,11 @@ import (
 	"strings"
 	"time"
 
+	"spottune/internal/core"
 	"spottune/internal/market"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
+	"spottune/internal/resilience"
 	"spottune/internal/scenario"
 	"spottune/internal/search"
 	"spottune/internal/stats"
@@ -59,6 +65,10 @@ func run() error {
 		reps      = flag.Int("replicates", 1, "seed-axis replicates per scenario (each with a derived campaign seed)")
 		stream    = flag.Bool("stream", false, "summary mode: live progress + aggregate percentiles instead of the per-cell table")
 		percell   = flag.Bool("percell", false, "with -stream, still write the per-cell CSV (it is always written otherwise)")
+		stormF    = flag.String("storm", "", "chaos battery: replace -scenarios with seeded storm specs for this regime (see -list), or 'all'")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the -storm schedule generator; same (regime, seed), bit-identical storm")
+		stratsF   = flag.String("strategies", resilience.FixedName, "comma-separated recovery strategy names, or 'all' for every registered strategy")
+		resJSON   = flag.String("resiliencejson", "", "write battery-wide resilience metrics (survival rate, lost-work percentiles, degradation transitions) to this JSON file")
 		trace     = flag.String("trace", "", "flight-recorder output path; turns tracing on (same seed, byte-identical file)")
 		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl, chrome, or all (with 'all', chrome lands next to -trace with a .trace.json suffix)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
@@ -102,7 +112,19 @@ func run() error {
 		// boundary a typo must not run a different experiment than asked.
 		return fmt.Errorf("-theta %v outside (0, 1]", *theta)
 	}
-	specs, err := scenario.ParseSpecList(*names)
+	var specs []scenario.Spec
+	var err error
+	if *stormF != "" {
+		// The chaos battery replaces the named battery wholesale — mixing
+		// the two would silently drop one, so an explicit -scenarios
+		// alongside -storm is a contradiction, not a union.
+		if *names != "all" {
+			return fmt.Errorf("-storm and -scenarios are mutually exclusive")
+		}
+		specs, err = scenario.StormSpecs(*stormF, *chaosSeed)
+	} else {
+		specs, err = scenario.ParseSpecList(*names)
+	}
 	if err != nil {
 		return err
 	}
@@ -116,15 +138,20 @@ func run() error {
 		// default is spottune-only, so expand explicitly here.
 		tuns = search.Names()
 	}
+	strats := splitArg(*stratsF)
+	if strats == nil {
+		strats = resilience.Names()
+	}
 
 	opt := scenario.Options{
-		Seed:     *seed,
-		Quick:    *quick,
-		Workload: *workloadF,
-		Theta:    *theta,
-		Policies: pols,
-		Tuners:   tuns,
-		Trace:    *trace != "",
+		Seed:       *seed,
+		Quick:      *quick,
+		Workload:   *workloadF,
+		Theta:      *theta,
+		Policies:   pols,
+		Tuners:     tuns,
+		Strategies: strats,
+		Trace:      *trace != "",
 	}
 	sopt := scenario.StreamOptions{Options: opt, Replicates: *reps}
 
@@ -195,12 +222,32 @@ func run() error {
 		}
 	}
 
+	// Resilience aggregates accumulate cell by cell, per strategy — the
+	// whole-battery JSON is rendered from them after the stream drains.
+	var (
+		resPer map[string]*resAgg
+		resAll *resAgg
+	)
+	if *resJSON != "" {
+		resPer = map[string]*resAgg{}
+		resAll = newResAgg()
+	}
+
 	tab := tablePrinter{replicates: *reps, quiet: *stream}
 	sopt.OnCell = func(c scenario.Cell) error {
 		if cw != nil {
 			if err := cw.Write(c); err != nil {
 				return err
 			}
+		}
+		if resPer != nil {
+			a := resPer[c.Strategy]
+			if a == nil {
+				a = newResAgg()
+				resPer[c.Strategy] = a
+			}
+			a.add(c.Report)
+			resAll.add(c.Report)
 		}
 		if c.Trace != nil {
 			if jsonlF != nil {
@@ -249,6 +296,12 @@ func run() error {
 	}
 	if *trace != "" {
 		fmt.Printf("flight-recorder trace written to %s (format %s)\n", *trace, *traceFmt)
+	}
+	if *resJSON != "" {
+		if err := writeResilienceJSON(*resJSON, *stormF, *chaosSeed, resAll, resPer); err != nil {
+			return err
+		}
+		fmt.Printf("resilience metrics written to %s\n", *resJSON)
 	}
 	if *stream {
 		printSummary(sum)
@@ -304,6 +357,120 @@ func printInventory() {
 	for _, t := range search.Infos() {
 		fmt.Printf("  %-18s %s\n", t.Name, t.Doc)
 	}
+	fmt.Println("\nrecovery strategies (-strategies):")
+	for _, r := range resilience.Infos() {
+		fmt.Printf("  %-10s %s\n", r.Name, r.Doc)
+	}
+	fmt.Println("\nstorm regimes (-storm, chaos battery):")
+	for _, s := range scenario.StormInfos() {
+		fmt.Printf("  %-11s %s\n", s.Name, s.Doc)
+	}
+}
+
+// resAgg accumulates resilience outcomes across cells for one recovery
+// strategy; BENCH_resilience.json is rendered from these after the stream
+// drains. Lost work is sketched per cell, so the p99 stays exact in memory
+// no matter how many replicates the grid fans out.
+type resAgg struct {
+	cells, trials, gaveUp int
+	lostTotal, migrations int
+	retries, transitions  int
+	missed                int
+	lost                  *stats.QuantileSketch
+}
+
+func newResAgg() *resAgg { return &resAgg{lost: stats.NewQuantileSketch(0.01)} }
+
+func (a *resAgg) add(rep *core.Report) {
+	if rep == nil {
+		return
+	}
+	a.cells++
+	// A trial "survived" unless the retry budget abandoned it. The trial
+	// census is segments ∪ gave-up: every trial that ran a step has a
+	// segment, and a trial abandoned before its first step only appears in
+	// GaveUp.
+	seen := map[string]bool{}
+	for _, s := range rep.Segments {
+		seen[s.TrialID] = true
+	}
+	trials := len(seen)
+	for _, id := range rep.GaveUp {
+		if !seen[id] {
+			trials++
+		}
+	}
+	a.trials += trials
+	a.gaveUp += len(rep.GaveUp)
+	a.lostTotal += rep.LostSteps
+	a.lost.Add(float64(rep.LostSteps))
+	a.migrations += rep.Migrations
+	for _, n := range rep.BlackoutRetries {
+		a.retries += n
+	}
+	a.transitions += rep.DegradationTransitions
+	if rep.DeadlineMissed {
+		a.missed++
+	}
+}
+
+// resSummary is the serialized form of one aggregate.
+type resSummary struct {
+	Cells                  int     `json:"cells"`
+	Trials                 int     `json:"trials"`
+	GaveUpTrials           int     `json:"gave_up_trials"`
+	SurvivalRate           float64 `json:"survival_rate"`
+	LostStepsTotal         int     `json:"lost_steps_total"`
+	LostStepsP50           float64 `json:"lost_steps_p50"`
+	LostStepsP99           float64 `json:"lost_steps_p99"`
+	LostStepsMax           float64 `json:"lost_steps_max"`
+	Migrations             int     `json:"migrations"`
+	BlackoutRetries        int     `json:"blackout_retries"`
+	DegradationTransitions int     `json:"degradation_transitions"`
+	DeadlineMissedCells    int     `json:"deadline_missed_cells"`
+}
+
+func (a *resAgg) summary() resSummary {
+	surv := 1.0
+	if a.trials > 0 {
+		surv = float64(a.trials-a.gaveUp) / float64(a.trials)
+	}
+	return resSummary{
+		Cells:                  a.cells,
+		Trials:                 a.trials,
+		GaveUpTrials:           a.gaveUp,
+		SurvivalRate:           surv,
+		LostStepsTotal:         a.lostTotal,
+		LostStepsP50:           a.lost.Quantile(0.5),
+		LostStepsP99:           a.lost.Quantile(0.99),
+		LostStepsMax:           a.lost.Max(),
+		Migrations:             a.migrations,
+		BlackoutRetries:        a.retries,
+		DegradationTransitions: a.transitions,
+		DeadlineMissedCells:    a.missed,
+	}
+}
+
+func writeResilienceJSON(path, storm string, chaosSeed uint64, overall *resAgg, per map[string]*resAgg) error {
+	out := struct {
+		Storm      string                `json:"storm,omitempty"`
+		ChaosSeed  uint64                `json:"chaos_seed"`
+		Overall    resSummary            `json:"overall"`
+		Strategies map[string]resSummary `json:"strategies"`
+	}{Storm: storm, ChaosSeed: chaosSeed, Overall: overall.summary(), Strategies: map[string]resSummary{}}
+	for name, a := range per {
+		out.Strategies[name] = a.summary()
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // tablePrinter renders the matrix table incrementally as cells stream in,

@@ -11,6 +11,7 @@
 //	spottune -workload LoR -baseline r4.large
 //	spottune -workload GBTR -theta 0.5 -pred oracle -real
 //	spottune -workload LoR -trace campaign.jsonl          # flight recorder + cost attribution
+//	spottune -workload LoR -resilience adaptive -deadline 24h  # recovery strategy + degradation ladder
 //
 // Run with -help to see the registered policies and tuners.
 package main
@@ -27,6 +28,7 @@ import (
 	"spottune/internal/core"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
+	"spottune/internal/resilience"
 	"spottune/internal/search"
 	"spottune/internal/workload"
 )
@@ -58,6 +60,10 @@ func run() error {
 		train    = flag.Int("train", 2, "days of history used to train predictors")
 		trace    = flag.String("trace", "", "flight-recorder output path; turns tracing on and prints the per-trial cost attribution")
 		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+		resName  = flag.String("resilience", resilience.FixedName,
+			"recovery strategy: "+strings.Join(resilience.Names(), ", "))
+		deadline = flag.Duration("deadline", 0, "campaign completion deadline; 0 disables the degradation ladder")
+		budget   = flag.Float64("budget", 0, "campaign spend cap in USD for ladder decisions; 0 = unconstrained")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -69,6 +75,10 @@ func run() error {
 		}
 		fmt.Fprintf(out, "\nRegistered tuners (search strategies):\n")
 		for _, info := range search.Infos() {
+			fmt.Fprintf(out, "  %-18s %s\n", info.Name, info.Doc)
+		}
+		fmt.Fprintf(out, "\nRegistered recovery strategies:\n")
+		for _, info := range resilience.Infos() {
 			fmt.Fprintf(out, "  %-18s %s\n", info.Name, info.Doc)
 		}
 	}
@@ -118,6 +128,10 @@ func run() error {
 			return fmt.Errorf("-baseline and -trace are mutually exclusive " +
 				"(the legacy baseline loop predates the flight recorder)")
 		}
+		if *resName != resilience.FixedName || *deadline != 0 || *budget != 0 {
+			return fmt.Errorf("-baseline and -resilience/-deadline/-budget are mutually exclusive " +
+				"(the legacy baseline loop predates the recovery-strategy layer)")
+		}
 		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
 	} else {
 		rep, err = env.RunPolicy(bench, curves, campaign.Options{
@@ -128,6 +142,9 @@ func run() error {
 			Policy:        *polName,
 			Tuner:         *tunName,
 			TunerParams:   search.Params{Eta: *eta},
+			Resilience:    *resName,
+			Deadline:      *deadline,
+			Budget:        *budget,
 			Trace:         *trace != "",
 			Inspect: func(d *campaign.RunDetail) error {
 				rec = d.Trace
@@ -175,6 +192,23 @@ func printReport(rep *core.Report, bench *workload.Benchmark, curves workload.Cu
 	fmt.Printf("ckpt/restore   %v / %v (%.2f%% of JCT)\n",
 		rep.CheckpointTime.Round(time.Second), rep.RestoreTime.Round(time.Second),
 		100*rep.OverheadFraction())
+	if rep.Resilience != resilience.FixedName || rep.LostSteps > 0 ||
+		rep.Migrations > 0 || len(rep.BlackoutRetries) > 0 || rep.Deadline > 0 {
+		retries := 0
+		for _, n := range rep.BlackoutRetries {
+			retries += n
+		}
+		fmt.Printf("resilience     %s (lost %d steps, %d migrations, %d blackout retries, %d gave up)\n",
+			rep.Resilience, rep.LostSteps, rep.Migrations, retries, len(rep.GaveUp))
+		if rep.Deadline > 0 {
+			met := "met"
+			if rep.DeadlineMissed {
+				met = "MISSED"
+			}
+			fmt.Printf("deadline       %v (%s; degradation level %d after %d transitions)\n",
+				rep.Deadline, met, rep.DegradationLevel, rep.DegradationTransitions)
+		}
+	}
 	fmt.Printf("best HP        %s\n", rep.Best)
 
 	finals, trueBest, err := campaign.TrueFinals(bench, curves)

@@ -16,6 +16,7 @@ import (
 	"spottune/internal/market"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
+	"spottune/internal/resilience"
 	"spottune/internal/revpred"
 	"spottune/internal/search"
 	"spottune/internal/simclock"
@@ -246,6 +247,18 @@ type Options struct {
 	// sweep tasks) and hands it back through RunDetail.Trace. Off by
 	// default — the no-op tracer adds zero allocations to the event loop.
 	Trace bool
+	// Resilience is the recovery strategy's registry name (default
+	// resilience.FixedName — the historical fixed cadence / poll-grid
+	// retry behavior, bit-identical to pre-resilience campaigns). A fresh
+	// strategy instance is constructed per run.
+	Resilience string
+	// ResilienceParams tunes strategy construction (retry budget, backoff
+	// cap, minimum cadence). Seed is always supplied from Options.Seed.
+	ResilienceParams resilience.Params
+	// Deadline/Budget are the campaign's completion target and spend cap,
+	// forwarded to core.Config (zero = unconstrained).
+	Deadline time.Duration
+	Budget   float64
 }
 
 // RunDetail is one campaign run's final simulator state: everything an
@@ -327,6 +340,15 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if err != nil {
 		return nil, err
 	}
+	// Strategies may be stateful (adaptive cadence learns revocation
+	// rates), so each run constructs a fresh instance; the jitter seed is
+	// derived from the run seed so replays are exact.
+	rp := opt.ResilienceParams
+	rp.Seed = opt.Seed + 0x5e5
+	res, err := resilience.New(opt.Resilience, rp)
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.Config{
 		Mode:          opt.Mode,
 		Theta:         opt.Theta,
@@ -334,18 +356,27 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 		MaxConcurrent: opt.MaxConcurrent,
 		Trend:         opt.Trend,
 		Tuner:         tun,
+		Resilience:    res,
+		Deadline:      opt.Deadline,
+		Budget:        opt.Budget,
 	}
 	// A fresh recording per run: a shared one would interleave concurrent
 	// sweep tasks. Assign the concrete type only when tracing is on — a
 	// nil *Recording stored into the Tracer interface would be non-nil.
 	var rec *obs.Recording
 	if opt.Trace {
-		rec = obs.NewRecording(obs.Meta{
+		meta := obs.Meta{
 			Tuner:    tun.Name(),
 			Policy:   pol.Name(),
 			Workload: b.Name,
 			Seed:     opt.Seed,
-		})
+		}
+		if res.Name() != resilience.FixedName {
+			// Only stamped when non-default so fixed-strategy traces stay
+			// byte-identical to pre-resilience recordings.
+			meta.Resilience = res.Name()
+		}
+		rec = obs.NewRecording(meta)
 		cfg.Tracer = rec
 	}
 	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, cfg)

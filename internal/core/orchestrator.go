@@ -10,6 +10,7 @@ import (
 	"spottune/internal/earlycurve"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
+	"spottune/internal/resilience"
 	"spottune/internal/search"
 	"spottune/internal/trial"
 )
@@ -85,6 +86,25 @@ type Config struct {
 	// single-use — each Run consumes one; construct a fresh instance
 	// (search.New) per campaign.
 	Tuner search.Tuner
+	// Resilience is the recovery strategy consulted at the three moments
+	// that decide survival: the periodic checkpoint cadence per
+	// assignment, the action inside a revocation notice window, and the
+	// retry pacing (and give-up budget) under capacity blackouts. Nil
+	// selects resilience.Default() — the fixed strategy, which reproduces
+	// the historical hardcoded behavior bit for bit. Strategies may be
+	// stateful; construct a fresh instance per campaign.
+	Resilience resilience.Strategy
+	// Deadline is the campaign completion target measured from campaign
+	// start (0 = unconstrained). With a deadline set, the orchestrator
+	// tracks projected slack at every deployment decision and escalates
+	// the degradation ladder — spot → diversified spot → on-demand — as
+	// the projection slips (resilience.SlackTracker).
+	Deadline time.Duration
+	// Budget caps degradation-ladder escalation: once the campaign's net
+	// spend reaches it, the ladder will not force on-demand capacity the
+	// campaign cannot pay for (0 = unbounded). Only meaningful together
+	// with Deadline.
+	Budget float64
 	// Tracer is the campaign's flight recorder (internal/obs): every
 	// deploy, notice, checkpoint, restore, round, elimination, ranking,
 	// and ledger posting lands in it with virtual timestamps and monotonic
@@ -141,6 +161,15 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = obs.Nop{}
 	}
+	if c.Resilience == nil {
+		c.Resilience = resilience.Default()
+	}
+	if c.Deadline < 0 {
+		c.Deadline = 0
+	}
+	if c.Budget < 0 {
+		c.Budget = 0
+	}
 	return c
 }
 
@@ -165,6 +194,14 @@ type assignment struct {
 	// revocation notice on this instance; they checkpoint periodically.
 	oversized  bool
 	lastCkptAt time.Time
+	// cadence is the periodic-checkpoint interval the resilience strategy
+	// chose for this assignment (fixed: Config.PeriodicCheckpoint;
+	// adaptive: Young/Daly from the market's observed revocation rate).
+	// Decided once at deploy so the schedule is stable for the segment.
+	cadence time.Duration
+	// lastCkptSteps is the trial's step count at its most recent durable
+	// checkpoint — the rewind point a revocation loses work back to.
+	lastCkptSteps int
 
 	// obsSecs/obsSteps accumulate this segment's compute and fractional
 	// step progress. The seconds-per-step sample (line 36 of Algorithm 1)
@@ -226,14 +263,56 @@ type Orchestrator struct {
 	noticedAt map[string]time.Time
 
 	// blackoutRetryAt paces blackout-rejected spot requests onto the
-	// PollInterval grid. The rejection count feeds the policy-visible
-	// spot-failure streak, so the attempt cadence must not depend on the
-	// loop mode: without this gate the event loop would retry at every
-	// interesting instant (price ticks, arbitrary spacing) while the
-	// polling loop retries every PollInterval, and fallback policies
-	// would see different streaks — and make different decisions — under
-	// the two loops.
+	// retry schedule the resilience strategy chose (the fixed strategy
+	// picks the PollInterval grid). The rejection count feeds the
+	// policy-visible spot-failure streak, so the attempt cadence must not
+	// depend on the loop mode: without this gate the event loop would
+	// retry at every interesting instant (price ticks, arbitrary spacing)
+	// while the polling loop retries every PollInterval, and fallback
+	// policies would see different streaks — and make different decisions
+	// — under the two loops. Entries are deleted on successful deploy,
+	// give-up, and trial finish, so the map stays bounded by the waiting
+	// set.
 	blackoutRetryAt map[string]time.Time
+
+	// blackoutRetries counts every blackout-rejected spot request per
+	// trial across the whole campaign (reported); blackoutStreak counts
+	// the consecutive rejections since the trial's last successful deploy
+	// (the resilience strategy's retry attempt number — reset on deploy,
+	// give-up, and finish).
+	blackoutRetries map[string]int
+	blackoutStreak  map[string]int
+
+	// gaveUp marks trials abandoned by the resilience strategy's retry
+	// budget (cleared if a later round deploys the trial successfully).
+	gaveUp map[string]bool
+
+	// migrate marks trials in their notice window that the resilience
+	// strategy chose to redeploy immediately (migration-on-notice); the
+	// value is the market to exclude from the replacement decision ("" =
+	// no exclusion). Presence bypasses the noticedAt redeploy spacing so
+	// the restore overlaps the remaining notice lead time.
+	migrate map[string]string
+
+	// lastNoticed remembers the market that most recently revoked each
+	// trial; under diversified-spot degradation the next decision for
+	// that trial excludes it.
+	lastNoticed map[string]string
+
+	// res is the recovery strategy (Config.Resilience; never nil). rates
+	// feeds its adaptive cadence with per-market revocation-rate
+	// estimates; slack drives the degradation ladder (nil without a
+	// deadline).
+	res   resilience.Strategy
+	rates *resilience.RateEstimator
+	slack *resilience.SlackTracker
+
+	// lostSteps/migrations accumulate campaign-level resilience outcomes
+	// for the report: steps rewound at revocations (oversized trials
+	// losing work back to their last periodic checkpoint) and
+	// migration-on-notice redeployments.
+	lostSteps  int
+	migrations int
 
 	// ckptSetup/restoreSetup accumulate the fixed per-event costs that
 	// transfers alone do not capture (Fig. 12 accounting).
@@ -315,9 +394,16 @@ func NewPolicyOrchestrator(
 		finished:        make(map[string]bool),
 		noticedAt:       make(map[string]time.Time),
 		blackoutRetryAt: make(map[string]time.Time),
+		blackoutRetries: make(map[string]int),
+		blackoutStreak:  make(map[string]int),
+		gaveUp:          make(map[string]bool),
+		migrate:         make(map[string]string),
+		lastNoticed:     make(map[string]string),
 		deployCount:     make(map[string]int),
 		spotFailures:    make(map[string]int),
+		rates:           resilience.NewRateEstimator(),
 	}
+	o.res = o.cfg.Resilience
 	for _, tr := range trials {
 		if _, dup := o.trials[tr.ID()]; dup {
 			return nil, fmt.Errorf("core: duplicate trial %q", tr.ID())
@@ -345,12 +431,16 @@ func ckptKey(trialID string) string { return "ckpt/" + trialID }
 // continuation phase. It returns the campaign report.
 func (o *Orchestrator) Run() (*Report, error) {
 	start := o.cluster.Clock().Now()
+	if o.cfg.Deadline > 0 {
+		o.slack = resilience.NewSlackTracker(start, o.cfg.Deadline, o.cfg.Budget)
+	}
 	o.trc.Emit(obs.Event{
 		VT:    start,
 		Kind:  obs.KindCampaignStart,
 		Type:  o.tuner.Name(),
 		Label: o.approach,
 		A:     o.cfg.Theta,
+		B:     o.cfg.PollInterval.Seconds(),
 		N:     int64(len(o.order)),
 	})
 	view := &tunerView{o: o}
@@ -503,8 +593,11 @@ func (o *Orchestrator) runPhasePolling() error {
 		if pending == 0 {
 			return nil
 		}
-		if _, _, err := o.deployWaiting(now); err != nil {
+		if _, _, err := o.deployWaiting(now, &pending); err != nil {
 			return err
+		}
+		if pending == 0 {
+			return nil
 		}
 		clk.Sleep(o.cfg.PollInterval)
 	}
@@ -527,9 +620,12 @@ func (o *Orchestrator) runPhaseEvent() error {
 		if pending == 0 {
 			return nil
 		}
-		retryAt, blocked, err := o.deployWaiting(now)
+		retryAt, blocked, err := o.deployWaiting(now, &pending)
 		if err != nil {
 			return err
+		}
+		if pending == 0 {
+			return nil
 		}
 		next, ok := o.nextWakeup(now, blocked)
 		if !retryAt.IsZero() && (!ok || retryAt.Before(next)) {
@@ -567,6 +663,7 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 			o.checkpoint(a, now)
 			o.endAssignment(a, true)
 			o.finished[id] = true
+			o.forgetRecoveryState(id)
 			*pending--
 		case !a.inst.OnDemand && now.Sub(a.deployedAt) >= o.cfg.RestartAfter:
 			// Hourly refund-farming restart (lines 31–34). Spot only:
@@ -576,7 +673,7 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 			o.checkpoint(a, now)
 			o.endAssignment(a, true)
 			o.waiting = append(o.waiting, id)
-		case a.oversized && now.Sub(a.lastCkptAt) >= o.cfg.PeriodicCheckpoint:
+		case a.oversized && now.Sub(a.lastCkptAt) >= a.cadence:
 			// Periodic checkpointing: this trial's state cannot be
 			// saved inside the revocation notice, so snapshot on a
 			// schedule and accept losing at most one period.
@@ -591,44 +688,131 @@ func (o *Orchestrator) handleTriggers(now time.Time, pending *int) {
 	}
 }
 
+// forgetRecoveryState drops every bounded per-trial recovery entry once a
+// trial leaves the waiting/active cycle (finish or give-up). Stale entries
+// were harmless for scheduling — past instants never gate — but the maps
+// must not grow with campaign length, and a later round re-activating the
+// trial must start with a clean streak.
+func (o *Orchestrator) forgetRecoveryState(id string) {
+	delete(o.noticedAt, id)
+	delete(o.blackoutRetryAt, id)
+	delete(o.blackoutStreak, id)
+	delete(o.migrate, id)
+}
+
+// assessDegradation advances the deadline-degradation ladder (spot →
+// diversified spot → on-demand) from the current slack projection: remaining
+// work priced at each trial's best pool-member rate, serialized over the
+// concurrency budget. Emitted once per transition; the ladder never
+// de-escalates.
+func (o *Orchestrator) assessDegradation(now time.Time) {
+	if o.slack == nil {
+		return
+	}
+	remaining := o.remainingSecs()
+	level, changed := o.slack.Assess(now, remaining, o.cluster.Ledger().TotalNet())
+	if changed {
+		o.trc.Emit(obs.Event{
+			VT:    now,
+			Kind:  obs.KindDegradation,
+			Label: resilience.LevelName(level),
+			A:     o.slack.Slack(now, remaining).Seconds(),
+			N:     int64(level),
+		})
+	}
+}
+
+// remainingSecs estimates the compute seconds left in the active round:
+// each unfinished trial's remaining steps at its best (fastest-known)
+// pool-member rate, divided across the concurrency budget. An optimistic
+// lower bound — real schedules add restarts and restores — which is the
+// right bias for a ladder that must not escalate early.
+func (o *Orchestrator) remainingSecs() float64 {
+	total := 0.0
+	for id, lim := range o.limits {
+		if o.finished[id] {
+			continue
+		}
+		tr := o.trials[id]
+		rem := lim - tr.CompletedSteps()
+		if rem <= 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, tn := range o.pool {
+			if s := o.perf.Get(tn, id); s < best {
+				best = s
+			}
+		}
+		if math.IsInf(best, 1) || best <= 0 {
+			continue
+		}
+		total += float64(rem) * best
+	}
+	return total / float64(o.cfg.MaxConcurrent)
+}
+
 // deployWaiting deploys waiting trials into free slots (lines 38–44). It
 // reports blocked=true when the spot market rejected a request (maximum
 // price below market), in which case the caller should retry after the next
 // price tick; a non-zero retryAt asks the caller to try again at that
 // instant (a trial noticed at the current instant is spaced out by one
-// PollInterval, matching the polling loop's cadence).
-func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked bool, err error) {
+// PollInterval, matching the polling loop's cadence — unless the resilience
+// strategy asked for migration-on-notice, which deploys the replacement
+// inside the notice window). Trials whose retry budget the resilience
+// strategy exhausts are abandoned here (give-up), decrementing pending.
+func (o *Orchestrator) deployWaiting(now time.Time, pending *int) (retryAt time.Time, blocked bool, err error) {
 	incumbent := ""
 	if len(o.waiting) > 0 {
 		incumbent = o.incumbentBest()
+		o.assessDegradation(now)
 	}
 	for len(o.waiting) > 0 && len(o.active) < o.cfg.MaxConcurrent {
 		id := o.waiting[0]
-		if t, ok := o.noticedAt[id]; ok && !t.Before(now) {
-			return now.Add(o.cfg.PollInterval), false, nil
+		if _, migrating := o.migrate[id]; !migrating {
+			if t, ok := o.noticedAt[id]; ok && !t.Before(now) {
+				return now.Add(o.cfg.PollInterval), false, nil
+			}
 		}
 		if t, ok := o.blackoutRetryAt[id]; ok && now.Before(t) {
 			return t, false, nil
 		}
 		tr := o.trials[id]
-		req, err := o.pol.Decide(policy.Context{
-			Market: o.cluster,
-			Trial: policy.TrialInfo{
-				ID:             id,
-				CompletedSteps: tr.CompletedSteps(),
-				MaxSteps:       tr.MaxSteps(),
-				Deployments:    o.deployCount[id],
-				SpotFailures:   o.spotFailures[id],
-				Incumbent:      id == incumbent,
-			},
+		// The resilience layer narrows the policy's choice: a migrating
+		// trial avoids the market that just revoked it, and under
+		// diversified-spot degradation every redeploy avoids the trial's
+		// last revoker. At the ladder's top the policy is bypassed
+		// entirely for reliable capacity.
+		exclude := o.migrate[id]
+		if exclude == "" && o.slack.Level() >= resilience.LevelDiversified {
+			exclude = o.lastNoticed[id]
+		}
+		info := policy.TrialInfo{
+			ID:             id,
+			CompletedSteps: tr.CompletedSteps(),
+			MaxSteps:       tr.MaxSteps(),
+			Deployments:    o.deployCount[id],
+			SpotFailures:   o.spotFailures[id],
+			Incumbent:      id == incumbent,
+			Exclude:        exclude,
+		}
+		ctx := policy.Context{
+			Market:         o.cluster,
+			Trial:          info,
 			ActiveOnDemand: o.activeOnDemand(),
 			SecPerStep:     func(tn string) float64 { return o.perf.Get(tn, id) },
 			Tracer:         o.trc,
-		})
+		}
+		var req policy.Request
+		if o.slack.Level() >= resilience.LevelOnDemand {
+			req, err = policy.CheapestOnDemand(ctx, o.pool)
+		} else {
+			req, err = o.pol.Decide(ctx)
+		}
 		if err != nil {
 			return time.Time{}, false, fmt.Errorf("core: provisioning %s: %w", id, err)
 		}
-		a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps()}
+		a := &assignment{tr: tr, stepsBefore: tr.CompletedSteps(), lastCkptSteps: tr.CompletedSteps()}
 		var inst *cloudsim.Instance
 		if req.OnDemand {
 			inst, err = o.cluster.RequestOnDemand(req.TypeName)
@@ -651,12 +835,17 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 				// price rejection the failed API call is evidence the
 				// market is hostile — count it toward the trial's
 				// spot-failure streak so fallback policies can swap to
-				// on-demand instead of waiting the window out. Retries are
-				// paced onto the PollInterval grid (blackoutRetryAt) so
-				// the streak grows identically under both loop modes; the
-				// event loop trades its sparse-wakeup advantage for
-				// decision equivalence while a blackout lasts.
+				// on-demand instead of waiting the window out. The retry
+				// pacing comes from the resilience strategy: the fixed
+				// strategy keeps the PollInterval grid so the streak grows
+				// identically under both loop modes; adaptive strategies
+				// back off exponentially and may exhaust the trial's retry
+				// budget, abandoning it (give-up) rather than spinning
+				// through a blackout the deadline cannot absorb.
 				o.spotFailures[id]++
+				o.blackoutRetries[id]++
+				o.blackoutStreak[id]++
+				attempt := o.blackoutStreak[id]
 				o.trc.Emit(obs.Event{
 					VT:    now,
 					Kind:  obs.KindBlackoutRetry,
@@ -664,8 +853,40 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 					Type:  req.TypeName,
 					N:     int64(o.spotFailures[id]),
 				})
-				o.blackoutRetryAt[id] = now.Add(o.cfg.PollInterval)
-				return now.Add(o.cfg.PollInterval), false, nil
+				dec := o.res.Retry(resilience.RetryContext{
+					TrialID:      id,
+					Attempt:      attempt,
+					PollInterval: o.cfg.PollInterval,
+				})
+				if dec.GiveUp {
+					o.trc.Emit(obs.Event{
+						VT:    now,
+						Kind:  obs.KindGiveUp,
+						Trial: id,
+						Type:  req.TypeName,
+						N:     int64(attempt),
+					})
+					o.gaveUp[id] = true
+					o.finished[id] = true
+					o.forgetRecoveryState(id)
+					o.waiting = o.waiting[1:]
+					*pending--
+					continue
+				}
+				delay := dec.Delay
+				if delay <= 0 {
+					delay = o.cfg.PollInterval
+				}
+				o.trc.Emit(obs.Event{
+					VT:    now,
+					Kind:  obs.KindBackoff,
+					Trial: id,
+					Type:  req.TypeName,
+					A:     delay.Seconds(),
+					N:     int64(attempt),
+				})
+				o.blackoutRetryAt[id] = now.Add(delay)
+				return now.Add(delay), false, nil
 			}
 			if err != nil {
 				// Anything else (unknown type from a custom policy) is a
@@ -676,10 +897,29 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 		o.deployments++
 		o.deployCount[id]++
 		delete(o.blackoutRetryAt, id)
+		delete(o.blackoutStreak, id)
+		delete(o.migrate, id)
+		delete(o.gaveUp, id)
 		a.inst = inst
 		a.deployedAt = now
 		a.lastCkptAt = now
 		a.oversized = oversizedFor(tr.CheckpointMB(), inst.Type.CPUs)
+		// The resilience strategy decides this assignment's periodic
+		// checkpoint cadence from the checkpoint's write cost and the
+		// market's observed revocation rate (fixed: the configured
+		// default; adaptive: Young/Daly).
+		ckptSecs := o.cfg.CheckpointSetup.Seconds() +
+			tr.CheckpointMB()/cloudsim.UploadSpeedMBps(inst.Type.CPUs)
+		a.cadence = o.res.CheckpointInterval(resilience.CadenceContext{
+			TrialID:            id,
+			TypeName:           inst.Type.Name,
+			CheckpointSecs:     ckptSecs,
+			RevocationsPerHour: o.rates.RevocationsPerHour(inst.Type.Name),
+			Default:            o.cfg.PeriodicCheckpoint,
+		})
+		if a.cadence <= 0 {
+			a.cadence = o.cfg.PeriodicCheckpoint
+		}
 		deployLabel, deployPrice := "spot", req.MaxPrice
 		if req.OnDemand {
 			deployLabel, deployPrice = "on-demand", inst.Type.OnDemandPrice
@@ -713,6 +953,7 @@ func (o *Orchestrator) deployWaiting(now time.Time) (retryAt time.Time, blocked 
 				return time.Time{}, false, fmt.Errorf("core: restoring %s: %w", id, err)
 			}
 			a.stepsBefore = tr.CompletedSteps()
+			a.lastCkptSteps = tr.CompletedSteps()
 			busy = busy.Add(d + o.cfg.RestoreSetup)
 			o.restoreSetup += o.cfg.RestoreSetup
 			o.trc.Emit(obs.Event{
@@ -776,7 +1017,7 @@ func (o *Orchestrator) assignmentTrigger(a *assignment) time.Time {
 		next = a.deployedAt.Add(o.cfg.RestartAfter)
 	}
 	if a.oversized {
-		if p := a.lastCkptAt.Add(o.cfg.PeriodicCheckpoint); next.IsZero() || p.Before(next) {
+		if p := a.lastCkptAt.Add(a.cadence); next.IsZero() || p.Before(next) {
 			next = p
 		}
 	}
@@ -873,32 +1114,73 @@ func (o *Orchestrator) observeSegment(a *assignment) {
 // date and checkpoint it inside the two-minute window — unless the
 // checkpoint is too large to fit, in which case the most recent periodic
 // checkpoint already in object storage is the recovery point and the work
-// since then is lost.
+// since then is lost. The resilience strategy then decides whether to
+// migrate: request a replacement in a (policy-chosen, possibly different)
+// market immediately, overlapping the restore with the remaining notice
+// lead time instead of waiting out the redeploy spacing.
 func (o *Orchestrator) onNotice(a *assignment, at time.Time) {
 	if a.dead || a.inst == nil {
 		return
 	}
+	id := a.tr.ID()
 	o.notices++
-	o.spotFailures[a.tr.ID()]++
+	o.spotFailures[id]++
+	o.advance(a, at)
+	lost := 0
+	if a.oversized {
+		// Work past the last periodic snapshot rewinds at restore time.
+		lost = a.tr.CompletedSteps() - a.lastCkptSteps
+		if lost < 0 {
+			lost = 0
+		}
+		o.lostSteps += lost
+	}
 	o.trc.Emit(obs.Event{
 		VT:    at,
 		Kind:  obs.KindNotice,
-		Trial: a.tr.ID(),
+		Trial: id,
 		Inst:  a.inst.ID,
 		Type:  a.inst.Type.Name,
-		N:     int64(o.spotFailures[a.tr.ID()]),
+		B:     float64(lost),
+		N:     int64(o.spotFailures[id]),
 	})
-	o.advance(a, at)
 	if !a.oversized {
 		o.checkpoint(a, at)
 	}
+	// Feed the revocation-rate estimate: this segment's spot exposure
+	// ended in a revocation.
+	o.rates.ObserveExposure(a.inst.Type.Name, at.Sub(a.deployedAt))
+	o.rates.ObserveRevocation(a.inst.Type.Name)
 	o.recordSegment(a)
 	a.dead = true
 	// The cluster revokes the instance itself two minutes later.
-	id := a.tr.ID()
 	o.noticedAt[id] = at
-	if !o.finished[id] {
-		o.waiting = append(o.waiting, id)
+	o.lastNoticed[id] = a.inst.Type.Name
+	if o.finished[id] {
+		return
+	}
+	o.waiting = append(o.waiting, id)
+	act := o.res.OnNotice(resilience.NoticeContext{
+		TrialID:  id,
+		TypeName: a.inst.Type.Name,
+		PoolSize: len(o.pool),
+		// A notice at the deploy instant means the market is in a doom
+		// window; immediate redeploy there would livelock, so migration
+		// is only offered for notices that arrive mid-segment.
+		Immediate: !at.After(a.deployedAt),
+	})
+	if act.Migrate {
+		o.migrate[id] = act.ExcludeType
+		o.migrations++
+		o.trc.Emit(obs.Event{
+			VT:    at,
+			Kind:  obs.KindMigration,
+			Trial: id,
+			Inst:  a.inst.ID,
+			Type:  a.inst.Type.Name,
+			Label: act.ExcludeType,
+			A:     cloudsim.NoticeLeadTime.Seconds(),
+		})
 	}
 }
 
@@ -914,6 +1196,7 @@ func (o *Orchestrator) checkpoint(a *assignment, _ time.Time) {
 	o.store.PutSized(ckptKey(a.tr.ID()), o.ckptBuf, a.tr.CheckpointMB(), cpus)
 	o.ckptSetup += o.cfg.CheckpointSetup
 	a.lastCkptAt = o.cluster.Clock().Now()
+	a.lastCkptSteps = a.tr.CompletedSteps()
 	instID := ""
 	if a.inst != nil {
 		instID = a.inst.ID
@@ -924,6 +1207,7 @@ func (o *Orchestrator) checkpoint(a *assignment, _ time.Time) {
 		Trial: a.tr.ID(),
 		Inst:  instID,
 		A:     a.tr.CheckpointMB(),
+		B:     a.cadence.Seconds(),
 		N:     int64(a.tr.CompletedSteps()),
 	})
 }
@@ -937,6 +1221,10 @@ func (o *Orchestrator) endAssignment(a *assignment, terminate bool) {
 	o.recordSegment(a)
 	a.dead = true
 	if a.inst != nil && !a.inst.OnDemand {
+		// Survived spot time drives the revocation-rate denominator just
+		// like revoked time does — without it the estimator would see
+		// only doomed segments and overshoot the rate.
+		o.rates.ObserveExposure(a.inst.Type.Name, o.cluster.Clock().Now().Sub(a.deployedAt))
 		// A spot segment that ended without a notice is evidence the
 		// market is livable; clear the trial's failure streak.
 		if n := o.spotFailures[a.tr.ID()]; n > 0 {

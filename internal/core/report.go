@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"spottune/internal/cloudsim"
@@ -50,6 +51,34 @@ type Report struct {
 	// loop's headline win is this number collapsing from
 	// campaign-duration/PollInterval to the real event count.
 	LoopIterations int
+
+	// Resilience is the recovery strategy that governed checkpoints,
+	// notice-window actions, and blackout retries ("fixed", "adaptive").
+	Resilience string
+	// BlackoutRetries counts blackout-rejected spot requests per trial
+	// across the campaign (nil when none occurred). GaveUp lists, in
+	// sorted order, the trials the strategy's retry budget abandoned and
+	// that never subsequently completed.
+	BlackoutRetries map[string]int
+	GaveUp          []string
+	// LostSteps totals the work rewound at revocations: steps an
+	// oversized trial had run past its last periodic checkpoint when the
+	// notice arrived. Bounded per revocation by the assignment's active
+	// checkpoint cadence (an invariant the chaos harness audits).
+	LostSteps int
+	// Migrations counts notice-window migrations: replacements requested
+	// inside the two-minute lead instead of after the redeploy spacing.
+	Migrations int
+	// DegradationLevel/DegradationTransitions report the deadline ladder:
+	// the final level (0 spot, 1 diversified spot, 2 on-demand) and how
+	// many one-way escalations occurred. Both zero without a deadline.
+	DegradationLevel       int
+	DegradationTransitions int
+	// Deadline/Budget echo the campaign's constraints; DeadlineMissed is
+	// JCT > Deadline (always false when unconstrained).
+	Deadline       time.Duration
+	Budget         float64
+	DeadlineMissed bool
 
 	// PredictedFinals is the trend-predictor's final-metric estimate per
 	// HP; Ranked is ascending by prediction; Top the continued set; Best
@@ -164,7 +193,25 @@ func (o *Orchestrator) buildReport(start time.Time, out search.Outcome) *Report 
 		Best:                out.Best,
 		PerfObservations:    o.perf.Snapshot(),
 		Segments:            segments,
+		Resilience:          o.res.Name(),
+		LostSteps:           o.lostSteps,
+		Migrations:          o.migrations,
+		DegradationLevel:    o.slack.Level(),
+		Deadline:            o.cfg.Deadline,
+		Budget:              o.cfg.Budget,
 	}
+	rep.DegradationTransitions = o.slack.Transitions()
+	rep.DeadlineMissed = o.cfg.Deadline > 0 && rep.JCT > o.cfg.Deadline
+	if len(o.blackoutRetries) > 0 {
+		rep.BlackoutRetries = make(map[string]int, len(o.blackoutRetries))
+		for id, n := range o.blackoutRetries {
+			rep.BlackoutRetries[id] = n
+		}
+	}
+	for id := range o.gaveUp {
+		rep.GaveUp = append(rep.GaveUp, id)
+	}
+	sort.Strings(rep.GaveUp)
 	if o.trc.Enabled() {
 		now := clk.Now()
 		for i, id := range rep.Ranked {

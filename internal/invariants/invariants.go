@@ -67,6 +67,13 @@ const (
 	CodeTraceLedgerMismatch Code = "trace-ledger-mismatch" // trace-attributed totals not bit-identical to the ledger
 	CodeTraceUnattributed   Code = "trace-unattributed"    // a posting's instance has no deploy event
 	CodeTraceIncomplete     Code = "trace-incomplete"      // trace is missing settlement or lifecycle events
+
+	// Resilience accounting (recovery-strategy bookkeeping). The trace
+	// halves only fire on recordings that carry the resilience payloads
+	// (campaign-start B = poll seconds > 0).
+	CodeLostWorkBound      Code = "lost-work-bound"           // work lost at a revocation exceeds the active checkpoint cadence
+	CodeRetryConservation  Code = "retry-budget-conservation" // blackout retries / give-ups disagree between trace and report
+	CodeDeadlineAccounting Code = "deadline-accounting"       // deadline, ladder, or migration bookkeeping inconsistent
 )
 
 // Violation is one broken invariant. Trial and Instance, when non-empty,
@@ -123,6 +130,7 @@ func Check(st State) []Violation {
 	checkCheckpoints(st, c)
 	checkSelection(st, c)
 	checkTrace(st, c)
+	checkResilience(st, c)
 	if st.Trace != nil && len(c.out) > 0 {
 		q := obs.NewTraceQuery(st.Trace)
 		for i := range c.out {
@@ -424,5 +432,145 @@ func checkTrace(st State, c *collector) {
 	}
 	if ends != 1 {
 		c.add(CodeTraceIncomplete, "trace holds %d campaign-end events, want exactly 1", ends)
+	}
+}
+
+// checkResilience audits the recovery-strategy bookkeeping. The report-only
+// deadline consistency checks always run (they are vacuous on legacy
+// reports); the trace-replaying halves — lost-work bounds, retry-budget
+// conservation, ladder monotonicity — need a recording whose campaign-start
+// event carries the poll-interval payload (B > 0), the marker of a trace
+// that records resilience events at all.
+func checkResilience(st State, c *collector) {
+	rep := st.Report
+
+	// Deadline accounting is pure report arithmetic.
+	missed := rep.Deadline > 0 && rep.JCT > rep.Deadline
+	if rep.DeadlineMissed != missed {
+		c.add(CodeDeadlineAccounting, "report says deadline missed=%v, but JCT %v vs deadline %v says %v",
+			rep.DeadlineMissed, rep.JCT, rep.Deadline, missed)
+	}
+	if rep.Deadline <= 0 && (rep.DegradationLevel != 0 || rep.DegradationTransitions != 0) {
+		c.add(CodeDeadlineAccounting, "no deadline set, yet degradation level %d after %d transitions",
+			rep.DegradationLevel, rep.DegradationTransitions)
+	}
+	if rep.DegradationLevel > rep.DegradationTransitions {
+		// The ladder starts at level 0 and each transition climbs exactly
+		// one rung, so the final level can never exceed the climb count.
+		c.add(CodeDeadlineAccounting, "degradation level %d exceeds its %d transitions",
+			rep.DegradationLevel, rep.DegradationTransitions)
+	}
+
+	if st.Trace == nil {
+		return
+	}
+	// Replay the recording once, tracking per trial: the protection anchor
+	// (the virtual time of the latest checkpoint/restore/deploy — the point
+	// work after which is at risk), the active checkpoint cadence (B of the
+	// latest checkpoint event), and the blackout-retry streak since the last
+	// deploy (what a give-up's attempt count must equal).
+	var pollSecs float64
+	anchor := map[string]struct {
+		vt  obs.Event
+		set bool
+	}{}
+	cadence := map[string]float64{}
+	streak := map[string]int{}
+	retries := map[string]int{}
+	giveUps := map[string]int{}
+	migrations, degradations := 0, 0
+	lostTotal := 0
+	lastLevel := int64(-1)
+	for _, e := range st.Trace.Events() {
+		switch e.Kind {
+		case obs.KindCampaignStart:
+			pollSecs = e.B
+		case obs.KindDeploy:
+			anchor[e.Trial] = struct {
+				vt  obs.Event
+				set bool
+			}{e, true}
+			streak[e.Trial] = 0
+		case obs.KindRestore, obs.KindCheckpoint:
+			anchor[e.Trial] = struct {
+				vt  obs.Event
+				set bool
+			}{e, true}
+			if e.Kind == obs.KindCheckpoint && e.B > 0 {
+				cadence[e.Trial] = e.B
+			}
+		case obs.KindNotice:
+			if e.B <= 0 {
+				continue
+			}
+			lostTotal += int(e.B)
+			cad, an := cadence[e.Trial], anchor[e.Trial]
+			if pollSecs <= 0 || cad <= 0 || !an.set {
+				continue
+			}
+			// Work is unprotected for at most one cadence plus one poll
+			// interval (polling-mode detection lag) between checkpoints;
+			// a notice that finds more than that exposed means the
+			// strategy's schedule was not honored.
+			if exposed := e.VT.Sub(an.vt.VT).Seconds(); exposed > cad+pollSecs+costTol {
+				c.addFor(CodeLostWorkBound, e.Trial, e.Inst,
+					"trial %s lost %d steps after %.0fs unprotected; active cadence %.0fs (+%.0fs poll slop)",
+					e.Trial, int(e.B), exposed, cad, pollSecs)
+			}
+		case obs.KindBlackoutRetry:
+			retries[e.Trial]++
+			streak[e.Trial]++
+		case obs.KindGiveUp:
+			giveUps[e.Trial]++
+			if int(e.N) != streak[e.Trial] {
+				c.addFor(CodeRetryConservation, e.Trial, "",
+					"give-up on %s claims %d attempts, trace shows %d blackout retries since its last deploy",
+					e.Trial, e.N, streak[e.Trial])
+			}
+			streak[e.Trial] = 0
+		case obs.KindMigration:
+			migrations++
+		case obs.KindDegradation:
+			degradations++
+			if e.N <= lastLevel {
+				c.add(CodeDeadlineAccounting, "degradation ladder moved from level %d to %d (one-way, strictly up)",
+					lastLevel, e.N)
+			}
+			lastLevel = e.N
+		}
+	}
+	if pollSecs <= 0 {
+		return // recording predates the resilience payloads
+	}
+	if lostTotal != rep.LostSteps {
+		c.add(CodeLostWorkBound, "trace notices lost %d steps total, report says %d", lostTotal, rep.LostSteps)
+	}
+	for id, n := range retries {
+		if got := rep.BlackoutRetries[id]; got != n {
+			c.addFor(CodeRetryConservation, id, "",
+				"trial %s: trace shows %d blackout retries, report says %d", id, n, got)
+		}
+	}
+	for id, n := range rep.BlackoutRetries {
+		if retries[id] != n {
+			c.addFor(CodeRetryConservation, id, "",
+				"trial %s: report claims %d blackout retries, trace shows %d", id, n, retries[id])
+		}
+	}
+	for _, id := range rep.GaveUp {
+		if giveUps[id] == 0 {
+			c.addFor(CodeRetryConservation, id, "",
+				"report says trial %s gave up, but the trace holds no give-up event for it", id)
+		}
+	}
+	if migrations != rep.Migrations {
+		c.add(CodeDeadlineAccounting, "trace holds %d migration events, report says %d", migrations, rep.Migrations)
+	}
+	if degradations != rep.DegradationTransitions {
+		c.add(CodeDeadlineAccounting, "trace holds %d degradation events, report says %d transitions",
+			degradations, rep.DegradationTransitions)
+	}
+	if degradations > 0 && lastLevel != int64(rep.DegradationLevel) {
+		c.add(CodeDeadlineAccounting, "trace ends at degradation level %d, report says %d", lastLevel, rep.DegradationLevel)
 	}
 }

@@ -1,0 +1,162 @@
+package invariants
+
+import (
+	"testing"
+	"time"
+
+	"spottune/internal/obs"
+)
+
+// resilientState extends soundState with a recording that carries the
+// resilience payloads: a poll-interval marker on campaign-start, checkpoint
+// events stamped with their active cadence, a notice that lost a few steps
+// within the cadence bound, a blackout-retry streak that ends in one give-up
+// and one successful redeploy, a notice-window migration, and a single
+// upward degradation transition under a deadline.
+func resilientState(t *testing.T) State {
+	t.Helper()
+	st := soundState(t)
+	st.Report.Deadline = 6 * time.Hour
+	st.Report.JCT = 5 * time.Hour
+	st.Report.LostSteps = 5
+	st.Report.Migrations = 1
+	st.Report.BlackoutRetries = map[string]int{"hp-1": 2, "hp-2": 1}
+	st.Report.DegradationLevel = 1
+	st.Report.DegradationTransitions = 1
+
+	r := obs.NewRecording(obs.Meta{Tuner: "spottune", Policy: "spottune", Workload: "LoR", Seed: 1})
+	// B on campaign-start is the poll interval in seconds — the marker that
+	// this recording carries resilience payloads, and the detection slop the
+	// lost-work bound allows on top of the cadence.
+	r.Emit(obs.Event{VT: t0, Kind: obs.KindCampaignStart, Type: "spottune", Label: "SpotTune", A: 0.7, B: 60, N: 2})
+	r.Emit(obs.Event{VT: t0, Kind: obs.KindDeploy, Trial: "hp-1", Inst: "i-000001", Type: "a", Label: "spot", A: 0.05})
+	// Checkpoint 10 minutes in, cadence 20 minutes: the notice at minute 28
+	// finds 18 minutes of exposure — inside cadence + poll slop.
+	r.Emit(obs.Event{VT: t0.Add(10 * time.Minute), Kind: obs.KindCheckpoint, Trial: "hp-1", Inst: "i-000001", B: 1200})
+	r.Emit(obs.Event{VT: t0.Add(28 * time.Minute), Kind: obs.KindNotice, Trial: "hp-1", Inst: "i-000001", Type: "a", B: 5, N: 1})
+	r.Emit(obs.Event{VT: t0.Add(28 * time.Minute), Kind: obs.KindMigration, Trial: "hp-1", Type: "a", Label: "a", A: 120})
+	r.Emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindSegment, Trial: "hp-1", Inst: "i-000001", N: 10})
+	r.Emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindPosting, Inst: "i-000001", Type: "a", Label: "revoked", A: 0.025, B: 0.025})
+	r.Emit(obs.Event{VT: t0.Add(30 * time.Minute), Kind: obs.KindRefund, Inst: "i-000001", Type: "a", A: 0.025})
+	// Two blackout retries for hp-1, then a successful redeploy (streak
+	// resets without a give-up).
+	r.Emit(obs.Event{VT: t0.Add(40 * time.Minute), Kind: obs.KindBlackoutRetry, Trial: "hp-1", Type: "a", N: 1})
+	r.Emit(obs.Event{VT: t0.Add(50 * time.Minute), Kind: obs.KindBlackoutRetry, Trial: "hp-1", Type: "a", N: 2})
+	r.Emit(obs.Event{VT: t0.Add(time.Hour), Kind: obs.KindDeploy, Trial: "hp-1", Inst: "i-000002", Type: "a", Label: "spot", A: 0.06, N: 10})
+	// hp-2 exhausts a one-retry budget and gives up; the give-up's attempt
+	// count must equal its blackout-retry streak.
+	r.Emit(obs.Event{VT: t0.Add(150 * time.Minute), Kind: obs.KindBlackoutRetry, Trial: "hp-2", Type: "a", N: 1})
+	r.Emit(obs.Event{VT: t0.Add(155 * time.Minute), Kind: obs.KindGiveUp, Trial: "hp-2", Type: "a", N: 1})
+	r.Emit(obs.Event{VT: t0.Add(160 * time.Minute), Kind: obs.KindDegradation, Label: "diversified-spot", A: 3600, N: 1})
+	r.Emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindSegment, Trial: "hp-1", Inst: "i-000002", N: 50})
+	r.Emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindPosting, Inst: "i-000002", Type: "a", Label: "user-terminated", A: 0.11})
+	r.Emit(obs.Event{VT: t0.Add(3 * time.Hour), Kind: obs.KindDeploy, Trial: "hp-2", Inst: "i-000003", Type: "a", Label: "on-demand", A: 0.2})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindSegment, Trial: "hp-2", Inst: "i-000003", N: 30})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindPosting, Inst: "i-000003", Type: "a", Label: "user-terminated", A: 0.4, N: 1})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindRank, Trial: "hp-1", A: 0.4, N: 1})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindRank, Trial: "hp-2", A: 0.6, N: 2})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindSelect, Trial: "hp-1", N: 1})
+	r.Emit(obs.Event{VT: t0.Add(5 * time.Hour), Kind: obs.KindCampaignEnd, A: 0.51, B: 5, N: 9})
+	st.Trace = r
+	return st
+}
+
+func TestResilientStatePasses(t *testing.T) {
+	if vs := Check(resilientState(t)); len(vs) != 0 {
+		t.Fatalf("sound resilient state rejected: %v", vs)
+	}
+}
+
+// mutateEvents edits the recording's events in place.
+func mutateEvents(st *State, f func(e *obs.Event)) {
+	evs := st.Trace.Events()
+	for i := range evs {
+		f(&evs[i])
+	}
+}
+
+func TestResilienceCorruptions(t *testing.T) {
+	cases := []corruption{
+		{"lost work beyond active cadence", CodeLostWorkBound, func(t *testing.T, st *State) {
+			// Tighten the recorded cadence to 5 minutes: the 18 minutes of
+			// exposure at the notice now exceeds cadence + poll slop.
+			mutateEvents(st, func(e *obs.Event) {
+				if e.Kind == obs.KindCheckpoint && e.Trial == "hp-1" {
+					e.B = 300
+				}
+			})
+		}},
+		{"lost-step total drift", CodeLostWorkBound, func(t *testing.T, st *State) {
+			st.Report.LostSteps = 99
+		}},
+		{"retry count drift", CodeRetryConservation, func(t *testing.T, st *State) {
+			st.Report.BlackoutRetries["hp-1"] = 5
+		}},
+		{"phantom reported retries", CodeRetryConservation, func(t *testing.T, st *State) {
+			st.Report.BlackoutRetries["hp-9"] = 1
+		}},
+		{"give-up overstates attempts", CodeRetryConservation, func(t *testing.T, st *State) {
+			mutateEvents(st, func(e *obs.Event) {
+				if e.Kind == obs.KindGiveUp {
+					e.N = 7
+				}
+			})
+		}},
+		{"reported give-up without event", CodeRetryConservation, func(t *testing.T, st *State) {
+			st.Report.GaveUp = []string{"hp-1"}
+		}},
+		{"deadline-missed flag wrong", CodeDeadlineAccounting, func(t *testing.T, st *State) {
+			st.Report.DeadlineMissed = true // JCT 5h is inside the 6h deadline
+		}},
+		{"degradation without a deadline", CodeDeadlineAccounting, func(t *testing.T, st *State) {
+			st.Report.Deadline = 0
+		}},
+		{"migration count drift", CodeDeadlineAccounting, func(t *testing.T, st *State) {
+			st.Report.Migrations = 3
+		}},
+		{"degradation transition drift", CodeDeadlineAccounting, func(t *testing.T, st *State) {
+			st.Report.DegradationTransitions = 2
+			st.Report.DegradationLevel = 2
+		}},
+		{"ladder level regression", CodeDeadlineAccounting, func(t *testing.T, st *State) {
+			// The recorded transition claims a downward move — the ladder is
+			// strictly one-way.
+			mutateEvents(st, func(e *obs.Event) {
+				if e.Kind == obs.KindDegradation {
+					e.N = -1
+				}
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := resilientState(t)
+			tc.mutate(t, &st)
+			vs := Check(st)
+			if len(vs) == 0 {
+				t.Fatalf("corrupted state (%s) passed", tc.name)
+			}
+			found := false
+			for _, v := range vs {
+				if v.Code == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want code %s, got %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+// TestLegacyTraceSkipsResilienceAudit pins the gating: recordings without
+// the poll-interval marker (pre-resilience traces) skip the trace-replaying
+// halves entirely, so legacy fixtures keep passing.
+func TestLegacyTraceSkipsResilienceAudit(t *testing.T) {
+	st := soundState(t)
+	st.Trace = soundTrace(nil) // campaign-start carries no B payload
+	st.Report.LostSteps = 42   // would trip the sum check if audited
+	if vs := Check(st); len(vs) != 0 {
+		t.Fatalf("legacy trace tripped the resilience audit: %v", vs)
+	}
+}

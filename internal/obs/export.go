@@ -288,8 +288,11 @@ func (cw *ChromeWriter) Add(r *Recording) error {
 			ro := rounds[len(rounds)-1]
 			rounds = rounds[:len(rounds)-1]
 			cw.emit(span("round "+ro.name, "tuner", pid, 0, ro.ts, ts-ro.ts, nil))
-		case KindNotice, KindCheckpoint, KindRestore, KindFallback, KindBlackoutRetry:
+		case KindNotice, KindCheckpoint, KindRestore, KindFallback, KindBlackoutRetry,
+			KindMigration, KindBackoff, KindGiveUp:
 			cw.emit(instant(e.Kind.String(), "trial", pid, tidOf(e.Trial), ts, nil))
+		case KindDegradation:
+			cw.emit(instant("degradation "+e.Label, "tuner", pid, 0, ts, nil))
 		case KindRefund:
 			args = append(args[:0], `{"usd":`...)
 			args = appendJSONFloat(args, e.A)

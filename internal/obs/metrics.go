@@ -125,8 +125,21 @@ func CampaignMetrics(r *Recording) *Metrics {
 			}
 		case KindNotice:
 			m.Count("notices", 1)
+			if e.B > 0 {
+				m.Count("lost_steps", int64(e.B))
+				m.Observe("notice_lost_steps", e.B)
+			}
 		case KindBlackoutRetry:
 			m.Count("blackout_retries", 1)
+		case KindMigration:
+			m.Count("migrations", 1)
+		case KindBackoff:
+			m.Count("backoffs", 1)
+			m.Observe("backoff_secs", e.A)
+		case KindGiveUp:
+			m.Count("give_ups", 1)
+		case KindDegradation:
+			m.Count("degradations", 1)
 		case KindCheckpoint:
 			m.Count("checkpoints", 1)
 			m.Observe("checkpoint_mb", e.A)

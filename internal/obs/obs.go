@@ -29,7 +29,8 @@ type Kind uint8
 const (
 	KindUnknown Kind = iota
 	// KindCampaignStart opens a recording: Label=approach, Type=tuner name,
-	// A=theta, N=trial count.
+	// A=theta, B=the orchestrator's PollInterval in seconds (the trigger
+	// detection slop auditors allow on cadence bounds), N=trial count.
 	KindCampaignStart
 	// KindRoundOpen begins a tuner round: Label=round label, N=directive
 	// count.
@@ -52,10 +53,14 @@ const (
 	// Inst, A=restored seconds of transfer+setup overhead, N=restored steps.
 	KindRestore
 	// KindCheckpoint is a checkpoint save: Trial, Inst (empty before first
-	// deploy), A=checkpoint MB, N=trial steps captured.
+	// deploy), A=checkpoint MB, B=the assignment's active periodic cadence
+	// in seconds (the recovery strategy's lost-work bound; 0 for saves
+	// outside an assignment), N=trial steps captured.
 	KindCheckpoint
 	// KindNotice is a revocation notice (two minutes before the kill):
-	// Trial, Inst, Type, N=the trial's spot-failure streak after counting
+	// Trial, Inst, Type, B=training steps lost at this notice (work since
+	// the last durable checkpoint; 0 when the in-notice save captured
+	// everything), N=the trial's spot-failure streak after counting
 	// this notice.
 	KindNotice
 	// KindBlackoutRetry is a spot request rejected by a capacity blackout:
@@ -87,6 +92,26 @@ const (
 	// KindCampaignEnd closes a recording: A=net cost USD, B=JCT hours,
 	// N=scheduler loop iterations.
 	KindCampaignEnd
+	// KindMigration is a notice-window migration: the recovery strategy
+	// answered a termination notice by requesting an immediate replacement
+	// in a different market, overlapping its boot/restore with the
+	// remaining notice lead time. Trial, Inst=the dying instance,
+	// Type=its market, Label=the market excluded on the replacement deploy
+	// ("" when none), A=remaining notice lead seconds.
+	KindMigration
+	// KindBackoff is a blackout-retry delay decision: Trial,
+	// Type=requested market, A=the chosen delay in seconds, N=the
+	// consecutive-attempt count the delay answers.
+	KindBackoff
+	// KindGiveUp marks a trial abandoned by its retry budget: Trial,
+	// Type=the market last requested, A=the configured retry budget,
+	// N=attempts spent when giving up.
+	KindGiveUp
+	// KindDegradation is an upward move on the deadline-slack degradation
+	// ladder: Label=the new level's name ("diversified"|"on-demand"),
+	// A=projected slack in seconds at the transition (negative when the
+	// projection has slipped past the deadline), N=the new level.
+	KindDegradation
 
 	numKinds // sentinel; keep last
 )
@@ -111,6 +136,10 @@ var kindNames = [numKinds]string{
 	KindRank:          "rank",
 	KindSelect:        "select",
 	KindCampaignEnd:   "campaign-end",
+	KindMigration:     "migration",
+	KindBackoff:       "backoff",
+	KindGiveUp:        "give-up",
+	KindDegradation:   "degradation",
 }
 
 func (k Kind) String() string {
@@ -178,12 +207,16 @@ func (Nop) Enabled() bool { return false }
 // matrix run, or just the approach for a single campaign. It is written as
 // the JSONL header line and into Chrome process names.
 type Meta struct {
-	Scenario  string `json:"scenario,omitempty"`
-	Tuner     string `json:"tuner,omitempty"`
-	Policy    string `json:"policy,omitempty"`
-	Workload  string `json:"workload,omitempty"`
-	Replicate int    `json:"replicate,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Tuner    string `json:"tuner,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	// Resilience is the recovery strategy the campaign ran under (omitted
+	// for the default fixed strategy, keeping pre-resilience traces
+	// byte-stable).
+	Resilience string `json:"resilience,omitempty"`
+	Workload   string `json:"workload,omitempty"`
+	Replicate  int    `json:"replicate,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
 }
 
 // Recording is the in-memory Tracer: it stamps each event with the next

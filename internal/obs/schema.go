@@ -33,15 +33,15 @@ const SchemaVersion = 1
 
 var kindDocs = [numKinds]string{
 	KindUnknown:       "unused placeholder",
-	KindCampaignStart: "campaign opens: label=approach, type=tuner, a=theta, n=trial count",
+	KindCampaignStart: "campaign opens: label=approach, type=tuner, a=theta, b=poll interval seconds, n=trial count",
 	KindRoundOpen:     "tuner round begins: label=round, n=directive count",
 	KindBudget:        "round directive: trial, n=absolute step budget, label=round",
 	KindEliminate:     "tuner drops a trial at round close: trial, label=round",
 	KindRoundClose:    "tuner round ends: label=round, n=directive count",
 	KindDeploy:        "instance launch: trial, inst, type, label=spot|on-demand, a=max/hourly price, n=steps already done",
 	KindRestore:       "checkpoint restore: trial, inst, a=transfer+setup seconds, n=restored steps",
-	KindCheckpoint:    "checkpoint save: trial, inst, a=checkpoint MB, n=steps captured",
-	KindNotice:        "revocation notice: trial, inst, type, n=spot-failure streak after it",
+	KindCheckpoint:    "checkpoint save: trial, inst, a=checkpoint MB, b=active periodic cadence seconds, n=steps captured",
+	KindNotice:        "revocation notice: trial, inst, type, b=steps lost since last durable checkpoint, n=spot-failure streak after it",
 	KindBlackoutRetry: "spot request rejected by capacity blackout: trial, type, n=streak after it",
 	KindStreakClear:   "clean spot segment resets the failure streak: trial, n=streak cleared",
 	KindFallback:      "fallback-policy transition: trial, label=doomed|streak|spot-return, a=signal, n=streak",
@@ -51,6 +51,10 @@ var kindDocs = [numKinds]string{
 	KindRank:          "prediction outcome: trial, a=predicted final metric (inf=unobservable), n=1-based rank",
 	KindSelect:        "final selection: trial=best, n=top-set size",
 	KindCampaignEnd:   "campaign closes: a=net cost USD, b=JCT hours, n=loop iterations",
+	KindMigration:     "notice-window migration: trial, inst=dying instance, type=its market, label=excluded market, a=remaining lead seconds",
+	KindBackoff:       "blackout-retry delay decision: trial, type=requested market, a=delay seconds, n=consecutive attempt",
+	KindGiveUp:        "retry budget exhausted, trial abandoned: trial, type=last market, n=attempts spent",
+	KindDegradation:   "degradation-ladder escalation: label=new level name, a=projected slack seconds, n=new level",
 }
 
 // Schema returns the current trace schema, kinds in numeric (emission

@@ -64,6 +64,14 @@ type TrialInfo struct {
 	// Incumbent marks the trial whose last observed metric is currently
 	// the best in the campaign. MixedFleet pins it on on-demand.
 	Incumbent bool
+	// Exclude names one market to avoid for this decision, when the pool
+	// offers an alternative — set by the resilience layer on
+	// notice-window migrations (the market that just revoked the trial)
+	// and under diversified-spot degradation. Spot choosers honor it by
+	// skipping the named market's candidacy while still drawing its bid
+	// delta, so the rng stream stays aligned with the unexcluded decision
+	// sequence.
+	Exclude string
 }
 
 // Context carries one deployment decision's inputs.
@@ -206,6 +214,13 @@ func newSpotChooser(p Params) spotChooser {
 // drawn per pool member per call, in pool order (determinism contract).
 func (s *spotChooser) bestSpot(ctx Context) (Request, error) {
 	now := ctx.Market.Now()
+	// An exclusion only binds when the pool offers an alternative: with a
+	// single-market pool there is nowhere else to go, so the request
+	// proceeds as if unexcluded.
+	exclude := ctx.Trial.Exclude
+	if len(s.pool) < 2 {
+		exclude = ""
+	}
 	best := Request{StepCost: math.Inf(1)}
 	for _, name := range s.pool {
 		cur, err := ctx.Market.CurrentPrice(name)
@@ -213,6 +228,12 @@ func (s *spotChooser) bestSpot(ctx Context) (Request, error) {
 			return Request{}, err
 		}
 		delta := s.deltaLow + s.rng.Float64()*(s.deltaHigh-s.deltaLow)
+		if name == exclude {
+			// The delta is drawn (one draw per pool member per call —
+			// the stream-alignment contract) but the market is not a
+			// candidate this time.
+			continue
+		}
 		maxPrice := cur + delta
 		prob := s.revProb(name, now, maxPrice)
 		if prob < 0 {
@@ -240,6 +261,16 @@ func (s *spotChooser) bestSpot(ctx Context) (Request, error) {
 		return Request{}, errors.New("policy: no viable instance in pool")
 	}
 	return best, nil
+}
+
+// CheapestOnDemand picks the pool member with the least expected on-demand
+// cost per step for the context's trial — the choice every policy's
+// on-demand path makes, exported so the orchestrator's degradation ladder
+// can force reliable capacity without bypassing the shared selection rule
+// (and without touching any policy's rng stream: on-demand selection draws
+// nothing).
+func CheapestOnDemand(ctx Context, pool []string) (Request, error) {
+	return bestOnDemand(ctx, pool)
 }
 
 // bestOnDemand picks the pool member with the least expected on-demand cost

@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"time"
+
+	"spottune/internal/stats"
+)
+
+// RateEstimator tracks per-market revocation rates online: the orchestrator
+// feeds it spot-segment exposure (deploy to segment end) and revocation
+// notices as they happen, and the adaptive checkpoint cadence reads
+// RevocationsPerHour at each deploy. Rates are cumulative over the campaign
+// — the homogeneous-Poisson sufficient statistic the Young/Daly formula
+// assumes — and all updates are driven by the deterministic event loop, so
+// same-seed campaigns see identical estimates at identical instants.
+type RateEstimator struct {
+	byType map[string]*stats.ExposureRate
+}
+
+// NewRateEstimator returns an empty estimator.
+func NewRateEstimator() *RateEstimator {
+	return &RateEstimator{byType: map[string]*stats.ExposureRate{}}
+}
+
+func (r *RateEstimator) rate(typeName string) *stats.ExposureRate {
+	er, ok := r.byType[typeName]
+	if !ok {
+		er = &stats.ExposureRate{}
+		r.byType[typeName] = er
+	}
+	return er
+}
+
+// ObserveExposure adds spot observation time on one market.
+func (r *RateEstimator) ObserveExposure(typeName string, d time.Duration) {
+	r.rate(typeName).AddExposure(d.Hours())
+}
+
+// ObserveRevocation counts one revocation notice on one market.
+func (r *RateEstimator) ObserveRevocation(typeName string) {
+	r.rate(typeName).AddEvent()
+}
+
+// RevocationsPerHour is the market's observed revocation rate (0 before any
+// exposure).
+func (r *RateEstimator) RevocationsPerHour(typeName string) float64 {
+	er, ok := r.byType[typeName]
+	if !ok {
+		return 0
+	}
+	return er.Rate()
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import "time"
+
+// Degradation ladder levels, in escalation order. The ladder is one-way
+// within a campaign: capacity decisions never get cheaper as the deadline
+// closes in, so level transitions are monotone and countable.
+const (
+	// LevelSpot is the unconstrained baseline: the provisioning policy
+	// decides freely.
+	LevelSpot = 0
+	// LevelDiversified keeps riding spot but steers redeploys away from
+	// the trial's most recently revoked market — spending a little
+	// expected price efficiency for decorrelated failure.
+	LevelDiversified = 1
+	// LevelOnDemand forces reliable capacity: projected completion has
+	// slipped past the deadline and only un-revocable instances can stop
+	// the bleeding.
+	LevelOnDemand = 2
+)
+
+// LevelName renders a ladder level for traces and reports.
+func LevelName(level int) string {
+	switch level {
+	case LevelSpot:
+		return "spot"
+	case LevelDiversified:
+		return "diversified"
+	case LevelOnDemand:
+		return "on-demand"
+	}
+	return "unknown"
+}
+
+// SlackTracker projects campaign completion against a deadline and walks
+// the degradation ladder as the projection slips. It is pure bookkeeping —
+// the orchestrator calls Assess with its own remaining-work estimate at
+// each deployment decision — and, like every resilience component, fully
+// deterministic.
+type SlackTracker struct {
+	start    time.Time
+	deadline time.Duration
+	budget   float64
+
+	level       int
+	transitions int
+}
+
+// NewSlackTracker starts tracking at the campaign start instant. A zero
+// deadline disables escalation entirely (Assess always answers LevelSpot);
+// a positive budget caps escalation — once net spend reaches it, the ladder
+// will not force on-demand capacity the campaign cannot pay for.
+func NewSlackTracker(start time.Time, deadline time.Duration, budget float64) *SlackTracker {
+	return &SlackTracker{start: start, deadline: deadline, budget: budget}
+}
+
+// Slack is the projected schedule margin: time between projected completion
+// (now + remaining work) and the deadline. Negative means the projection
+// has already slipped past it.
+func (s *SlackTracker) Slack(now time.Time, remainingSecs float64) time.Duration {
+	deadlineAt := s.start.Add(s.deadline)
+	projected := now.Add(time.Duration(remainingSecs * float64(time.Second)))
+	return deadlineAt.Sub(projected)
+}
+
+// Assess re-projects completion and escalates the ladder if the slack
+// demands it: inside a 10%-of-deadline margin the tracker diversifies,
+// past the deadline it forces on-demand (unless the budget is exhausted,
+// which pins the ladder at diversified — reliable capacity the campaign
+// cannot pay for is not graceful degradation). Escalation is one-way;
+// changed reports whether this call moved the level.
+func (s *SlackTracker) Assess(now time.Time, remainingSecs, spentUSD float64) (level int, changed bool) {
+	if s == nil || s.deadline <= 0 {
+		return LevelSpot, false
+	}
+	slack := s.Slack(now, remainingSecs)
+	want := s.level
+	switch {
+	case slack < 0:
+		want = LevelOnDemand
+	case slack < s.deadline/10:
+		want = LevelDiversified
+	}
+	if want == LevelOnDemand && s.budget > 0 && spentUSD >= s.budget {
+		want = LevelDiversified
+	}
+	if want > s.level {
+		s.level = want
+		s.transitions++
+		return s.level, true
+	}
+	return s.level, false
+}
+
+// Level is the current ladder level.
+func (s *SlackTracker) Level() int {
+	if s == nil {
+		return LevelSpot
+	}
+	return s.level
+}
+
+// Transitions counts upward ladder moves so far.
+func (s *SlackTracker) Transitions() int {
+	if s == nil {
+		return 0
+	}
+	return s.transitions
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzChaosSchedule drives the chaos-storm generator and the spec validator
+// with arbitrary inputs. Two properties must be total:
+//
+//  1. The generator is a pure function of (regime, seed): any seed yields a
+//     battery of valid, onset-sorted specs, bit-identical on a second call
+//     — and unknown regimes error instead of panicking.
+//  2. Spec.Validate never panics on arbitrary fault fields, and anything it
+//     accepts actually satisfies the documented fault vocabulary (the
+//     storm harness feeds validated specs straight into cluster hooks, so
+//     an accepted-but-malformed fault would corrupt a campaign, not fail
+//     fast).
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add(uint64(42), byte(0), int64(3600), int64(60), "r4.large", byte(0), int64(0))
+	f.Add(uint64(0xbeef), byte(3), int64(0), int64(0), "", byte(1), int64(86400))
+	f.Add(uint64(1), byte(4), int64(-60), int64(-1), "m4.2xlarge", byte(2), int64(-5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, regimeSel byte, afterSecs, durSecs int64, typeName string, kindSel byte, deadlineSecs int64) {
+		regimes := append(StormRegimes(), StormAll, "no-such-storm")
+		regime := regimes[int(regimeSel)%len(regimes)]
+		specs, err := StormSpecs(regime, seed)
+		if regime == "no-such-storm" {
+			if err == nil {
+				t.Fatal("unknown storm regime accepted")
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("StormSpecs(%q, %d): %v", regime, seed, err)
+			}
+			again, err := StormSpecs(regime, seed)
+			if err != nil || !reflect.DeepEqual(specs, again) {
+				t.Fatalf("StormSpecs(%q, %d) not deterministic", regime, seed)
+			}
+			for _, s := range specs {
+				if err := s.Validate(); err != nil {
+					t.Fatalf("generated storm spec invalid: %v", err)
+				}
+				for i := 1; i < len(s.Faults); i++ {
+					if s.Faults[i].After < s.Faults[i-1].After {
+						t.Fatalf("%s: faults not sorted by onset", s.Name)
+					}
+				}
+			}
+		}
+
+		// Arbitrary fault fields through the validator: total, and
+		// accepted faults honor the vocabulary.
+		kinds := []FaultKind{FaultMassPreemption, FaultBlackout, FaultKind("junk")}
+		fault := Fault{
+			Kind:     kinds[int(kindSel)%len(kinds)],
+			After:    time.Duration(afterSecs) * time.Second,
+			Duration: time.Duration(durSecs) * time.Second,
+			TypeName: typeName,
+		}
+		s := Spec{
+			Name:     "fuzz",
+			Regime:   "baseline",
+			Deadline: time.Duration(deadlineSecs) * time.Second,
+			Faults:   []Fault{fault},
+		}
+		if s.Validate() != nil {
+			return
+		}
+		if s.Deadline < 0 {
+			t.Fatalf("validator accepted negative deadline %v", s.Deadline)
+		}
+		switch fault.Kind {
+		case FaultMassPreemption:
+			if fault.Duration != 0 {
+				t.Fatalf("validator accepted mass preemption with duration %v", fault.Duration)
+			}
+		case FaultBlackout:
+			if fault.Duration <= 0 {
+				t.Fatalf("validator accepted blackout with duration %v", fault.Duration)
+			}
+		default:
+			t.Fatalf("validator accepted unknown fault kind %q", fault.Kind)
+		}
+		if fault.After < 0 {
+			t.Fatalf("validator accepted fault before campaign start: %v", fault.After)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"spottune/internal/invariants"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
+	"spottune/internal/resilience"
 	"spottune/internal/revpred"
 	"spottune/internal/search"
 	"spottune/internal/workload"
@@ -42,6 +43,12 @@ type Options struct {
 	// is opt-in because it multiplies the matrix). Specs with their own
 	// Tuner pin override the axis for their cells.
 	Tuners []string
+	// Strategies is the recovery-strategy axis (resilience registry
+	// names) crossed between the tuner and policy axes (nil = just
+	// "fixed", the historical behavior — like Tuners, opt-in because it
+	// multiplies the matrix). Specs with their own Resilience pin
+	// override the axis for their cells.
+	Strategies []string
 	// SkipInvariants disables the per-cell invariant audit (the audit is
 	// on by default; this exists for timing comparisons only).
 	SkipInvariants bool
@@ -74,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if len(o.Tuners) == 0 {
 		o.Tuners = []string{search.SpotTuneName}
 	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = []string{resilience.FixedName}
+	}
 	return o
 }
 
@@ -85,11 +95,17 @@ func (o Options) revPredConfig(seed uint64) revpred.Config {
 	return revpred.Config{Hidden: 12, Depth: 2, Epochs: 2, Stride: 4, Seed: seed}
 }
 
-// Cell is one (scenario, tuner, policy) outcome plus its invariant audit.
+// Cell is one (scenario, tuner, strategy, policy) outcome plus its
+// invariant audit.
 type Cell struct {
 	Scenario string
 	Regime   string
 	Tuner    string
+	// Strategy is the recovery strategy the cell ran under ("fixed"
+	// unless the strategy axis was widened). Like Replicate it is not a
+	// CSV column — the frozen Header predates the axis, and the default
+	// single-strategy grid must stay byte-identical.
+	Strategy string
 	// Replicate is the cell's index on the streaming runner's seed axis
 	// (always 0 for Matrix.Run and for single-replicate streams; it does
 	// not appear in the CSV schema, whose row order encodes it).
@@ -210,17 +226,17 @@ func (r *Result) ViolationError(w io.Writer) error {
 	return fmt.Errorf("%d invariant violations across the matrix", n)
 }
 
-// Matrix is a scenario × tuner × policy study.
+// Matrix is a scenario × tuner × strategy × policy study.
 type Matrix struct {
 	Specs []Spec
 }
 
-// Run executes every scenario × tuner × policy combination: per (scenario,
-// tuner) pair, the policy axis fans out through experiments.CrossPolicyOn
-// (and with it the campaign.Sweep worker pool); per cell, the final
-// simulator state is audited by invariants.Check. Cells come back in
-// scenario-then-tuner-then-policy order, deterministically for a fixed
-// seed.
+// Run executes every scenario × tuner × strategy × policy combination: per
+// (scenario, tuner, strategy) triple, the policy axis fans out through
+// experiments.CrossPolicyOn (and with it the campaign.Sweep worker pool);
+// per cell, the final simulator state is audited by invariants.Check. Cells
+// come back in scenario-then-tuner-then-strategy-then-policy order,
+// deterministically for a fixed seed.
 func (m Matrix) Run(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if len(m.Specs) == 0 {
@@ -228,6 +244,11 @@ func (m Matrix) Run(opt Options) (*Result, error) {
 	}
 	for _, t := range opt.Tuners {
 		if err := validTuner(t); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, r := range opt.Strategies {
+		if err := validStrategy(r); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 	}
@@ -294,25 +315,35 @@ func (m Matrix) Run(opt Options) (*Result, error) {
 		if s.Tuner != "" {
 			tuners = []string{s.Tuner}
 		}
+		strategies := opt.Strategies
+		if s.Resilience != "" {
+			strategies = []string{s.Resilience}
+		}
 		for _, tname := range tuners {
-			audit := newAuditor(opt)
-			rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
-				Theta:   opt.Theta,
-				Seed:    s.Seed,
-				Tuner:   tname,
-				Inspect: audit.inspect,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scenario: %s/%s: %w", s.Name, tname, err)
-			}
-			for _, row := range rows {
-				res.Cells = append(res.Cells, Cell{
-					Scenario:       s.Name,
-					Regime:         s.Regime,
-					Tuner:          tname,
-					CrossPolicyRow: row,
-					Violations:     audit.violations[row.Policy],
+			for _, rname := range strategies {
+				audit := newAuditor(opt)
+				rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
+					Theta:      opt.Theta,
+					Seed:       s.Seed,
+					Tuner:      tname,
+					Resilience: rname,
+					Deadline:   s.Deadline,
+					Budget:     s.Budget,
+					Inspect:    audit.inspect,
 				})
+				if err != nil {
+					return nil, fmt.Errorf("scenario: %s/%s/%s: %w", s.Name, tname, rname, err)
+				}
+				for _, row := range rows {
+					res.Cells = append(res.Cells, Cell{
+						Scenario:       s.Name,
+						Regime:         s.Regime,
+						Tuner:          tname,
+						Strategy:       rname,
+						CrossPolicyRow: row,
+						Violations:     audit.violations[row.Policy],
+					})
+				}
 			}
 		}
 	}

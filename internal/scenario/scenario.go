@@ -15,6 +15,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/cloudsim"
 	"spottune/internal/market"
+	"spottune/internal/resilience"
 	"spottune/internal/search"
 )
 
@@ -89,6 +90,15 @@ type Spec struct {
 	// Tuner pins this scenario to one search strategy (a search registry
 	// name); "" follows the matrix's tuner axis (Options.Tuners).
 	Tuner string
+	// Resilience pins this scenario to one recovery strategy (a
+	// resilience registry name); "" follows the matrix's strategy axis
+	// (Options.Strategies).
+	Resilience string
+	// Deadline/Budget constrain every campaign of this scenario: the
+	// completion target that drives the degradation ladder and the spend
+	// cap that bounds its escalation (zero = unconstrained).
+	Deadline time.Duration
+	Budget   float64
 	// Faults strike the simulated region during the campaign.
 	Faults []Fault
 }
@@ -113,6 +123,14 @@ func (s Spec) Validate() error {
 		if err := validTuner(s.Tuner); err != nil {
 			return fmt.Errorf("scenario: %s: %w", s.Name, err)
 		}
+	}
+	if s.Resilience != "" {
+		if err := validStrategy(s.Resilience); err != nil {
+			return fmt.Errorf("scenario: %s: %w", s.Name, err)
+		}
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("scenario: %s: negative deadline %v", s.Name, s.Deadline)
 	}
 	for _, f := range s.Faults {
 		if err := f.validate(); err != nil {
@@ -166,6 +184,17 @@ func validTuner(name string) error {
 		}
 	}
 	return fmt.Errorf("unknown tuner %q (available: %v)", name, search.Names())
+}
+
+// validStrategy checks a recovery-strategy name against the resilience
+// registry.
+func validStrategy(name string) error {
+	for _, r := range resilience.Names() {
+		if r == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown resilience strategy %q (available: %v)", name, resilience.Names())
 }
 
 // envKey identifies the shareable part of an environment build: specs that

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the chaos storm harness: seeded generators that compose the
+// fault vocabulary (mass preemptions, per-market and region-wide blackouts)
+// into adversarial schedules far denser than the default battery — the
+// regimes the resilience layer exists to survive. Schedules are pure
+// functions of (regime, seed): the same pair always yields the same specs,
+// so a storm that uncovers a violation replays bit-identically under
+// `-storm <regime> -chaos-seed <seed>`.
+
+// Storm regime names.
+const (
+	// StormRevStorm piles bursts of correlated mass preemptions onto a
+	// volatile market: every running spot instance is reclaimed again and
+	// again, stressing checkpoint cadence and lost-work bounds.
+	StormRevStorm = "revstorm"
+	// StormBlackFront rolls staggered per-market capacity blackouts across
+	// the pool plus one region-wide outage, stressing retry budgets,
+	// backoff pacing, and the give-up path.
+	StormBlackFront = "blackfront"
+	// StormMidNotice lands a blackout inside the two-minute window opened
+	// by a mass preemption — the replacement market is dark exactly when
+	// migration-on-notice wants it — under a price-inversion regime.
+	StormMidNotice = "midnotice"
+	// StormMixed interleaves all three pathologies in one schedule.
+	StormMixed = "mixed"
+	// StormAll selects every storm regime (the full chaos battery).
+	StormAll = "all"
+)
+
+// StormRegimes lists the storm generators in battery order.
+func StormRegimes() []string {
+	return []string{StormRevStorm, StormBlackFront, StormMidNotice, StormMixed}
+}
+
+// StormInfo describes one storm regime for CLI inventories.
+type StormInfo struct {
+	Name string
+	Doc  string
+}
+
+// StormInfos lists the storm regimes with one-line docs, in battery order.
+func StormInfos() []StormInfo {
+	return []StormInfo{
+		{StormRevStorm, "bursts of correlated mass preemptions on a volatile market"},
+		{StormBlackFront, "staggered per-market blackouts plus a region-wide outage"},
+		{StormMidNotice, "blackout lands inside the notice window under price inversion"},
+		{StormMixed, "all three pathologies interleaved in one schedule"},
+	}
+}
+
+// stormRand is a splitmix64 stream — the deliberately tiny, stable PRNG the
+// generators draw from, so storm schedules never depend on the Go runtime's
+// rand internals.
+type stormRand struct{ state uint64 }
+
+func (r *stormRand) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn draws a uniform int in [0, n).
+func (r *stormRand) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// durBetween draws a uniform duration in [lo, hi), quantized to seconds so
+// schedules stay human-readable in spec dumps.
+func (r *stormRand) durBetween(lo, hi time.Duration) time.Duration {
+	span := int64((hi - lo) / time.Second)
+	if span <= 0 {
+		return lo
+	}
+	return lo + time.Duration(int64(r.next()%uint64(span)))*time.Second
+}
+
+// stormPool is the market subset storm faults target — a fixed slice of the
+// Table III catalog so schedules never depend on catalog iteration order.
+// Faults may name these markets but specs leave Spec.Pool nil, so campaigns
+// still run over the whole fleet (untargeted faults hit every market).
+var stormPool = []string{"r4.large", "r4.xlarge", "m4.2xlarge"}
+
+// StormSpecs generates the seeded chaos battery for one storm regime (or
+// every regime for StormAll), ready to drop into a Matrix. Each spec's name
+// encodes the regime and seed, so CSV rows from different storms never
+// collide.
+func StormSpecs(regime string, seed uint64) ([]Spec, error) {
+	switch regime {
+	case StormRevStorm:
+		return []Spec{revStormSpec(seed)}, nil
+	case StormBlackFront:
+		return []Spec{blackFrontSpec(seed)}, nil
+	case StormMidNotice:
+		return []Spec{midNoticeSpec(seed)}, nil
+	case StormMixed:
+		return []Spec{mixedStormSpec(seed)}, nil
+	case StormAll, "":
+		return []Spec{
+			revStormSpec(seed),
+			blackFrontSpec(seed),
+			midNoticeSpec(seed),
+			mixedStormSpec(seed),
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown storm regime %q (available: %v)", regime, StormRegimes())
+	}
+}
+
+// revStormSpec: 3 preemption bursts of 2–4 reclaims each on the volatile
+// regime, bursts spread across the first two campaign days, reclaims inside
+// a burst minutes apart — revocations land faster than the default
+// checkpoint cadence, so adaptive strategies must tighten theirs.
+func revStormSpec(seed uint64) Spec {
+	rng := &stormRand{state: seed ^ 0x5707}
+	var faults []Fault
+	for burst := 0; burst < 3; burst++ {
+		at := time.Duration(burst)*16*time.Hour + rng.durBetween(30*time.Minute, 4*time.Hour)
+		reclaims := 2 + rng.intn(3)
+		for i := 0; i < reclaims; i++ {
+			target := ""
+			if rng.intn(2) == 0 {
+				target = stormPool[rng.intn(len(stormPool))]
+			}
+			faults = append(faults, Fault{Kind: FaultMassPreemption, After: at, TypeName: target})
+			at += rng.durBetween(4*time.Minute, 25*time.Minute)
+		}
+	}
+	return stormSpec(StormRevStorm, seed, "volatile", faults)
+}
+
+// blackFrontSpec: a rolling front of per-market blackouts (staggered so at
+// least one market is usually dark) capped by one all-market outage — the
+// schedule that exhausts retry budgets.
+func blackFrontSpec(seed uint64) Spec {
+	rng := &stormRand{state: seed ^ 0xb1ac}
+	var faults []Fault
+	at := rng.durBetween(time.Hour, 3*time.Hour)
+	for round := 0; round < 2; round++ {
+		for _, name := range stormPool {
+			faults = append(faults, Fault{
+				Kind:     FaultBlackout,
+				After:    at,
+				Duration: rng.durBetween(time.Hour, 5*time.Hour),
+				TypeName: name,
+			})
+			at += rng.durBetween(20*time.Minute, 2*time.Hour)
+		}
+	}
+	faults = append(faults, Fault{
+		Kind:     FaultBlackout,
+		After:    at + rng.durBetween(time.Hour, 2*time.Hour),
+		Duration: rng.durBetween(45*time.Minute, 90*time.Minute),
+	})
+	return stormSpec(StormBlackFront, seed, "baseline", faults)
+}
+
+// midNoticeSpec: twice, a mass preemption opens every trial's notice window
+// and a blackout starting 60 seconds later (inside the two-minute lead)
+// darkens a market for most of an hour — migration-on-notice must route
+// around capacity that vanished mid-window. Runs under the inversion regime
+// so spot/on-demand price order is also lying.
+func midNoticeSpec(seed uint64) Spec {
+	rng := &stormRand{state: seed ^ 0x3d01}
+	var faults []Fault
+	for hit := 0; hit < 2; hit++ {
+		at := time.Duration(hit)*20*time.Hour + rng.durBetween(2*time.Hour, 8*time.Hour)
+		target := stormPool[rng.intn(len(stormPool))]
+		faults = append(faults,
+			Fault{Kind: FaultMassPreemption, After: at},
+			Fault{
+				Kind:     FaultBlackout,
+				After:    at + time.Minute,
+				Duration: rng.durBetween(30*time.Minute, 45*time.Minute),
+				TypeName: target,
+			},
+		)
+	}
+	return stormSpec(StormMidNotice, seed, "inversion", faults)
+}
+
+// mixedStormSpec interleaves every pathology on the crunch regime: a
+// preemption burst, a staggered blackout pair, and one mid-notice ambush.
+func mixedStormSpec(seed uint64) Spec {
+	rng := &stormRand{state: seed ^ 0x313d}
+	var faults []Fault
+	at := rng.durBetween(time.Hour, 5*time.Hour)
+	for i := 0; i < 3; i++ {
+		faults = append(faults, Fault{Kind: FaultMassPreemption, After: at})
+		at += rng.durBetween(10*time.Minute, 40*time.Minute)
+	}
+	for i := 0; i < 2; i++ {
+		faults = append(faults, Fault{
+			Kind:     FaultBlackout,
+			After:    at,
+			Duration: rng.durBetween(time.Hour, 3*time.Hour),
+			TypeName: stormPool[rng.intn(len(stormPool))],
+		})
+		at += rng.durBetween(30*time.Minute, 90*time.Minute)
+	}
+	ambush := at + rng.durBetween(2*time.Hour, 6*time.Hour)
+	faults = append(faults,
+		Fault{Kind: FaultMassPreemption, After: ambush},
+		Fault{
+			Kind:     FaultBlackout,
+			After:    ambush + 45*time.Second,
+			Duration: rng.durBetween(20*time.Minute, 50*time.Minute),
+			TypeName: stormPool[rng.intn(len(stormPool))],
+		},
+	)
+	sp := stormSpec(StormMixed, seed, "crunch", faults)
+	// A deadline tight enough that storm-battered campaigns run out of
+	// slack: the mixed regime is where the battery exercises the
+	// degradation ladder (and the deadline-accounting invariant's trace
+	// half), not just migrations and retry budgets.
+	sp.Deadline = 12 * time.Hour
+	return sp
+}
+
+// stormSpec assembles one storm Spec: faults sorted by onset (ties broken by
+// kind then market, so generator insertion order never leaks into the spec),
+// seed folded into the name for collision-free CSV rows.
+func stormSpec(regime string, seed uint64, market string, faults []Fault) Spec {
+	sort.SliceStable(faults, func(i, j int) bool {
+		if faults[i].After != faults[j].After {
+			return faults[i].After < faults[j].After
+		}
+		if faults[i].Kind != faults[j].Kind {
+			return faults[i].Kind < faults[j].Kind
+		}
+		return faults[i].TypeName < faults[j].TypeName
+	})
+	return Spec{
+		Name:   fmt.Sprintf("storm-%s-%d", regime, seed),
+		Regime: market,
+		Seed:   seed,
+		Faults: faults,
+	}
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"spottune/internal/campaign"
+	"spottune/internal/invariants"
+	"spottune/internal/obs"
+	"spottune/internal/policy"
+	"spottune/internal/resilience"
+	"spottune/internal/workload"
+)
+
+func TestStormSpecsDeterministic(t *testing.T) {
+	for _, regime := range StormRegimes() {
+		a, err := StormSpecs(regime, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", regime, err)
+		}
+		b, err := StormSpecs(regime, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same (regime, seed) produced different schedules", regime)
+		}
+		c, err := StormSpecs(regime, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a[0].Faults, c[0].Faults) {
+			t.Fatalf("%s: different seeds produced identical fault schedules", regime)
+		}
+		for _, s := range a {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: generated spec invalid: %v", regime, err)
+			}
+			if len(s.Faults) == 0 {
+				t.Fatalf("%s: storm spec has no faults", regime)
+			}
+			for i := 1; i < len(s.Faults); i++ {
+				if s.Faults[i].After < s.Faults[i-1].After {
+					t.Fatalf("%s: faults not sorted by onset", regime)
+				}
+			}
+		}
+	}
+}
+
+func TestStormAllAndErrors(t *testing.T) {
+	all, err := StormSpecs(StormAll, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(StormRegimes()) {
+		t.Fatalf("storm battery has %d specs, want one per regime (%d)", len(all), len(StormRegimes()))
+	}
+	names := map[string]bool{}
+	for _, s := range all {
+		if names[s.Name] {
+			t.Fatalf("duplicate storm spec name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if _, err := StormSpecs("hurricane", 7); err == nil {
+		t.Fatal("unknown storm regime accepted")
+	}
+}
+
+// TestStormBatteryInvariantClean is the chaos harness acceptance test: a
+// seeded storm runs under both recovery strategies with the flight recorder
+// on, and the final state passes the full invariant audit — including the
+// resilience codes (lost-work bound, retry-budget conservation, deadline
+// accounting). It also pins the metamorphic no-double-billing property:
+// with migrations overlapping restores into the notice window, the
+// report's restore time still equals the sum of per-restore trace
+// payloads — each restore billed exactly once.
+func TestStormBatteryInvariantClean(t *testing.T) {
+	opt := quickOpts()
+	bench, err := workload.SuiteByName("LoR", workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	regimes := StormRegimes()
+	if testing.Short() {
+		regimes = regimes[:1]
+	}
+	migrations := 0
+	for _, regime := range regimes {
+		specs, err := StormSpecs(regime, 0xbeef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, raw := range specs {
+			s := raw.withDefaults(opt)
+			env, err := s.Environment(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strategy := range resilience.Names() {
+				var vs []invariants.Violation
+				var detail *campaign.RunDetail
+				rep, err := env.RunPolicy(bench, curves, campaign.Options{
+					Theta:      0.7,
+					Seed:       s.Seed,
+					Policy:     policy.SpotTuneName,
+					Resilience: strategy,
+					Trace:      true,
+					Inspect: func(d *campaign.RunDetail) error {
+						detail = d
+						vs = invariants.Check(StateFor(d))
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", s.Name, strategy, err)
+				}
+				if len(vs) != 0 {
+					t.Errorf("%s/%s: invariant violations: %v", s.Name, strategy, vs)
+				}
+				// No double billing: every restore appears in the trace
+				// once, with its payload summing to the report total —
+				// migration must not bill the overlapped restore twice.
+				var restoreSecs float64
+				for _, e := range detail.Trace.Events() {
+					if e.Kind == obs.KindRestore {
+						restoreSecs += e.A
+					}
+				}
+				if diff := math.Abs(restoreSecs - rep.RestoreTime.Seconds()); diff > 1e-6 {
+					t.Errorf("%s/%s: trace restores sum to %.3fs, report bills %.3fs",
+						s.Name, strategy, restoreSecs, rep.RestoreTime.Seconds())
+				}
+				migrations += rep.Migrations
+			}
+		}
+	}
+	if !testing.Short() && migrations == 0 {
+		t.Error("no storm migrated at all — the adaptive notice path went unexercised")
+	}
+}

@@ -39,7 +39,7 @@ type StreamOptions struct {
 	// Workers caps concurrent cells (default GOMAXPROCS).
 	Workers int
 	// OnCell, when set, receives every finished cell in grid order
-	// (spec-major, then replicate, tuner, policy). A returned error aborts
+	// (spec-major, then replicate, tuner, strategy, policy). A returned error aborts
 	// the run. Cells are not retained by the runner — this callback is the
 	// only way to observe per-cell results, which is what keeps memory
 	// independent of grid size.
@@ -83,23 +83,25 @@ type cellOutcome struct {
 // specBlock is the shared, read-only world for every cell of one spec:
 // environment (traces, SoA store, predictors), benchmark, and curves.
 type specBlock struct {
-	spec   Spec
-	env    *campaign.Environment
-	bench  *workload.Benchmark
-	curves workload.Curves
-	tuners []string
+	spec       Spec
+	env        *campaign.Environment
+	bench      *workload.Benchmark
+	curves     workload.Curves
+	tuners     []string
+	strategies []string
 }
 
 // cellJob locates one cell in the grid.
 type cellJob struct {
-	idx    int
-	block  *specBlock
-	rep    int
-	tuner  string
-	policy string
+	idx      int
+	block    *specBlock
+	rep      int
+	tuner    string
+	strategy string
+	policy   string
 }
 
-// Stream executes the scenario × replicate × tuner × policy grid with
+// Stream executes the scenario × replicate × tuner × strategy × policy grid with
 // bounded memory: environments are built once per spec and shared read-only,
 // cells are sharded across a worker pool, each worker reuses one EarlyCurve
 // fit memo (its SoA world) across every cell it runs, and results stream
@@ -115,6 +117,11 @@ func (m Matrix) Stream(opt StreamOptions) (*StreamSummary, error) {
 	}
 	for _, t := range o.Tuners {
 		if err := validTuner(t); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, r := range o.Strategies {
+		if err := validStrategy(r); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 	}
@@ -143,7 +150,7 @@ func (m Matrix) Stream(opt StreamOptions) (*StreamSummary, error) {
 	}
 	total := 0
 	for _, b := range blocks {
-		total += reps * len(b.tuners) * len(o.Policies)
+		total += reps * len(b.tuners) * len(b.strategies) * len(o.Policies)
 	}
 	progressEvery := opt.ProgressEvery
 	if progressEvery <= 0 {
@@ -194,13 +201,15 @@ func (m Matrix) Stream(opt StreamOptions) (*StreamSummary, error) {
 		for _, b := range blocks {
 			for r := 0; r < reps; r++ {
 				for _, tname := range b.tuners {
-					for _, pname := range o.Policies {
-						select {
-						case jobs <- cellJob{idx: idx, block: b, rep: r, tuner: tname, policy: pname}:
-						case <-stop:
-							return
+					for _, rname := range b.strategies {
+						for _, pname := range o.Policies {
+							select {
+							case jobs <- cellJob{idx: idx, block: b, rep: r, tuner: tname, strategy: rname, policy: pname}:
+							case <-stop:
+								return
+							}
+							idx++
 						}
-						idx++
 					}
 				}
 			}
@@ -316,7 +325,11 @@ func (m Matrix) buildBlocks(o Options) ([]*specBlock, error) {
 		if s.Tuner != "" {
 			tuners = []string{s.Tuner}
 		}
-		blocks = append(blocks, &specBlock{spec: s, env: env, bench: bench, curves: cv, tuners: tuners})
+		strategies := o.Strategies
+		if s.Resilience != "" {
+			strategies = []string{s.Resilience}
+		}
+		blocks = append(blocks, &specBlock{spec: s, env: env, bench: bench, curves: cv, tuners: tuners, strategies: strategies})
 	}
 	return blocks, nil
 }
@@ -329,11 +342,14 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 	var violations []invariants.Violation
 	var rec *obs.Recording
 	copt := campaign.Options{
-		Theta:  o.Theta,
-		Seed:   replicateSeed(b.spec.Seed, job.rep),
-		Tuner:  job.tuner,
-		Policy: job.policy,
-		Trace:  o.Trace,
+		Theta:      o.Theta,
+		Seed:       replicateSeed(b.spec.Seed, job.rep),
+		Tuner:      job.tuner,
+		Policy:     job.policy,
+		Resilience: job.strategy,
+		Deadline:   b.spec.Deadline,
+		Budget:     b.spec.Budget,
+		Trace:      o.Trace,
 		// The worker's shared fit memo rides in on the trend predictor, and
 		// its perf cache shares ground-truth step curves across same-seed
 		// cells; both reuses are bit-identical to cold builds, so this
@@ -364,6 +380,7 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 		Scenario:  b.spec.Name,
 		Regime:    b.spec.Regime,
 		Tuner:     job.tuner,
+		Strategy:  job.strategy,
 		Replicate: job.rep,
 		CrossPolicyRow: experiments.CrossPolicyRow{
 			Policy:              job.policy,

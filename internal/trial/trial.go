@@ -437,6 +437,26 @@ func (r *Replay) AppendCheckpoint(dst []byte) []byte {
 	return appendCheckpoint(dst, r.id, r.progress)
 }
 
+// StepsBehind reports how many whole completed steps the trial's live state
+// is ahead of the given checkpoint blob — the work a revocation would lose
+// by rewinding to it (0 when the blob is current or ahead). The resilience
+// harness uses it to audit that lost work never exceeds the active
+// checkpoint cadence's step bound.
+func (r *Replay) StepsBehind(data []byte) (int, error) {
+	id, progress, err := DecodeCheckpoint(data)
+	if err != nil {
+		return 0, err
+	}
+	if id != r.id {
+		return 0, fmt.Errorf("trial: checkpoint for %q audited against %q", id, r.id)
+	}
+	behind := r.CompletedSteps() - int(progress)
+	if behind < 0 {
+		behind = 0
+	}
+	return behind, nil
+}
+
 // Restore loads a Checkpoint blob. Progress can only move backward if the
 // checkpoint is older than current state — which is exactly what happens
 // when an instance dies without a checkpoint and the trial resumes from an
