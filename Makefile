@@ -92,6 +92,7 @@ storm:
 # committed under the packages' testdata/fuzz directories.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceCSVRoundTrip -fuzztime 10s ./internal/market
+	$(GO) test -run '^$$' -fuzz FuzzCatalog -fuzztime 10s ./internal/market
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointCodec -fuzztime 10s ./internal/trial
 	$(GO) test -run '^$$' -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/scenario
 

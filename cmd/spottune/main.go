@@ -7,6 +7,7 @@
 //
 //	spottune -workload ResNet -theta 0.7
 //	spottune -workload SVM -policy spot-od-fallback
+//	spottune -workload LoR -policy diversified-spot -basetype r4.xlarge -alloc capacity-optimized
 //	spottune -workload LoR -tuner hyperband
 //	spottune -workload LoR -baseline r4.large
 //	spottune -workload GBTR -theta 0.5 -pred oracle -real
@@ -64,6 +65,8 @@ func run() error {
 			"recovery strategy: "+strings.Join(resilience.Names(), ", "))
 		deadline = flag.Duration("deadline", 0, "campaign completion deadline; 0 disables the degradation ladder")
 		budget   = flag.Float64("budget", 0, "campaign spend cap in USD for ladder decisions; 0 = unconstrained")
+		baseType = flag.String("basetype", "", "catalog compatibility anchor: narrow the fleet to types at least as powerful as this one (\"\" = whole catalog)")
+		alloc    = flag.String("alloc", "", "diversified-spot allocation strategy: "+strings.Join(policy.AllocationNames(), ", ")+" (\"\" = lowest-price)")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -132,6 +135,10 @@ func run() error {
 			return fmt.Errorf("-baseline and -resilience/-deadline/-budget are mutually exclusive " +
 				"(the legacy baseline loop predates the recovery-strategy layer)")
 		}
+		if *baseType != "" || *alloc != "" {
+			return fmt.Errorf("-baseline and -basetype/-alloc are mutually exclusive " +
+				"(the legacy baseline loop predates the catalog layer)")
+		}
 		rep, err = env.RunSingleSpot(bench, curves, *baseline, *seed)
 	} else {
 		rep, err = env.RunPolicy(bench, curves, campaign.Options{
@@ -145,6 +152,8 @@ func run() error {
 			Resilience:    *resName,
 			Deadline:      *deadline,
 			Budget:        *budget,
+			BaseType:      *baseType,
+			PolicyParams:  policy.Params{Allocation: *alloc},
 			Trace:         *trace != "",
 			Inspect: func(d *campaign.RunDetail) error {
 				rec = d.Trace

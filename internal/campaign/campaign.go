@@ -259,6 +259,12 @@ type Options struct {
 	// forwarded to core.Config (zero = unconstrained).
 	Deadline time.Duration
 	Budget   float64
+	// BaseType is the campaign's compatibility anchor: when set, the
+	// instance pool is narrowed to catalog types at least as powerful as
+	// this type before any policy sees it — every policy obeys the
+	// compatibility predicate, not just catalog-aware ones — and the
+	// constraint is echoed into the report for the invariant checker.
+	BaseType string
 }
 
 // RunDetail is one campaign run's final simulator state: everything an
@@ -279,8 +285,34 @@ type RunDetail struct {
 	Trace *obs.Recording
 }
 
+// CompatiblePool narrows the environment's pool to types at least as
+// powerful as baseType (catalog compatibility predicate), preserving pool
+// order so spot choosers keep their deterministic iteration sequence. An
+// unknown base or a pool with no compatible member is an error.
+func (e *Environment) CompatiblePool(baseType string) ([]string, error) {
+	compat, err := e.Catalog.CompatibleWith(baseType)
+	if err != nil {
+		return nil, err
+	}
+	ok := make(map[string]bool, len(compat))
+	for _, n := range compat {
+		ok[n] = true
+	}
+	var pool []string
+	for _, n := range e.Pool {
+		if ok[n] {
+			pool = append(pool, n)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("campaign: no pool member is compatible with base type %q", baseType)
+	}
+	return pool, nil
+}
+
 // NewPolicy constructs a registered provisioning policy bound to this
-// environment's pool and trained revocation predictors.
+// environment's pool and trained revocation predictors. When base.BaseType
+// is set, the pool handed to the policy is pre-narrowed to compatible types.
 func (e *Environment) NewPolicy(name string, seed uint64, base policy.Params) (policy.Policy, error) {
 	if name == "" {
 		name = policy.SpotTuneName
@@ -291,8 +323,16 @@ func (e *Environment) NewPolicy(name string, seed uint64, base policy.Params) (p
 		return nil, err
 	}
 	base.Pool = e.Pool
+	if base.BaseType != "" {
+		pool, err := e.CompatiblePool(base.BaseType)
+		if err != nil {
+			return nil, err
+		}
+		base.Pool = pool
+	}
 	base.Seed = seed
 	base.RevProb = core.GridRevProb(e.Grids, e.Predictors)
+	base.Catalog = e.Catalog
 	return policy.New(name, base)
 }
 
@@ -324,6 +364,17 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 		for _, tr := range trials {
 			tr.SharePerfCache(opt.PerfCache)
 		}
+	}
+	// The compatibility constraint narrows the pool before any policy (or
+	// the orchestrator's degradation ladder) sees it, so even catalog-blind
+	// policies obey the predicate.
+	pool := e.Pool
+	if opt.BaseType != "" {
+		pool, err = e.CompatiblePool(opt.BaseType)
+		if err != nil {
+			return nil, err
+		}
+		opt.PolicyParams.BaseType = opt.BaseType
 	}
 	// Seed offset matches the pre-policy provisioner wiring so the
 	// spottune policy reproduces historical RunSpotTune reports.
@@ -359,6 +410,7 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 		Resilience:    res,
 		Deadline:      opt.Deadline,
 		Budget:        opt.Budget,
+		BaseType:      opt.BaseType,
 	}
 	// A fresh recording per run: a shared one would interleave concurrent
 	// sweep tasks. Assign the concrete type only when tracing is on — a
@@ -379,7 +431,7 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 		rec = obs.NewRecording(meta)
 		cfg.Tracer = rec
 	}
-	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, e.Pool, trials, cfg)
+	orch, err := core.NewPolicyOrchestrator(cluster, store, pol, pool, trials, cfg)
 	if err != nil {
 		return nil, err
 	}

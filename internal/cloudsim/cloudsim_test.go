@@ -34,7 +34,7 @@ func fixture(t *testing.T) (*Cluster, *simclock.Virtual) {
 
 func TestNewClusterValidation(t *testing.T) {
 	cat := market.MustNewCatalog([]market.InstanceType{
-		{Name: "a", CPUs: 1, OnDemandPrice: 1},
+		{Name: "a", CPUs: 1, MemoryGB: 4, OnDemandPrice: 1},
 	})
 	clk := simclock.NewVirtual(t0)
 	if _, err := NewCluster(nil, cat, market.TraceSet{}); err == nil {
@@ -110,7 +110,7 @@ func TestRevocationWithinFirstHourRefunds(t *testing.T) {
 
 func TestRefundInsideFirstHour(t *testing.T) {
 	cat := market.MustNewCatalog([]market.InstanceType{
-		{Name: "x", CPUs: 1, OnDemandPrice: 0.1},
+		{Name: "x", CPUs: 1, MemoryGB: 4, OnDemandPrice: 0.1},
 	})
 	tr := &market.Trace{Type: "x", Records: []market.Record{
 		{At: t0, Price: 0.02},
@@ -142,7 +142,7 @@ func TestRefundInsideFirstHour(t *testing.T) {
 
 func TestUserTerminationNoRefund(t *testing.T) {
 	cat := market.MustNewCatalog([]market.InstanceType{
-		{Name: "x", CPUs: 1, OnDemandPrice: 0.1},
+		{Name: "x", CPUs: 1, MemoryGB: 4, OnDemandPrice: 0.1},
 	})
 	tr := &market.Trace{Type: "x", Records: []market.Record{
 		{At: t0, Price: 0.02},
@@ -262,7 +262,7 @@ func TestCurrentAndAvgPrice(t *testing.T) {
 
 func TestImmediateNoticeWhenExceedIsNear(t *testing.T) {
 	cat := market.MustNewCatalog([]market.InstanceType{
-		{Name: "x", CPUs: 1, OnDemandPrice: 0.1},
+		{Name: "x", CPUs: 1, MemoryGB: 4, OnDemandPrice: 0.1},
 	})
 	tr := &market.Trace{Type: "x", Records: []market.Record{
 		{At: t0, Price: 0.02},

@@ -176,6 +176,11 @@ type Cluster struct {
 	instances map[string]*Instance
 	ledger    Ledger
 
+	// runningSpot counts live spot instances per type, enforcing the
+	// catalog's per-type Capacity cap (0 = unlimited). On-demand capacity
+	// is never capped.
+	runningSpot map[string]int
+
 	// blackouts are the installed capacity-unavailability windows, in
 	// installation order (fault injection; see faults.go).
 	blackouts []Blackout
@@ -215,12 +220,13 @@ func NewClusterWithStore(clk *simclock.Virtual, cat *market.Catalog, traces mark
 		}
 	}
 	return &Cluster{
-		clk:       clk,
-		catalog:   cat,
-		traces:    traces,
-		store:     store,
-		instances: make(map[string]*Instance),
-		trc:       obs.Nop{},
+		clk:         clk,
+		catalog:     cat,
+		traces:      traces,
+		store:       store,
+		instances:   make(map[string]*Instance),
+		runningSpot: make(map[string]int),
+		trc:         obs.Nop{},
 	}, nil
 }
 
@@ -298,6 +304,12 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 	if c.blackedOut(typeName, now) {
 		return nil, fmt.Errorf("%w: %s at %v", ErrCapacityUnavailable, typeName, now)
 	}
+	// The catalog's per-type cap is the same retriable market state as a
+	// blackout window: the region has no room for another instance of this
+	// type right now, try again (or elsewhere) later.
+	if it.Capacity > 0 && c.runningSpot[typeName] >= it.Capacity {
+		return nil, fmt.Errorf("%w: %s at capacity %d", ErrCapacityUnavailable, typeName, it.Capacity)
+	}
 	cur, _ := c.store.PriceAt(ti, now)
 	if cur > maxPrice {
 		return nil, fmt.Errorf("%w: %s at %.4f > max %.4f", ErrPriceAboveMax, typeName, cur, maxPrice)
@@ -312,6 +324,7 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 		onNotice:   onNotice,
 	}
 	c.instances[inst.ID] = inst
+	c.runningSpot[typeName]++
 
 	if exceedAt, found := c.store.FirstExceed(ti, now, maxPrice); found {
 		noticeAt := exceedAt.Add(-NoticeLeadTime)
@@ -383,6 +396,9 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 	}
 	inst.EndedAt = at
 	inst.End = reason
+	if !inst.OnDemand {
+		c.runningSpot[inst.Type.Name]--
+	}
 
 	usage := Usage{
 		InstanceID: inst.ID,

@@ -278,3 +278,45 @@ func TestPreemptionOfNoticedInstanceKeepsEarlierRevoke(t *testing.T) {
 		t.Errorf("ledger has %d records, want 1", len(got))
 	}
 }
+
+func TestPerTypeCapacityCapsSpotRequests(t *testing.T) {
+	cat := market.MustNewCatalog([]market.InstanceType{
+		{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2, Capacity: 2},
+		{Name: "b", CPUs: 4, MemoryGB: 16, OnDemandPrice: 0.4},
+	})
+	traces := market.TraceSet{
+		"a": &market.Trace{Type: "a", Records: []market.Record{{At: t0, Price: 0.05}}},
+		"b": &market.Trace{Type: "b", Records: []market.Record{{At: t0, Price: 0.10}}},
+	}
+	clk := simclock.NewVirtual(t0)
+	c, err := NewCluster(clk, cat, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.RequestSpot("a", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RequestSpot("a", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Third concurrent instance exceeds the cap: retriable capacity error.
+	if _, err := c.RequestSpot("a", 1, nil); !errors.Is(err, ErrCapacityUnavailable) {
+		t.Fatalf("over-cap request: got %v, want ErrCapacityUnavailable", err)
+	}
+	// Uncapped market and on-demand capacity are unaffected.
+	if _, err := c.RequestSpot("b", 1, nil); err != nil {
+		t.Fatalf("uncapped market affected: %v", err)
+	}
+	if _, err := c.RequestOnDemand("a"); err != nil {
+		t.Fatalf("on-demand affected by spot cap: %v", err)
+	}
+	// Terminating one frees a slot.
+	if err := c.Terminate(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RequestSpot("a", 1, nil); err != nil {
+		t.Fatalf("request after freeing a slot failed: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"spottune/internal/cloudsim"
 	"spottune/internal/earlycurve"
+	"spottune/internal/market"
 	"spottune/internal/obs"
 	"spottune/internal/policy"
 	"spottune/internal/resilience"
@@ -112,6 +113,13 @@ type Config struct {
 	// The orchestrator installs the same tracer on the cluster so billing
 	// settlements share the recording.
 	Tracer obs.Tracer
+	// BaseType is the campaign's compatibility anchor: the instance type
+	// the workload was sized for. It does not constrain decisions here —
+	// campaign assembly narrows the pool to catalog-compatible types before
+	// the orchestrator sees it — but it is echoed into the Report so
+	// invariant checkers can audit that every rented instance satisfied the
+	// compatibility predicate. Empty means unconstrained.
+	BaseType string
 }
 
 func (c Config) withDefaults() Config {
@@ -752,6 +760,19 @@ func (o *Orchestrator) remainingSecs() float64 {
 	return total / float64(o.cfg.MaxConcurrent)
 }
 
+// familyOf resolves an instance type's family through the cluster catalog
+// (name-prefix fallback for types outside it); "" stays "", so an empty
+// exclusion never widens to a family exclusion.
+func (o *Orchestrator) familyOf(typeName string) string {
+	if typeName == "" {
+		return ""
+	}
+	if it, ok := o.cluster.Catalog().Lookup(typeName); ok {
+		return it.Family
+	}
+	return market.FamilyOf(typeName)
+}
+
 // deployWaiting deploys waiting trials into free slots (lines 38–44). It
 // reports blocked=true when the spot market rejected a request (maximum
 // price below market), in which case the caller should retry after the next
@@ -795,12 +816,15 @@ func (o *Orchestrator) deployWaiting(now time.Time, pending *int) (retryAt time.
 			SpotFailures:   o.spotFailures[id],
 			Incumbent:      id == incumbent,
 			Exclude:        exclude,
+			ExcludeFamily:  o.familyOf(exclude),
+			LastRevoked:    o.lastNoticed[id],
 		}
 		ctx := policy.Context{
 			Market:         o.cluster,
 			Trial:          info,
 			ActiveOnDemand: o.activeOnDemand(),
 			SecPerStep:     func(tn string) float64 { return o.perf.Get(tn, id) },
+			RevRate:        func(tn string) float64 { return o.rates.RevocationsPerHour(tn) },
 			Tracer:         o.trc,
 		}
 		var req policy.Request

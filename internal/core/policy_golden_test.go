@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"spottune/internal/cloudsim"
+	"spottune/internal/obs"
 	"spottune/internal/policy"
 )
 
@@ -250,6 +252,117 @@ func TestFallbackPolicySurvivesStormViaOnDemand(t *testing.T) {
 	}
 	if rep.Notices == 0 {
 		t.Fatal("storm fixture produced no notices; test broken")
+	}
+}
+
+// TestFallbackBlackoutStreakSwapsToOnDemandAndBack pins the doom-window
+// swap-back contract against capacity blackouts: rejections with the
+// retriable ErrCapacityUnavailable must COUNT toward the trial's
+// spot-failure streak (not reset it — each retry is a fresh Decide, so a
+// reset would leave the fallback trying spot through the whole window).
+// With a single blacked-out market and a predictor hostile during the
+// window, the streak reaches FallbackAfter within two poll-grid retries,
+// the policy traps the trial on on-demand ("streak" fallback event with the
+// accumulated count), and — because on-demand segments end only at schedule
+// boundaries — the θ-truncated explore segment hands the same trial back
+// after the blackout has lifted and the predictor has calmed: the
+// continuation swaps back to spot ("spot-return"), still carrying the
+// streak, and only that surviving spot segment finally clears it.
+func TestFallbackBlackoutStreakSwapsToOnDemandAndBack(t *testing.T) {
+	w := newWorld(t, false)
+	pool := []string{"slow"}
+	blackoutEnd := t0.Add(40 * time.Minute)
+	if err := w.cluster.AddBlackout(cloudsim.Blackout{
+		TypeName: "slow",
+		From:     t0,
+		To:       blackoutEnd,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Above CalmProb (0.3) while the blackout holds — so the streak traps —
+	// and calm afterwards so the trial is sent back to spot.
+	pol, err := policy.New(policy.FallbackName, policy.Params{
+		Pool: pool,
+		Seed: 7,
+		RevProb: func(_ string, at time.Time, _ float64) float64 {
+			if at.Before(blackoutEnd) {
+				return 0.45
+			}
+			return 0.05
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ=0.5 splits the 2000-step trial into a ~67min explore segment (the
+	// trapped on-demand one) and a continuation segment whose deploy
+	// decision lands well after the 40min blackout.
+	trials := mkTrials(t, w, 1, 2000, 100)
+	rec := obs.NewRecording(obs.Meta{Tuner: "spottune", Policy: "test", Workload: "synthetic", Seed: 1})
+	cfg := orchCfg(0.5)
+	cfg.MCnt = 1
+	cfg.Tracer = rec
+	orch, err := NewPolicyOrchestrator(w.cluster, w.store, pol, pool, trials, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := orch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The policy defaults FallbackAfter to 2 (policy.Params.withDefaults).
+	const fallbackAfter = 2
+	if got := trials[0].CompletedSteps(); got != trials[0].MaxSteps() {
+		t.Fatalf("trial stalled at %d steps", got)
+	}
+	if rep.OnDemandDeployments == 0 {
+		t.Fatal("blackout streak never swapped the trial to on-demand")
+	}
+	if rep.OnDemandDeployments >= rep.Deployments {
+		t.Fatalf("trial never returned to spot: %d/%d deployments on-demand",
+			rep.OnDemandDeployments, rep.Deployments)
+	}
+	var retries, streakClears int
+	var trapped, returned bool
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.KindBlackoutRetry:
+			retries++
+		case obs.KindFallback:
+			switch e.Label {
+			case "streak":
+				trapped = true
+				// The streak the policy acted on is the accumulated
+				// blackout-rejection count — a streak reset on the
+				// retriable error would never reach FallbackAfter.
+				if e.N < int64(fallbackAfter) {
+					t.Errorf("trapped at streak %d, below the %d threshold",
+						e.N, fallbackAfter)
+				}
+				if returned {
+					t.Error("trapped on on-demand after the spot return")
+				}
+			case "spot-return":
+				returned = true
+			}
+		case obs.KindStreakClear:
+			streakClears++
+			if !returned {
+				t.Error("streak cleared before any surviving spot segment")
+			}
+		}
+	}
+	if retries < fallbackAfter {
+		t.Fatalf("only %d blackout retries recorded; fixture never exercised the streak", retries)
+	}
+	if !trapped {
+		t.Fatal("no \"streak\" fallback event: blackout rejections did not accumulate")
+	}
+	if !returned {
+		t.Fatal("no \"spot-return\" event after the blackout lifted")
+	}
+	if streakClears == 0 {
+		t.Fatal("surviving spot segment never cleared the failure streak")
 	}
 }
 

@@ -142,8 +142,10 @@ type PerfMatrix struct {
 	alpha   float64
 }
 
-// NewPerfMatrix builds M with M[inst][hp] initialized to c0 / CPUs (more
-// cores, faster steps).
+// NewPerfMatrix builds M with M[inst][hp] initialized to c0 / effective
+// CPUs — cores scaled by the family's performance factor, so a newer
+// generation's prior is proportionally faster. At the default factor 1 this
+// is exactly c0 / CPUs.
 func NewPerfMatrix(catalog *market.Catalog, c0 float64) *PerfMatrix {
 	if c0 <= 0 {
 		c0 = 16
@@ -167,7 +169,7 @@ func (m *PerfMatrix) Get(typeName, hpID string) float64 {
 	if !ok || it.CPUs == 0 {
 		return m.c0
 	}
-	return m.c0 / float64(it.CPUs)
+	return m.c0 / it.EffectiveCPUs()
 }
 
 // Observe folds a measured seconds-per-step sample into the estimate

@@ -55,6 +55,11 @@ type Report struct {
 	// Resilience is the recovery strategy that governed checkpoints,
 	// notice-window actions, and blackout retries ("fixed", "adaptive").
 	Resilience string
+	// BaseType is the campaign's compatibility anchor (Config.BaseType):
+	// when non-empty, every instance the campaign rented must have been at
+	// least as powerful as this type — the invariant checker audits the
+	// billing ledger against it. Empty means unconstrained.
+	BaseType string
 	// BlackoutRetries counts blackout-rejected spot requests per trial
 	// across the campaign (nil when none occurred). GaveUp lists, in
 	// sorted order, the trials the strategy's retry budget abandoned and
@@ -194,6 +199,7 @@ func (o *Orchestrator) buildReport(start time.Time, out search.Outcome) *Report 
 		PerfObservations:    o.perf.Snapshot(),
 		Segments:            segments,
 		Resilience:          o.res.Name(),
+		BaseType:            o.cfg.BaseType,
 		LostSteps:           o.lostSteps,
 		Migrations:          o.migrations,
 		DegradationLevel:    o.slack.Level(),

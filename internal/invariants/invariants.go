@@ -62,6 +62,10 @@ const (
 	CodeRankingCorrupt Code = "ranking-corrupt" // ranking is not a permutation ordered by prediction
 	CodeBestNotRanked  Code = "best-not-ranked" // selected best absent from the ranking
 
+	// Catalog compatibility (diversified fleets). Only audited when the
+	// report names a base type and the state carries the catalog.
+	CodeIncompatibleReplacement Code = "incompatible-replacement" // a rented type weaker than the campaign's base type
+
 	// Trace/ledger reconciliation (flight-recorder accounting). Only
 	// audited when the run carried a recording.
 	CodeTraceLedgerMismatch Code = "trace-ledger-mismatch" // trace-attributed totals not bit-identical to the ledger
@@ -129,6 +133,7 @@ func Check(st State) []Violation {
 	checkSegments(st, c)
 	checkCheckpoints(st, c)
 	checkSelection(st, c)
+	checkCompatibility(st, c)
 	checkTrace(st, c)
 	checkResilience(st, c)
 	if st.Trace != nil && len(c.out) > 0 {
@@ -384,6 +389,38 @@ func checkSelection(st State, c *collector) {
 	for _, id := range rep.Top {
 		if !seen[id] {
 			c.addFor(CodeBestNotRanked, id, "", "top trial %q absent from ranking", id)
+		}
+	}
+}
+
+// checkCompatibility audits the catalog's compatibility predicate: when the
+// campaign declared a base type, every instance the ledger saw rented — spot
+// replacement or on-demand fallback alike — must be at least as powerful as
+// it. A weaker replacement would silently slow the very trials diversified
+// provisioning exists to protect. Needs both the base type and the catalog;
+// a base type the catalog does not know is itself a violation.
+func checkCompatibility(st State, c *collector) {
+	rep := st.Report
+	if rep.BaseType == "" || st.Catalog == nil {
+		return
+	}
+	base, ok := st.Catalog.Lookup(rep.BaseType)
+	if !ok {
+		c.add(CodeIncompatibleReplacement, "base type %q not in the catalog", rep.BaseType)
+		return
+	}
+	for _, u := range st.Ledger.Records {
+		it, ok := st.Catalog.Lookup(u.TypeName)
+		if !ok {
+			c.addFor(CodeIncompatibleReplacement, "", u.InstanceID,
+				"instance %s rented type %q outside the catalog under base type %q", u.InstanceID, u.TypeName, rep.BaseType)
+			continue
+		}
+		if !it.AtLeastAsPowerful(base) {
+			c.addFor(CodeIncompatibleReplacement, "", u.InstanceID,
+				"instance %s rented %s (%d CPUs, %gGB, %g eff. cores), weaker than base %s (%d CPUs, %gGB, %g eff. cores)",
+				u.InstanceID, it.Name, it.CPUs, it.MemoryGB, it.EffectiveCPUs(),
+				base.Name, base.CPUs, base.MemoryGB, base.EffectiveCPUs())
 		}
 	}
 }

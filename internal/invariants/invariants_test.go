@@ -223,6 +223,21 @@ func TestEachCorruptionRaisesItsOwnCode(t *testing.T) {
 		{"ranking wiped but selections survive", CodeRankingCorrupt, func(t *testing.T, st *State) {
 			st.Report.Ranked = nil
 		}},
+		{"replacement weaker than base type", CodeIncompatibleReplacement, func(t *testing.T, st *State) {
+			st.Catalog = market.MustNewCatalog([]market.InstanceType{
+				{Name: "a", CPUs: 2, MemoryGB: 8, OnDemandPrice: 0.2},
+				{Name: "weak", CPUs: 1, MemoryGB: 4, OnDemandPrice: 0.05},
+			})
+			st.Report.BaseType = "a"
+			st.Ledger.Records[1].TypeName = "weak"
+		}},
+		{"base type outside the catalog", CodeIncompatibleReplacement, func(t *testing.T, st *State) {
+			st.Report.BaseType = "zz"
+		}},
+		{"rented type outside the catalog under base", CodeIncompatibleReplacement, func(t *testing.T, st *State) {
+			st.Report.BaseType = "a"
+			st.Ledger.Records[1].TypeName = "mystery"
+		}},
 		{"checkpoint ahead without full snapshot elsewhere", CodeCheckpointAhead, func(t *testing.T, st *State) {
 			// The checkpoint audit must not depend on every key being
 			// present — a lone stale-future blob is enough.
@@ -268,5 +283,15 @@ func TestSegmentsOptionalForLegacyReports(t *testing.T) {
 	st.Report.Segments = nil // legacy baseline runs carry no attribution
 	if vs := Check(st); len(vs) != 0 {
 		t.Fatalf("legacy report rejected: %v", vs)
+	}
+}
+
+func TestBaseTypeCompatibilityPasses(t *testing.T) {
+	// A sound state where every rented type satisfies the predicate stays
+	// sound once the base type is declared (reflexivity: a == base).
+	st := soundState(t)
+	st.Report.BaseType = "a"
+	if vs := Check(st); len(vs) != 0 {
+		t.Fatalf("compatible state rejected: %v", vs)
 	}
 }

@@ -7,15 +7,85 @@ package market
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 )
 
+// DefaultAZ is the availability zone assumed for instance types that do not
+// declare one. A single-zone catalog behaves exactly like the pre-catalog
+// flat table: every type shares the zone, so zone decorrelation is a no-op.
+const DefaultAZ = "zone-a"
+
 // InstanceType describes one purchasable VM type and its reliable-tier price.
+//
+// Family, AZ, PerfFactor, and Capacity are catalog metadata used by
+// diversified provisioning: zero values are normalized by NewCatalog (family
+// derived from the name, DefaultAZ, performance factor 1, unlimited
+// capacity), so flat name→price tables keep working unchanged.
 type InstanceType struct {
 	Name          string  // e.g. "r3.xlarge"
 	CPUs          int     // virtual cores
 	MemoryGB      float64 // RAM in GiB
 	OnDemandPrice float64 // USD per hour for the on-demand (reliable) tier
+
+	// Family is the hardware generation the type belongs to ("r4", "m4").
+	// Capacity crunches correlate within a family — the same underlying
+	// host pools back every size — so diversified fleets spread across
+	// families. Empty is normalized to the name's prefix before the first
+	// '.' (the whole name when there is no dot).
+	Family string
+	// AZ is the availability zone the market lives in. Empty is normalized
+	// to DefaultAZ.
+	AZ string
+	// PerfFactor is the relative per-core performance of the family's
+	// hardware (1 = the reference generation). It scales modeled step
+	// times: an 8-core type at factor 1.25 outruns an 8-core type at
+	// factor 1. Zero is normalized to 1; negative or non-finite values are
+	// rejected.
+	PerfFactor float64
+	// Capacity caps simultaneously running spot instances of this type in
+	// the simulated region (0 = unlimited). Requests beyond it fail with
+	// the same retriable capacity error as a blackout window.
+	Capacity int
+}
+
+// perfFactor is PerfFactor with the zero-value default applied, for types
+// constructed outside a catalog (tests, ad-hoc literals).
+func (it InstanceType) perfFactor() float64 {
+	if it.PerfFactor == 0 {
+		return 1
+	}
+	return it.PerfFactor
+}
+
+// EffectiveCPUs is the type's modeled compute throughput: cores scaled by
+// the family's per-core performance factor.
+func (it InstanceType) EffectiveCPUs() float64 {
+	return float64(it.CPUs) * it.perfFactor()
+}
+
+// AtLeastAsPowerful reports whether this type can stand in for base without
+// slowing the campaign down or running out of room: at least as many cores,
+// at least as much memory, and at least the same effective compute (cores ×
+// performance factor). Every type is at least as powerful as itself.
+func (it InstanceType) AtLeastAsPowerful(base InstanceType) bool {
+	return it.CPUs >= base.CPUs &&
+		it.MemoryGB >= base.MemoryGB &&
+		it.EffectiveCPUs() >= base.EffectiveCPUs()
+}
+
+// FamilyOf derives the family from an instance-type name: the prefix before
+// the first '.' ("r4.xlarge" → "r4"), or the whole name when there is none.
+// A name starting with '.' has no usable prefix (found by FuzzCatalog) and
+// falls back to the whole name too — families are never empty. It is the
+// rule NewCatalog applies when an InstanceType leaves Family zero, exported
+// so catalog-less policy paths derive the same families.
+func FamilyOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // Catalog is an immutable set of instance types keyed by name.
@@ -24,19 +94,39 @@ type Catalog struct {
 	byKey map[string]int
 }
 
-// NewCatalog builds a catalog from the given types. Duplicate names are an
-// error.
+// NewCatalog builds a catalog from the given types, normalizing metadata
+// zero values (family from the name, DefaultAZ, performance factor 1).
+// Duplicate names, non-positive shapes or prices, and invalid performance
+// factors or capacities are errors.
 func NewCatalog(types []InstanceType) (*Catalog, error) {
 	c := &Catalog{byKey: make(map[string]int, len(types))}
 	for _, it := range types {
 		if it.Name == "" {
 			return nil, fmt.Errorf("market: instance type with empty name")
 		}
-		if it.CPUs <= 0 || it.OnDemandPrice <= 0 {
+		if it.CPUs <= 0 || !(it.OnDemandPrice > 0) || math.IsInf(it.OnDemandPrice, 0) {
 			return nil, fmt.Errorf("market: instance %q has non-positive CPUs or price", it.Name)
+		}
+		if !(it.MemoryGB > 0) || math.IsInf(it.MemoryGB, 0) {
+			return nil, fmt.Errorf("market: instance %q has non-positive memory", it.Name)
+		}
+		if it.PerfFactor < 0 || math.IsNaN(it.PerfFactor) || math.IsInf(it.PerfFactor, 0) {
+			return nil, fmt.Errorf("market: instance %q has invalid performance factor %v", it.Name, it.PerfFactor)
+		}
+		if it.Capacity < 0 {
+			return nil, fmt.Errorf("market: instance %q has negative capacity %d", it.Name, it.Capacity)
 		}
 		if _, dup := c.byKey[it.Name]; dup {
 			return nil, fmt.Errorf("market: duplicate instance type %q", it.Name)
+		}
+		if it.Family == "" {
+			it.Family = FamilyOf(it.Name)
+		}
+		if it.AZ == "" {
+			it.AZ = DefaultAZ
+		}
+		if it.PerfFactor == 0 {
+			it.PerfFactor = 1
 		}
 		c.byKey[it.Name] = len(c.types)
 		c.types = append(c.types, it)
@@ -82,14 +172,61 @@ func (c *Catalog) Names() []string {
 // Len returns the number of instance types.
 func (c *Catalog) Len() int { return len(c.types) }
 
-// DefaultCatalog reproduces Table III: the six-instance experimental pool.
+// Families returns the distinct instance families in the catalog, sorted
+// alphabetically.
+func (c *Catalog) Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range c.types {
+		if !seen[it.Family] {
+			seen[it.Family] = true
+			out = append(out, it.Family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compatible returns every catalog type at least as powerful as base (always
+// including base itself when it is in the catalog), sorted by name so every
+// consumer iterates candidates in the same deterministic order.
+func (c *Catalog) Compatible(base InstanceType) []InstanceType {
+	var out []InstanceType
+	for _, it := range c.Types() {
+		if it.AtLeastAsPowerful(base) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// CompatibleWith resolves a base type by name and returns the names of every
+// compatible catalog type, sorted. Unknown base names are an error — a
+// compatibility constraint against a type that does not exist is a
+// configuration bug, not an empty result.
+func (c *Catalog) CompatibleWith(baseName string) ([]string, error) {
+	base, ok := c.Lookup(baseName)
+	if !ok {
+		return nil, fmt.Errorf("market: unknown base instance type %q", baseName)
+	}
+	var out []string
+	for _, it := range c.Compatible(base) {
+		out = append(out, it.Name)
+	}
+	return out, nil
+}
+
+// DefaultCatalog reproduces Table III: the six-instance experimental pool,
+// annotated with the family/zone layout diversified fleets spread across.
+// Every performance factor is 1 — the catalog metadata changes no modeled
+// step time for the paper's pool.
 func DefaultCatalog() *Catalog {
 	return MustNewCatalog([]InstanceType{
-		{Name: "r4.large", CPUs: 2, MemoryGB: 15.25, OnDemandPrice: 0.133},
-		{Name: "r3.xlarge", CPUs: 4, MemoryGB: 30, OnDemandPrice: 0.33},
-		{Name: "r4.xlarge", CPUs: 4, MemoryGB: 30.5, OnDemandPrice: 0.266},
-		{Name: "m4.2xlarge", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.4},
-		{Name: "r4.2xlarge", CPUs: 8, MemoryGB: 61, OnDemandPrice: 0.532},
-		{Name: "m4.4xlarge", CPUs: 16, MemoryGB: 64, OnDemandPrice: 0.8},
+		{Name: "r4.large", CPUs: 2, MemoryGB: 15.25, OnDemandPrice: 0.133, Family: "r4", AZ: "zone-a", PerfFactor: 1},
+		{Name: "r3.xlarge", CPUs: 4, MemoryGB: 30, OnDemandPrice: 0.33, Family: "r3", AZ: "zone-a", PerfFactor: 1},
+		{Name: "r4.xlarge", CPUs: 4, MemoryGB: 30.5, OnDemandPrice: 0.266, Family: "r4", AZ: "zone-b", PerfFactor: 1},
+		{Name: "m4.2xlarge", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.4, Family: "m4", AZ: "zone-a", PerfFactor: 1},
+		{Name: "r4.2xlarge", CPUs: 8, MemoryGB: 61, OnDemandPrice: 0.532, Family: "r4", AZ: "zone-c", PerfFactor: 1},
+		{Name: "m4.4xlarge", CPUs: 16, MemoryGB: 64, OnDemandPrice: 0.8, Family: "m4", AZ: "zone-b", PerfFactor: 1},
 	})
 }

@@ -1,0 +1,98 @@
+package market
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzCatalog throws arbitrary instance-type tables at NewCatalog. Inputs it
+// rejects are fine; any catalog it accepts must uphold the construction and
+// compatibility invariants downstream selection code leans on: fully
+// normalized metadata (no empty family/AZ, positive finite performance
+// factors), sorted deterministic iteration, and a Compatible set that is
+// reflexive, sorted, and exactly the AtLeastAsPowerful filter.
+func FuzzCatalog(f *testing.F) {
+	// Seed corpus: the Table III shape, a metadata-free flat table, a
+	// single-family pair, and near-miss invalid shapes.
+	f.Add("r4.large", 2, 15.25, 0.133, "r4", "zone-a", 1.0, 0, "r4.xlarge", 4, 30.5, 0.266)
+	f.Add("small", 2, 8.0, 0.1, "", "", 0.0, 0, "big", 16, 64.0, 0.8)
+	f.Add("c5.large", 2, 4.0, 0.085, "", "", 1.25, 3, "c5.xlarge", 4, 8.0, 0.17)
+	f.Add("a", 1, 0.0, 1.0, "", "", 0.0, 0, "b", 1, 1.0, 1.0)
+	f.Add("a", 1, -4.0, 1.0, "x", "z", -1.0, -2, "a", 0, 1.0, 0.0)
+
+	f.Fuzz(func(t *testing.T,
+		name1 string, cpus1 int, mem1, price1 float64, fam1, az1 string, perf1 float64, capac1 int,
+		name2 string, cpus2 int, mem2, price2 float64) {
+		types := []InstanceType{
+			{Name: name1, CPUs: cpus1, MemoryGB: mem1, OnDemandPrice: price1,
+				Family: fam1, AZ: az1, PerfFactor: perf1, Capacity: capac1},
+			{Name: name2, CPUs: cpus2, MemoryGB: mem2, OnDemandPrice: price2},
+		}
+		c, err := NewCatalog(types)
+		if err != nil {
+			return // rejected table: nothing to audit
+		}
+		names := c.Names()
+		if len(names) != c.Len() || !sort.StringsAreSorted(names) {
+			t.Fatalf("Names() = %v not sorted or wrong length for Len %d", names, c.Len())
+		}
+		for _, it := range c.Types() {
+			if it.Family == "" || it.AZ == "" {
+				t.Fatalf("%q accepted without normalized family/AZ: %+v", it.Name, it)
+			}
+			if !(it.PerfFactor > 0) {
+				t.Fatalf("%q accepted with non-positive PerfFactor %v", it.Name, it.PerfFactor)
+			}
+			if !(it.MemoryGB > 0) || it.CPUs <= 0 || !(it.OnDemandPrice > 0) {
+				t.Fatalf("%q accepted with invalid shape: %+v", it.Name, it)
+			}
+			if it.Capacity < 0 {
+				t.Fatalf("%q accepted with negative capacity: %+v", it.Name, it)
+			}
+			if !it.AtLeastAsPowerful(it) {
+				t.Fatalf("%q not AtLeastAsPowerful(itself)", it.Name)
+			}
+			got, ok := c.Lookup(it.Name)
+			if !ok || got != it {
+				t.Fatalf("Lookup(%q) = %+v, %v; want the Types() entry back", it.Name, got, ok)
+			}
+		}
+		for _, base := range c.Types() {
+			comp := c.Compatible(base)
+			inComp := map[string]bool{}
+			prev := ""
+			for _, it := range comp {
+				if it.Name <= prev && prev != "" {
+					t.Fatalf("Compatible(%q) not sorted: %v after %v", base.Name, it.Name, prev)
+				}
+				prev = it.Name
+				inComp[it.Name] = true
+				if !it.AtLeastAsPowerful(base) {
+					t.Fatalf("Compatible(%q) includes %q which is not at least as powerful", base.Name, it.Name)
+				}
+			}
+			if !inComp[base.Name] {
+				t.Fatalf("Compatible(%q) omits the base type itself", base.Name)
+			}
+			for _, it := range c.Types() {
+				if it.AtLeastAsPowerful(base) && !inComp[it.Name] {
+					t.Fatalf("Compatible(%q) missed qualifying type %q", base.Name, it.Name)
+				}
+			}
+			byName, err := c.CompatibleWith(base.Name)
+			if err != nil || len(byName) != len(comp) {
+				t.Fatalf("CompatibleWith(%q) = %v, %v; want the %d Compatible names", base.Name, byName, err, len(comp))
+			}
+			for i, it := range comp {
+				if byName[i] != it.Name {
+					t.Fatalf("CompatibleWith(%q)[%d] = %q, want %q", base.Name, i, byName[i], it.Name)
+				}
+			}
+		}
+		if _, ok := c.Lookup("\x00absent"); !ok {
+			if _, err := c.CompatibleWith("\x00absent"); err == nil {
+				t.Fatal("CompatibleWith(unknown) did not error")
+			}
+		}
+	})
+}

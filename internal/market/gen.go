@@ -144,6 +144,12 @@ type SharedSpike struct {
 	Attack    time.Duration // ramp-up length
 	HalfLife  time.Duration // decay half-life after the peak
 	Amplitude float64       // peak multiple of each market's base price
+	// Family scopes the event to one instance family: only markets whose
+	// type belongs to it receive the burst. Empty (the zero value) keeps
+	// the original region-wide semantics — every market crashes together.
+	// Cross-family crunches are built from several family-scoped events at
+	// de-correlated instants.
+	Family string
 }
 
 // Generate synthesizes the spot-price trace of one market over [from, to)
@@ -177,8 +183,19 @@ func generate(spec MarketSpec, from, to time.Time, seed uint64, shared []SharedS
 	)
 	pSwitch := spec.RegimeSwitchPerDay / (24 * 60)
 	// Shared cross-market events enter as pre-seeded spikes: same envelope
-	// machinery, correlated start instants.
-	pending := append([]SharedSpike(nil), shared...)
+	// machinery, correlated start instants. Family-scoped events only reach
+	// markets of their family; the filter consumes no randomness, so adding
+	// scoped events for other families never perturbs this market's stream.
+	fam := spec.Type.Family
+	if fam == "" {
+		fam = FamilyOf(spec.Type.Name)
+	}
+	pending := make([]SharedSpike, 0, len(shared))
+	for _, ev := range shared {
+		if ev.Family == "" || ev.Family == fam {
+			pending = append(pending, ev)
+		}
+	}
 
 	for t := from; t.Before(to); t = t.Add(time.Minute) {
 		for len(pending) > 0 && !pending[0].At.After(t) {
@@ -273,6 +290,22 @@ func GenerateSetShared(specs []MarketSpec, from, to time.Time, seed uint64, shar
 		}
 		if ev.Attack <= 0 || ev.HalfLife <= 0 || ev.Amplitude <= 0 {
 			return nil, fmt.Errorf("market: shared spike %+v needs positive attack, half-life, and amplitude", ev)
+		}
+		if ev.Family != "" {
+			found := false
+			for _, spec := range specs {
+				fam := spec.Type.Family
+				if fam == "" {
+					fam = FamilyOf(spec.Type.Name)
+				}
+				if fam == ev.Family {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("market: shared spike scoped to unknown family %q", ev.Family)
+			}
 		}
 	}
 	set := make(TraceSet, len(specs))

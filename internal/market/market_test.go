@@ -42,18 +42,101 @@ func TestDefaultCatalogMatchesTableIII(t *testing.T) {
 }
 
 func TestCatalogErrors(t *testing.T) {
-	if _, err := NewCatalog([]InstanceType{{Name: "", CPUs: 1, OnDemandPrice: 1}}); err == nil {
+	if _, err := NewCatalog([]InstanceType{{Name: "", CPUs: 1, MemoryGB: 1, OnDemandPrice: 1}}); err == nil {
 		t.Error("empty name accepted")
 	}
-	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 0, OnDemandPrice: 1}}); err == nil {
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 0, MemoryGB: 1, OnDemandPrice: 1}}); err == nil {
 		t.Error("zero CPUs accepted")
 	}
+	// Regression: MemoryGB used to be the one shape field NewCatalog never
+	// validated — a zero- or negative-memory type slipped straight into the
+	// catalog and made every memory-based compatibility query vacuous.
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 1, OnDemandPrice: 1}}); err == nil {
+		t.Error("zero MemoryGB accepted")
+	}
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 1, MemoryGB: -4, OnDemandPrice: 1}}); err == nil {
+		t.Error("negative MemoryGB accepted")
+	}
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 1, MemoryGB: math.NaN(), OnDemandPrice: 1}}); err == nil {
+		t.Error("NaN MemoryGB accepted")
+	}
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 1, MemoryGB: 1, OnDemandPrice: 1, PerfFactor: -1}}); err == nil {
+		t.Error("negative PerfFactor accepted")
+	}
+	if _, err := NewCatalog([]InstanceType{{Name: "a", CPUs: 1, MemoryGB: 1, OnDemandPrice: 1, Capacity: -2}}); err == nil {
+		t.Error("negative Capacity accepted")
+	}
 	dup := []InstanceType{
-		{Name: "a", CPUs: 1, OnDemandPrice: 1},
-		{Name: "a", CPUs: 2, OnDemandPrice: 2},
+		{Name: "a", CPUs: 1, MemoryGB: 1, OnDemandPrice: 1},
+		{Name: "a", CPUs: 2, MemoryGB: 2, OnDemandPrice: 2},
 	}
 	if _, err := NewCatalog(dup); err == nil {
 		t.Error("duplicate name accepted")
+	}
+}
+
+func TestCatalogMetadataNormalization(t *testing.T) {
+	c := MustNewCatalog([]InstanceType{
+		{Name: "c5.xlarge", CPUs: 4, MemoryGB: 8, OnDemandPrice: 0.17},
+		{Name: "bare", CPUs: 2, MemoryGB: 4, OnDemandPrice: 0.1, Family: "x", AZ: "zone-q", PerfFactor: 1.5},
+	})
+	it, _ := c.Lookup("c5.xlarge")
+	if it.Family != "c5" || it.AZ != DefaultAZ || it.PerfFactor != 1 {
+		t.Errorf("normalized metadata = %+v, want family c5, AZ %s, perf 1", it, DefaultAZ)
+	}
+	it, _ = c.Lookup("bare")
+	if it.Family != "x" || it.AZ != "zone-q" || it.PerfFactor != 1.5 {
+		t.Errorf("explicit metadata rewritten: %+v", it)
+	}
+	if got := c.Families(); len(got) != 2 || got[0] != "c5" || got[1] != "x" {
+		t.Errorf("Families() = %v, want [c5 x]", got)
+	}
+}
+
+func TestCompatibilityPredicate(t *testing.T) {
+	c := DefaultCatalog()
+	// r4.xlarge (4 CPU / 30.5 GB) is covered by itself and everything
+	// bigger; r4.large has too few cores and r3.xlarge slightly less
+	// memory (30 < 30.5).
+	got, err := c.CompatibleWith("r4.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m4.2xlarge", "m4.4xlarge", "r4.2xlarge", "r4.xlarge"}
+	if len(got) != len(want) {
+		t.Fatalf("CompatibleWith(r4.xlarge) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CompatibleWith(r4.xlarge) = %v, want %v (sorted)", got, want)
+		}
+	}
+	if _, err := c.CompatibleWith("nope"); err == nil {
+		t.Error("unknown base type accepted")
+	}
+	// The smallest type is compatible with everything; every type is at
+	// least as powerful as itself.
+	all, err := c.CompatibleWith("r4.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != c.Len() {
+		t.Errorf("CompatibleWith(r4.large) = %v, want whole catalog", all)
+	}
+	for _, it := range c.Types() {
+		if !it.AtLeastAsPowerful(it) {
+			t.Errorf("%s not AtLeastAsPowerful(itself)", it.Name)
+		}
+	}
+	// PerfFactor weighs in: same shape, slower cores → not a valid
+	// replacement for the faster one.
+	fast := InstanceType{Name: "f.2x", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.4, PerfFactor: 1.25}
+	slow := InstanceType{Name: "s.2x", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.3, PerfFactor: 1}
+	if slow.AtLeastAsPowerful(fast) {
+		t.Error("slower-core type accepted as replacement for faster one")
+	}
+	if !fast.AtLeastAsPowerful(slow) {
+		t.Error("faster-core type rejected as replacement for slower one")
 	}
 }
 
@@ -168,18 +251,68 @@ func TestWindowAndMaxOver(t *testing.T) {
 	if len(w) != 1 || w[0].Price != 5 {
 		t.Errorf("Window = %v", w)
 	}
-	// MaxOver (0m, 25m]: includes the 5 at 10min and 2 at 20min, plus the
-	// price effective just after 0 (1.0).
+	// MaxOver [0m, 25m): includes the 5 at 10min and 2 at 20min, plus the
+	// price the window opens at (1.0).
 	if got := tr.MaxOver(t0, t0.Add(25*time.Minute)); got != 5 {
 		t.Errorf("MaxOver = %v, want 5", got)
 	}
 	// Window after the spike only sees the tail.
 	if got := tr.MaxOver(t0.Add(15*time.Minute), t0.Add(25*time.Minute)); got != 5 {
-		// price effective just after 15min is 5
+		// price effective at 15min is 5
 		t.Errorf("MaxOver tail = %v, want 5", got)
 	}
 	if got := tr.MaxOver(t0.Add(20*time.Minute), t0.Add(25*time.Minute)); got != 2 {
 		t.Errorf("MaxOver plateau = %v, want 2", got)
+	}
+}
+
+// TestMaxOverHalfOpenBoundaries pins the [from, to) contract that MaxOver
+// shares with Window and AvgOver. The old implementation probed
+// PriceAt(from+1ns) and scanned (from, to]: a price change landing exactly
+// at `to` leaked into the window, so back-to-back windows double-counted the
+// boundary sample and a revocation could be labeled one window early.
+func TestMaxOverHalfOpenBoundaries(t *testing.T) {
+	tr := mkTrace(1, 5, 2) // changes at 0, 10, 20 min
+
+	// A change exactly at `to` is excluded: [0m, 10m) never sees the spike
+	// to 5 that lands at 10m.
+	if got := tr.MaxOver(t0, t0.Add(10*time.Minute)); got != 1 {
+		t.Errorf("MaxOver[0,10m) = %v, want 1 (change at `to` leaked in)", got)
+	}
+	// A change exactly at `from` is included: [10m, 15m) opens at 5.
+	if got := tr.MaxOver(t0.Add(10*time.Minute), t0.Add(15*time.Minute)); got != 5 {
+		t.Errorf("MaxOver[10m,15m) = %v, want 5 (change at `from` dropped)", got)
+	}
+	// Back-to-back windows partition the trace: each sample's price belongs
+	// to exactly one of them.
+	if a, b := tr.MaxOver(t0, t0.Add(10*time.Minute)), tr.MaxOver(t0.Add(10*time.Minute), t0.Add(20*time.Minute)); a != 1 || b != 5 {
+		t.Errorf("partitioned windows = %v, %v, want 1, 5", a, b)
+	}
+	// A window fully between changes holds the step-function price.
+	if got := tr.MaxOver(t0.Add(12*time.Minute), t0.Add(18*time.Minute)); got != 5 {
+		t.Errorf("MaxOver[12m,18m) = %v, want 5", got)
+	}
+	// Before the first record the extrapolated price does not count
+	// (PriceAt reports ok=false), matching the old behavior.
+	if got := tr.MaxOver(t0.Add(-2*time.Hour), t0.Add(-time.Hour)); got != 0 {
+		t.Errorf("MaxOver before trace = %v, want 0", got)
+	}
+	// The SoA mirror follows the same contract bit for bit.
+	store := NewStore(TraceSet{"test": tr})
+	ti, ok := store.Lookup("test")
+	if !ok {
+		t.Fatal("trace missing from store")
+	}
+	for _, w := range [][2]time.Duration{
+		{0, 10 * time.Minute},
+		{10 * time.Minute, 15 * time.Minute},
+		{12 * time.Minute, 18 * time.Minute},
+		{10 * time.Minute, 20 * time.Minute},
+	} {
+		want := tr.MaxOver(t0.Add(w[0]), t0.Add(w[1]))
+		if got := store.MaxOver(ti, t0.Add(w[0]), t0.Add(w[1])); got != want {
+			t.Errorf("Store.MaxOver(+%v,+%v) = %v, want %v", w[0], w[1], got, want)
+		}
 	}
 }
 

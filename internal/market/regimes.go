@@ -64,6 +64,10 @@ var regimes = map[string]regime{
 		doc:   "capacity crunch: elevated bases plus frequent correlated cross-market spikes",
 		build: buildCrunch,
 	},
+	"family-crunch": {
+		doc:   "cross-family crunch: whole instance families crash together at staggered instants while other families stay calm",
+		build: buildFamilyCrunch,
+	},
 }
 
 // RegimeNames lists the available regimes, sorted.
@@ -192,6 +196,49 @@ func buildCrunch(c *Catalog, specs []MarketSpec, from, to time.Time, seed uint64
 		})
 	}
 	return GenerateSetShared(tight, from, to, seed, shared)
+}
+
+// buildFamilyCrunch is the cross-family capacity crunch: a calm region where
+// every instance family periodically crashes as a unit — tall family-scoped
+// spike trains (7-10x base, tens of minutes) hit each family's markets at the
+// same instant while the other families keep trading calmly. Within a family
+// failure is perfectly correlated (the same host pools back every size), so
+// market-granular exclusion buys nothing; across families the crash slots are
+// staggered, so a fleet that hops families after a revocation escapes the
+// rest of the train. This is the regime diversified-spot's family
+// decorrelation is judged on.
+func buildFamilyCrunch(c *Catalog, specs []MarketSpec, from, to time.Time, seed uint64) (TraceSet, error) {
+	calm := make([]MarketSpec, len(specs))
+	for i, s := range specs {
+		s.SpikesPerDay *= 0.3
+		s.Volatility *= 0.7
+		calm[i] = s
+	}
+	fams := c.Families()
+	rng := regimeRNG(seed, 0xfc21)
+	days := int(to.Sub(from).Hours() / 24)
+	perFam := days
+	if perFam < 2 {
+		perFam = 2
+	}
+	span := to.Sub(from)
+	shared := make([]SharedSpike, 0, perFam*len(fams))
+	for fi, fam := range fams {
+		for i := 0; i < perFam; i++ {
+			// Each family owns one jittered slot per cycle, so family
+			// crunches are staggered rather than coincident: frac stays
+			// strictly inside [i/perFam, (i+1)/perFam).
+			frac := (float64(i) + (float64(fi)+0.2+0.6*rng.Float64())/float64(len(fams))) / float64(perFam)
+			shared = append(shared, SharedSpike{
+				At:        from.Add(time.Duration(frac * float64(span))).Truncate(time.Minute),
+				Attack:    time.Duration(2+rng.IntN(4)) * time.Minute,
+				HalfLife:  time.Duration(10+rng.IntN(15)) * time.Minute,
+				Amplitude: 7 + 3*rng.Float64(),
+				Family:    fam,
+			})
+		}
+	}
+	return GenerateSetShared(calm, from, to, seed, shared)
 }
 
 // buildInversion superimposes a sustained price inversion on the calm

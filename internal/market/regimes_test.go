@@ -230,4 +230,99 @@ func TestGenerateSetSharedValidation(t *testing.T) {
 	if _, err := GenerateSetShared(specs, regFrom, regTo, 1, zero); err == nil {
 		t.Error("zero-duration shared spike accepted")
 	}
+	typo := []SharedSpike{{At: regFrom.Add(time.Hour), Attack: time.Minute, HalfLife: time.Minute, Amplitude: 2, Family: "z9"}}
+	if _, err := GenerateSetShared(specs, regFrom, regTo, 1, typo); err == nil {
+		t.Error("spike scoped to a family no market belongs to accepted")
+	}
+}
+
+// TestFamilyScopedSpikeLeavesOtherFamiliesUntouched pins the scoping
+// contract: a family-scoped shared spike reshapes every market of its family
+// and leaves every other market's trace bit-identical — the filter consumes
+// no randomness, so scoped events cannot perturb unrelated price streams.
+func TestFamilyScopedSpikeLeavesOtherFamiliesUntouched(t *testing.T) {
+	cat := DefaultCatalog()
+	specs, err := DefaultSpecs(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := []SharedSpike{{
+		At: regFrom.Add(26 * time.Hour), Attack: 2 * time.Minute,
+		HalfLife: 20 * time.Minute, Amplitude: 8, Family: "r4",
+	}}
+	with, err := GenerateSetShared(specs, regFrom, regTo, 21, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := GenerateSet(specs, regFrom, regTo, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(a, b *Trace) bool {
+		if len(a.Records) != len(b.Records) {
+			return false
+		}
+		for i := range a.Records {
+			if !a.Records[i].At.Equal(b.Records[i].At) || a.Records[i].Price != b.Records[i].Price {
+				return false
+			}
+		}
+		return true
+	}
+	for _, it := range cat.Types() {
+		eq := same(with[it.Name], without[it.Name])
+		if it.Family == "r4" && eq {
+			t.Errorf("%s: family-scoped spike had no effect on its own family", it.Name)
+		}
+		if it.Family != "r4" && !eq {
+			t.Errorf("%s (family %s): spike scoped to r4 perturbed another family's stream", it.Name, it.Family)
+		}
+	}
+}
+
+// TestFamilyCrunchCrashesFamiliesTogetherNotRegionWide: inside the
+// family-crunch regime each family must have an instant where every one of
+// its markets simultaneously trades far above its own average (the
+// correlated within-family crash), while no instant may see the entire
+// region crash at once — the slots are staggered, which is what makes
+// cross-family diversification escape the crunch.
+func TestFamilyCrunchCrashesFamiliesTogetherNotRegionWide(t *testing.T) {
+	cat := DefaultCatalog()
+	set, err := GenerateRegime("family-crunch", cat, regFrom, regTo, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgs := map[string]float64{}
+	for _, name := range cat.Names() {
+		avgs[name] = avgPrice(t, set[name])
+	}
+	members := map[string][]string{}
+	for _, it := range cat.Types() {
+		members[it.Family] = append(members[it.Family], it.Name)
+	}
+	crashed := func(ts time.Time, names []string) bool {
+		for _, name := range names {
+			p, _ := set[name].PriceAt(ts)
+			if p < 3*avgs[name] {
+				return false
+			}
+		}
+		return true
+	}
+	crashedFams := map[string]bool{}
+	for ts := regFrom; ts.Before(regTo); ts = ts.Add(time.Minute) {
+		if crashed(ts, cat.Names()) {
+			t.Fatalf("whole region crashed together at %v — family slots not staggered", ts)
+		}
+		for fam, names := range members {
+			if !crashedFams[fam] && crashed(ts, names) {
+				crashedFams[fam] = true
+			}
+		}
+	}
+	for _, fam := range cat.Families() {
+		if !crashedFams[fam] {
+			t.Errorf("family %s never crashed as a unit", fam)
+		}
+	}
 }

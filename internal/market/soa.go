@@ -147,17 +147,17 @@ func (s *Store) AvgOver(ti int, from, to time.Time) (float64, error) {
 	return sum / time.Duration(toNanos-fromNanos).Seconds(), nil
 }
 
-// MaxOver is Trace.MaxOver by trace index: the maximum price reached in
-// (from, to], including the price effective just after from.
+// MaxOver is Trace.MaxOver by trace index: the maximum price in force over
+// the half-open window [from, to), including the price effective at from.
 func (s *Store) MaxOver(ti int, from, to time.Time) float64 {
 	lo, hi := s.span(ti)
 	maxP := 0.0
-	if p, ok := s.PriceAt(ti, from.Add(time.Nanosecond)); ok && p > maxP {
+	if p, ok := s.PriceAt(ti, from); ok && p > maxP {
 		maxP = p
 	}
 	fromNanos, toNanos := from.UnixNano(), to.UnixNano()
 	for i := lo; i < hi; i++ {
-		if s.atNanos[i] > fromNanos && s.atNanos[i] <= toNanos && s.prices[i] > maxP {
+		if s.atNanos[i] >= fromNanos && s.atNanos[i] < toNanos && s.prices[i] > maxP {
 			maxP = s.prices[i]
 		}
 	}

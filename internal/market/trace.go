@@ -134,17 +134,21 @@ func (tr *Trace) Window(from, to time.Time) []Record {
 	return append([]Record(nil), tr.Records[lo:hi]...)
 }
 
-// MaxOver returns the maximum price reached in (from, to]. It is used to
-// decide revocation labels: a spot request with maximum price b is revoked
-// within the window iff MaxOver > b.
+// MaxOver returns the maximum price in force over the half-open window
+// [from, to): the step-function price entering the window (a change landing
+// exactly at `from` counts) plus every change strictly inside it; a change
+// exactly at `to` belongs to the next window, matching Window and AvgOver.
+// It is used to decide revocation labels: a spot request with maximum price
+// b is revoked within the window iff MaxOver > b.
 func (tr *Trace) MaxOver(from, to time.Time) float64 {
 	maxP := 0.0
-	// The price effective just after `from` counts too (step function).
-	if p, ok := tr.PriceAt(from.Add(time.Nanosecond)); ok && p > maxP {
+	// The price effective at `from` counts (step function): it is what the
+	// window opens at even when the last change predates the window.
+	if p, ok := tr.PriceAt(from); ok && p > maxP {
 		maxP = p
 	}
 	for _, r := range tr.Records {
-		if r.At.After(from) && !r.At.After(to) && r.Price > maxP {
+		if !r.At.Before(from) && r.At.Before(to) && r.Price > maxP {
 			maxP = r.Price
 		}
 	}

@@ -289,7 +289,7 @@ func (cw *ChromeWriter) Add(r *Recording) error {
 			rounds = rounds[:len(rounds)-1]
 			cw.emit(span("round "+ro.name, "tuner", pid, 0, ro.ts, ts-ro.ts, nil))
 		case KindNotice, KindCheckpoint, KindRestore, KindFallback, KindBlackoutRetry,
-			KindMigration, KindBackoff, KindGiveUp:
+			KindMigration, KindBackoff, KindGiveUp, KindDiversify:
 			cw.emit(instant(e.Kind.String(), "trial", pid, tidOf(e.Trial), ts, nil))
 		case KindDegradation:
 			cw.emit(instant("degradation "+e.Label, "tuner", pid, 0, ts, nil))

@@ -140,6 +140,8 @@ func CampaignMetrics(r *Recording) *Metrics {
 			m.Count("give_ups", 1)
 		case KindDegradation:
 			m.Count("degradations", 1)
+		case KindDiversify:
+			m.Count("diversifications", 1)
 		case KindCheckpoint:
 			m.Count("checkpoints", 1)
 			m.Observe("checkpoint_mb", e.A)

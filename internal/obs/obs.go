@@ -112,6 +112,12 @@ const (
 	// A=projected slack in seconds at the transition (negative when the
 	// projection has slipped past the deadline), N=the new level.
 	KindDegradation
+	// KindDiversify is a diversified-spot family decorrelation: the policy
+	// redirected a deployment away from an avoided instance family. Trial,
+	// Type=the chosen market, Label=the avoided family, A=the chosen
+	// candidate's allocation score, N=candidates considered after the
+	// family filter.
+	KindDiversify
 
 	numKinds // sentinel; keep last
 )
@@ -140,6 +146,7 @@ var kindNames = [numKinds]string{
 	KindBackoff:       "backoff",
 	KindGiveUp:        "give-up",
 	KindDegradation:   "degradation",
+	KindDiversify:     "diversify",
 }
 
 func (k Kind) String() string {

@@ -55,6 +55,7 @@ var kindDocs = [numKinds]string{
 	KindBackoff:       "blackout-retry delay decision: trial, type=requested market, a=delay seconds, n=consecutive attempt",
 	KindGiveUp:        "retry budget exhausted, trial abandoned: trial, type=last market, n=attempts spent",
 	KindDegradation:   "degradation-ladder escalation: label=new level name, a=projected slack seconds, n=new level",
+	KindDiversify:     "diversified-spot family decorrelation: trial, type=chosen market, label=avoided family, a=allocation score, n=candidates after filter",
 }
 
 // Schema returns the current trace schema, kinds in numeric (emission

@@ -22,6 +22,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"spottune/internal/market"
 	"spottune/internal/obs"
 )
 
@@ -72,6 +73,18 @@ type TrialInfo struct {
 	// delta, so the rng stream stays aligned with the unexcluded decision
 	// sequence.
 	Exclude string
+	// ExcludeFamily widens an exclusion to a whole instance family: the
+	// resilience layer sets it (via the catalog) alongside Exclude when
+	// replacements should decorrelate at family granularity. Only
+	// catalog-aware policies (diversified-spot) honor it; like Exclude it
+	// binds only while an alternative outside the family exists.
+	ExcludeFamily string
+	// LastRevoked names the market that most recently revoked this trial
+	// (empty before any notice). Unlike Exclude it is always populated, so
+	// policies can decorrelate on their own even when the resilience layer
+	// requests nothing: diversified-spot avoids the family of LastRevoked
+	// while the failure streak is alive.
+	LastRevoked string
 }
 
 // Context carries one deployment decision's inputs.
@@ -84,6 +97,12 @@ type Context struct {
 	ActiveOnDemand int
 	// SecPerStep is the performance matrix row M[·][hp] for this trial.
 	SecPerStep func(typeName string) float64
+	// RevRate is the observed revocation rate of a market (revocations per
+	// spot instance-hour so far; 0 before any evidence), fed from the
+	// orchestrator's online stats.ExposureRate estimators. Nil means no
+	// evidence for any market — capacity-optimized allocation degrades to
+	// lowest-price.
+	RevRate func(typeName string) float64
 	// Tracer receives policy-side events (fallback tier transitions). The
 	// orchestrator always supplies one (obs.Nop when tracing is off);
 	// custom callers may leave it nil, so policies must nil-check before
@@ -143,6 +162,18 @@ type Params struct {
 	// CalmProb is the probability at or below which the fallback policy
 	// considers the market calm again and retries spot (default 0.3).
 	CalmProb float64
+	// Catalog supplies instance-type metadata (family, AZ, shape) for
+	// catalog-aware policies. Nil degrades gracefully: families derive
+	// from name prefixes and compatibility constraints cannot be applied.
+	Catalog *market.Catalog
+	// BaseType is the campaign's compatibility anchor: when set,
+	// catalog-aware policies only consider pool members at least as
+	// powerful as this type (market.InstanceType.AtLeastAsPowerful).
+	// Requires Catalog.
+	BaseType string
+	// Allocation names the diversified-spot allocation strategy
+	// ("lowest-price", "capacity-optimized"; empty selects lowest-price).
+	Allocation string
 }
 
 func (p Params) withDefaults() Params {

@@ -323,13 +323,15 @@ func (m Matrix) Run(opt Options) (*Result, error) {
 			for _, rname := range strategies {
 				audit := newAuditor(opt)
 				rows, err := experiments.CrossPolicyOn(env, bench, cv, opt.Policies, campaign.Options{
-					Theta:      opt.Theta,
-					Seed:       s.Seed,
-					Tuner:      tname,
-					Resilience: rname,
-					Deadline:   s.Deadline,
-					Budget:     s.Budget,
-					Inspect:    audit.inspect,
+					Theta:        opt.Theta,
+					Seed:         s.Seed,
+					Tuner:        tname,
+					Resilience:   rname,
+					Deadline:     s.Deadline,
+					Budget:       s.Budget,
+					BaseType:     s.BaseType,
+					PolicyParams: policy.Params{Allocation: s.Allocation},
+					Inspect:      audit.inspect,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("scenario: %s/%s/%s: %w", s.Name, tname, rname, err)

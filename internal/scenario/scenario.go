@@ -15,6 +15,7 @@ import (
 	"spottune/internal/campaign"
 	"spottune/internal/cloudsim"
 	"spottune/internal/market"
+	"spottune/internal/policy"
 	"spottune/internal/resilience"
 	"spottune/internal/search"
 )
@@ -99,6 +100,14 @@ type Spec struct {
 	// cap that bounds its escalation (zero = unconstrained).
 	Deadline time.Duration
 	Budget   float64
+	// BaseType anchors the catalog compatibility constraint: every cell's
+	// instance pool is narrowed to types at least as powerful as this one
+	// before any policy sees it ("" = unconstrained).
+	BaseType string
+	// Allocation selects the diversified-spot allocation strategy for this
+	// scenario's cells ("" = lowest-price). Catalog-blind policies ignore
+	// it.
+	Allocation string
 	// Faults strike the simulated region during the campaign.
 	Faults []Fault
 }
@@ -131,6 +140,22 @@ func (s Spec) Validate() error {
 	}
 	if s.Deadline < 0 {
 		return fmt.Errorf("scenario: %s: negative deadline %v", s.Name, s.Deadline)
+	}
+	if s.BaseType != "" {
+		if _, ok := market.DefaultCatalog().Lookup(s.BaseType); !ok {
+			return fmt.Errorf("scenario: %s: unknown base type %q (available: %v)", s.Name, s.BaseType, market.DefaultCatalog().Names())
+		}
+	}
+	if s.Allocation != "" {
+		found := false
+		for _, a := range policy.AllocationNames() {
+			if a == s.Allocation {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("scenario: %s: unknown allocation %q (available: %v)", s.Name, s.Allocation, policy.AllocationNames())
+		}
 	}
 	for _, f := range s.Faults {
 		if err := f.validate(); err != nil {
@@ -277,8 +302,9 @@ func (s Spec) withFaults(env *campaign.Environment) (*campaign.Environment, erro
 // DefaultSpecs is the standard scenario battery: every market regime as-is,
 // plus fault-injection scenarios layered on the regimes they stress most —
 // a correlated double mass-preemption on the calm market (the reclaim no
-// price signal predicts) and a region-wide capacity blackout on the
-// baseline market.
+// price signal predicts), a region-wide capacity blackout on the baseline
+// market, and a compatibility-constrained capacity-optimized fleet under
+// the cross-family crunch (the cell where diversification pays).
 func DefaultSpecs() []Spec {
 	specs := []Spec{}
 	for _, name := range market.RegimeNames() {
@@ -299,6 +325,12 @@ func DefaultSpecs() []Spec {
 			Faults: []Fault{
 				{Kind: FaultBlackout, After: 3 * time.Hour, Duration: 6 * time.Hour},
 			},
+		},
+		Spec{
+			Name:       "family-crunch+diversified",
+			Regime:     "family-crunch",
+			BaseType:   "r4.xlarge",
+			Allocation: policy.AllocCapacityOptimized,
 		},
 	)
 	return specs

@@ -130,6 +130,68 @@ func TestBlackoutScenarioDrivesFallbackOnDemand(t *testing.T) {
 	}
 }
 
+// TestFamilyCrunchRewardsDiversification is the catalog layer's acceptance
+// test: under the cross-family crunch — whole instance families crashing as
+// units at staggered instants — the compatibility-constrained diversified
+// fleet must never lose more steps than cheapest-spot and must beat it on
+// both cost and completion time, with every book sound. Cheapest-spot is
+// the §IV-A4 never-revoked baseline (1000× on-demand bid), so it cannot
+// rewind steps at all — it pays for every family crash by riding the 7-10×
+// spike price and sitting on the slowest compatible type, which is exactly
+// where the diversified fleet wins. The default battery's
+// family-crunch+diversified cell is this comparison.
+func TestFamilyCrunchRewardsDiversification(t *testing.T) {
+	specs, err := SpecsByName([]string{"family-crunch+diversified"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := quickOpts()
+	opt.Policies = []string{policy.CheapestName, policy.DiversifiedSpotName}
+	res, err := Matrix{Specs: specs}.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.ViolationCount(); n != 0 {
+		for _, c := range res.Cells {
+			for _, v := range c.Violations {
+				t.Errorf("%s/%s: %v", c.Scenario, c.Policy, v)
+			}
+		}
+		t.Fatalf("%d invariant violations under family crunch", n)
+	}
+	var cheapest, div Cell
+	for _, c := range res.Cells {
+		switch c.Policy {
+		case policy.CheapestName:
+			cheapest = c
+		case policy.DiversifiedSpotName:
+			div = c
+		}
+	}
+	if cheapest.Report == nil || div.Report == nil {
+		t.Fatalf("missing cells: %+v", res.Cells)
+	}
+	// The compatibility anchor narrowed both fleets; the constraint is
+	// echoed for the invariant audit.
+	for _, c := range []Cell{cheapest, div} {
+		if c.Report.BaseType != "r4.xlarge" {
+			t.Errorf("%s report base type %q, want r4.xlarge", c.Policy, c.Report.BaseType)
+		}
+	}
+	if div.Report.LostSteps > cheapest.Report.LostSteps {
+		t.Errorf("diversified fleet lost %d steps vs cheapest-spot's %d — family decorrelation bought nothing",
+			div.Report.LostSteps, cheapest.Report.LostSteps)
+	}
+	if div.Cost >= cheapest.Cost {
+		t.Errorf("diversified fleet cost $%.3f vs cheapest-spot's $%.3f — riding family crashes was cheaper than hopping them",
+			div.Cost, cheapest.Cost)
+	}
+	if div.JCTHours >= cheapest.JCTHours {
+		t.Errorf("diversified fleet finished in %.2fh vs cheapest-spot's %.2fh",
+			div.JCTHours, cheapest.JCTHours)
+	}
+}
+
 // TestCorruptedRunFailsInvariants is the negative control for the
 // self-verification loop: take a genuine healthy run, corrupt its final
 // state the way a billing bug would, and the same Check that passed the

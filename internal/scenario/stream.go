@@ -11,6 +11,7 @@ import (
 	"spottune/internal/experiments"
 	"spottune/internal/invariants"
 	"spottune/internal/obs"
+	"spottune/internal/policy"
 	"spottune/internal/stats"
 	"spottune/internal/trial"
 	"spottune/internal/workload"
@@ -349,7 +350,11 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 		Resilience: job.strategy,
 		Deadline:   b.spec.Deadline,
 		Budget:     b.spec.Budget,
-		Trace:      o.Trace,
+		BaseType:   b.spec.BaseType,
+		PolicyParams: policy.Params{
+			Allocation: b.spec.Allocation,
+		},
+		Trace: o.Trace,
 		// The worker's shared fit memo rides in on the trend predictor, and
 		// its perf cache shares ground-truth step curves across same-seed
 		// cells; both reuses are bit-identical to cold builds, so this

@@ -153,25 +153,35 @@ func (b *Benchmark) TimeFactor(hp HP) float64 { return b.timeFactor(hp) }
 // InstanceSpeedup is the ground-truth training speedup of each Table III
 // instance relative to r4.large. Deliberately non-monotone in price — the
 // Fig. 6 observation that pricier instances are not uniformly faster — which
-// is what makes fine-grained provisioning profitable.
+// is what makes fine-grained provisioning profitable. The catalog's family
+// performance factor scales the result linearly (newer silicon runs every
+// step proportionally faster); Table III types carry factor 1, so their
+// ground truth is bit-identical to the pre-catalog table.
 func InstanceSpeedup(it market.InstanceType) float64 {
+	var base float64
 	switch it.Name {
 	case "r4.large":
-		return 1.0
+		base = 1.0
 	case "r3.xlarge":
-		return 1.7
+		base = 1.7
 	case "r4.xlarge":
-		return 1.9
+		base = 1.9
 	case "m4.2xlarge":
-		return 2.9
+		base = 2.9
 	case "r4.2xlarge":
-		return 2.6
+		base = 2.6
 	case "m4.4xlarge":
-		return 3.6
+		base = 3.6
 	default:
 		// Unknown types: sublinear in cores relative to the 2-core ref.
-		return math.Sqrt(float64(it.CPUs) / 2)
+		base = math.Sqrt(float64(it.CPUs) / 2)
 	}
+	pf := it.PerfFactor
+	if pf == 0 {
+		// Raw literals outside a catalog keep the normalized default.
+		pf = 1
+	}
+	return base * pf
 }
 
 // StepSeconds is the noise-free per-step time of one HP on one instance.
