@@ -4,7 +4,7 @@ GO ?= go
 # target (and CI's coverage lane) fail if the suite drops below it.
 COVER_FLOOR ?= 73.0
 
-.PHONY: all vet build test test-short bench bench-campaign bench-obs trace scenarios storm fuzz cover ci
+.PHONY: all vet build test test-short bench bench-campaign bench-obs trace scenarios storm service fuzz cover ci
 
 all: ci
 
@@ -88,6 +88,21 @@ storm:
 	$(GO) run ./cmd/scenarios -quick -storm all -chaos-seed 1 -tuners all -strategies all \
 		-out results/storm -resiliencejson results/BENCH_resilience.json
 
+# Sharded multi-tenant service lane. First the throughput benchmark: 1k and
+# 10k tenants through the world engine with contention on (campaigns/s, peak
+# heap, cost p99); the benchmark itself fails if the 10k-tenant peak heap
+# exceeds 2x the 1k figure — the bounded-memory gate — and the numbers land
+# in BENCH_service.json (uploaded by CI). Then a 1k-tenant contention
+# battery through cmd/scenarios: shared per-type capacity, surge pricing,
+# weighted-fair admission, audited by the capacity-oversubscription
+# invariant — exits non-zero on any violation. Same temp-file discipline as
+# bench: a failing benchmark binary fails the recipe.
+service:
+	$(GO) test -bench '^BenchmarkServiceThroughput$$' -run '^$$' -benchtime 1x . > BENCH_service.txt
+	grep '^BenchmarkServiceThroughput' BENCH_service.txt | $(GO) run ./cmd/benchperf -out BENCH_service.json
+	rm -f BENCH_service.txt
+	$(GO) run ./cmd/scenarios -quick -tenants 1000 -shards 8 -admission weighted-fair
+
 # Native fuzz targets, run briefly (CI runs the same lane). Corpus finds are
 # committed under the packages' testdata/fuzz directories.
 fuzz:
@@ -105,4 +120,4 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: vet build test-short bench-campaign bench-obs scenarios storm
+ci: vet build test-short bench-campaign bench-obs scenarios storm service

@@ -32,6 +32,7 @@ import (
 	"spottune/internal/obs"
 	"spottune/internal/revpred"
 	"spottune/internal/scenario"
+	"spottune/internal/service"
 	"spottune/internal/simclock"
 	"spottune/internal/trial"
 
@@ -763,4 +764,94 @@ func benchMatrixStreaming(b *testing.B, cells int) {
 		b.ReportMetric(sum.Cost.Quantile(0.99), "cost-p99-usd")
 	}
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// serviceBenchPeak1k stashes the 1k-tenant sub-benchmark's peak heap (MB) so
+// the 10k run can enforce the bounded-memory contract in-process: service
+// working state is per shard and per in-flight slot, so a 10× tenant count
+// must not cost more than 2× the heap.
+var serviceBenchPeak1k float64
+
+// BenchmarkServiceThroughput drives the sharded multi-tenant engine at 1k
+// and 10k concurrent campaigns on a contended shared market and reports
+// campaigns/s plus the peak heap observed while streaming results. `make
+// service` exports these numbers to BENCH_service.json.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, tenants := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			benchServiceThroughput(b, tenants)
+		})
+	}
+}
+
+func benchServiceThroughput(b *testing.B, tenants int) {
+	env, err := campaign.NewEnvironment(campaign.EnvOptions{
+		Seed: 1, Days: 2, TrainDays: 1, Predictor: campaign.PredictorConstant,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := BenchmarkByName("LoR", WorkloadConfig{Seed: 1, Scale: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	curves := bench.SyntheticCurves(1)
+	battery := service.DefaultBattery(tenants, 1)
+	cfg := service.Config{
+		Shards:         8,
+		MaxInFlight:    8,
+		Contention:     true,
+		Capacity:       4,
+		SurgeSlope:     0.5,
+		SkipInvariants: true, // the battery lane audits; this lane measures
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			peak uint64
+			ms   runtime.MemStats
+			seen int
+		)
+		cfg.OnResult = func(r service.Result) {
+			if r.Err != nil {
+				b.Fatalf("tenant %s: %v", r.Tenant.ID, r.Err)
+			}
+			seen++
+			if seen%256 == 0 {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+		sum, err := service.Run(env, bench, curves, battery, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if peak == 0 {
+			runtime.ReadMemStats(&ms)
+			peak = ms.HeapAlloc
+		}
+		if sum.Admitted != tenants || sum.Failed != 0 {
+			b.Fatalf("summary %+v, want %d admitted", sum, tenants)
+		}
+		if len(sum.Capacity) != 0 {
+			b.Fatalf("capacity oversubscription: %v", sum.Capacity)
+		}
+		peakMB := float64(peak) / (1 << 20)
+		b.ReportMetric(peakMB, "peak-heap-MB")
+		b.ReportMetric(sum.Cost.Quantile(0.99), "cost-p99-usd")
+		switch tenants {
+		case 1000:
+			serviceBenchPeak1k = peakMB
+		case 10000:
+			// The flat-memory gate. Guarded so a filtered run of only the
+			// 10k sub-benchmark still works.
+			if serviceBenchPeak1k > 0 && peakMB > 2*serviceBenchPeak1k {
+				b.Fatalf("peak heap %.1f MB at 10k tenants exceeds 2x the 1k figure (%.1f MB)",
+					peakMB, serviceBenchPeak1k)
+			}
+		}
+	}
+	b.ReportMetric(float64(tenants)*float64(b.N)/b.Elapsed().Seconds(), "campaigns/s")
 }

@@ -13,6 +13,9 @@
 //	scenarios -quick -storm all -strategies all -chaos-seed 1 \
 //	          -resiliencejson results/BENCH_resilience.json
 //	                                          # chaos battery: seeded storms × every recovery strategy
+//	scenarios -quick -tenants 1000 -shards 8  # service mode: multi-tenant battery on shared markets
+//	scenarios -quick -tenants 100 -trace-tenant t-00042 -trace t42.jsonl
+//	                                          # explain-this-tenant: flight-record one tenant's campaign
 //	scenarios -list                           # what's available
 //	scenarios -seed 7 -out results            # full fidelity (slow: trains predictors per scenario)
 //
@@ -34,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"spottune/internal/campaign"
 	"spottune/internal/core"
 	"spottune/internal/market"
 	"spottune/internal/obs"
@@ -41,7 +45,9 @@ import (
 	"spottune/internal/resilience"
 	"spottune/internal/scenario"
 	"spottune/internal/search"
+	"spottune/internal/service"
 	"spottune/internal/stats"
+	"spottune/internal/workload"
 )
 
 func main() {
@@ -73,6 +79,15 @@ func run() error {
 		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl, chrome, or all (with 'all', chrome lands next to -trace with a .trace.json suffix)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		tenants   = flag.Int("tenants", 0, "service mode: run this many multi-tenant campaigns through the sharded world engine instead of the scenario matrix (0 = off)")
+		shards    = flag.Int("shards", 4, "service mode: number of world shards")
+		inflight  = flag.Int("inflight", 8, "service mode: max in-flight campaigns per shard")
+		admission = flag.String("admission", service.AdmissionFIFO, "service mode: admission policy: "+strings.Join(service.AdmissionNames(), ", "))
+		capacity  = flag.Int("capacity", 4, "service mode: shared spot capacity per instance type (0 = uncontended private markets)")
+		surge     = flag.Float64("surge", 0.5, "service mode: demand surge slope — price multiplier slope at full utilization")
+		maxBudget = flag.Float64("max-budget", 0, "service mode: admission budget cap in USD; tenant budgets cycle around the cap so admission control has texture (0 = admit all)")
+		traceTen  = flag.String("trace-tenant", "", "service mode: flight-record exactly this tenant's campaign and write it to -trace (the explain-this-tenant workflow)")
 	)
 	flag.Parse()
 
@@ -105,6 +120,24 @@ func run() error {
 	if *list {
 		printInventory()
 		return nil
+	}
+
+	if *tenants > 0 {
+		// Service mode replaces the matrix wholesale, like -storm replaces
+		// the named battery: mixing the two would silently drop one.
+		if *stormF != "" || *names != "all" {
+			return fmt.Errorf("-tenants (service mode) and -storm/-scenarios are mutually exclusive")
+		}
+		return runServiceMode(serviceArgs{
+			workload: *workloadF, seed: *seed, quick: *quick,
+			tenants: *tenants, shards: *shards, inflight: *inflight,
+			admission: *admission, capacity: *capacity, surge: *surge,
+			maxBudget: *maxBudget, traceTenant: *traceTen,
+			tracePath: *trace, traceFmt: *traceFmt,
+		})
+	}
+	if *traceTen != "" {
+		return fmt.Errorf("-trace-tenant requires -tenants (service mode)")
 	}
 
 	if *theta <= 0 || *theta > 1 {
@@ -317,6 +350,152 @@ func run() error {
 	return nil
 }
 
+// serviceArgs carries the service-mode flag values.
+type serviceArgs struct {
+	workload         string
+	seed             uint64
+	quick            bool
+	tenants          int
+	shards, inflight int
+	admission        string
+	capacity         int
+	surge, maxBudget float64
+	traceTenant      string
+	tracePath        string
+	traceFmt         string
+}
+
+// runServiceMode runs the sharded multi-tenant world engine instead of the
+// scenario matrix: a deterministic tenant battery admitted under the chosen
+// policy, spread round-robin over world shards, optionally contending for
+// shared per-type spot capacity with demand-surge pricing. Any capacity
+// oversubscription, per-campaign invariant violation, or failed campaign
+// makes the command exit non-zero — the same audit contract as the matrix.
+func runServiceMode(a serviceArgs) error {
+	if a.traceTenant != "" && a.tracePath == "" {
+		return fmt.Errorf("-trace-tenant needs -trace for the recording")
+	}
+	scale := 0.5
+	envOpt := campaign.EnvOptions{Seed: a.seed, Days: 8, TrainDays: 2}
+	if a.quick {
+		scale = 0.2
+		envOpt = campaign.EnvOptions{Seed: a.seed, Days: 5, TrainDays: 2, Predictor: campaign.PredictorConstant}
+	}
+	bench, err := workload.SuiteByName(a.workload, workload.Config{Seed: a.seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	env, err := campaign.NewEnvironment(envOpt)
+	if err != nil {
+		return err
+	}
+	curves := bench.SyntheticCurves(a.seed)
+
+	battery := service.DefaultBattery(a.tenants, a.seed)
+	if a.maxBudget > 0 {
+		// The default battery leaves budgets unconstrained, which a capped
+		// region rejects wholesale; cycle budgets around the cap instead so
+		// the admission decision has texture (every third tenant is over).
+		for i := range battery {
+			battery[i].Budget = a.maxBudget * []float64{0.5, 0.9, 1.5}[i%3]
+		}
+	}
+	cfg := service.Config{
+		Shards:      a.shards,
+		MaxInFlight: a.inflight,
+		Admission:   a.admission,
+		MaxBudget:   a.maxBudget,
+		Contention:  a.capacity > 0,
+		Capacity:    a.capacity,
+		SurgeSlope:  a.surge,
+		Trace:       true,
+		TraceTenant: a.traceTenant,
+	}
+	mode := "uncontended private markets"
+	if cfg.Contention {
+		mode = fmt.Sprintf("shared capacity %d/type, surge slope %.2f", a.capacity, a.surge)
+	}
+	fmt.Printf("service: %d tenants on %d shards (in-flight %d, admission %s, %s)\n",
+		a.tenants, a.shards, a.inflight, a.admission, mode)
+
+	var tenantTrace *obs.Recording
+	if a.traceTenant != "" {
+		cfg.OnResult = func(r service.Result) {
+			if r.Trace != nil {
+				tenantTrace = r.Trace
+			}
+		}
+	}
+	start := time.Now()
+	sum, err := service.Run(env, bench, curves, battery, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nadmitted %d, rejected %d, failed %d across %d waves (%.0f campaigns/s)\n",
+		sum.Admitted, sum.Rejected, sum.Failed, sum.Waves,
+		float64(sum.Admitted)/elapsed.Seconds())
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "metric", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		s    *stats.QuantileSketch
+	}{{"cost_usd", sum.Cost}, {"jct_hours", sum.JCTHours}, {"refund_frac", sum.RefundFrac}} {
+		fmt.Printf("%-12s %10.4f %10.4f %10.4f %10.4f\n",
+			row.name, row.s.Quantile(0.5), row.s.Quantile(0.9), row.s.Quantile(0.99), row.s.Max())
+	}
+	fmt.Printf("total spend $%.2f, cost gini %.3f\n", sum.TotalCost, sum.CostGini)
+	if a.tenants <= 32 {
+		fmt.Println("\nper-tenant attribution (trace-derived):")
+		if err := obs.AttributeTenants(sum.Trace).WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if a.tracePath != "" {
+		rec := sum.Trace
+		what := "service-level trace"
+		if a.traceTenant != "" {
+			if tenantTrace == nil {
+				return fmt.Errorf("-trace-tenant %q: no such tenant in the battery", a.traceTenant)
+			}
+			rec = tenantTrace
+			what = "tenant " + a.traceTenant + " campaign trace"
+		}
+		if dir := filepath.Dir(a.tracePath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(a.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteTrace(f, a.traceFmt, rec); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d events) written to %s (format %s)\n", what, rec.Len(), a.tracePath, a.traceFmt)
+	}
+
+	for _, v := range sum.Capacity {
+		fmt.Fprintf(os.Stderr, "capacity audit: %s: %s\n", v.Code, v.Detail)
+	}
+	switch {
+	case len(sum.Capacity) > 0:
+		return fmt.Errorf("%d capacity-oversubscription violations", len(sum.Capacity))
+	case sum.Violations > 0:
+		return fmt.Errorf("%d per-campaign invariant violations", sum.Violations)
+	case sum.Failed > 0:
+		return fmt.Errorf("%d campaigns failed", sum.Failed)
+	}
+	fmt.Println("invariant audit: every tenant sound")
+	return nil
+}
+
 func splitArg(s string) []string {
 	s = strings.TrimSpace(s)
 	if s == "" || s == "all" {
@@ -365,6 +544,9 @@ func printInventory() {
 	for _, s := range scenario.StormInfos() {
 		fmt.Printf("  %-11s %s\n", s.Name, s.Doc)
 	}
+	fmt.Println("\nadmission policies (-admission, service mode via -tenants):")
+	fmt.Printf("  %-14s admit and start tenants in submission order\n", service.AdmissionFIFO)
+	fmt.Printf("  %-14s order tenants by descending fair-share weight before sharding\n", service.AdmissionWeightedFair)
 }
 
 // resAgg accumulates resilience outcomes across cells for one recovery

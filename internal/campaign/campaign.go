@@ -204,6 +204,50 @@ func (e *Environment) NewCluster() (*cloudsim.Cluster, error) {
 	return cluster, nil
 }
 
+// World is a shared simulated region several campaigns run inside at once:
+// one virtual clock they cooperatively advance, an optional catalog override
+// (typically market.Catalog.WithCapacity for a finite region), and an
+// optional capacity domain coupling their spot fleets. A nil World (the
+// default) keeps every campaign in its own private universe — NewCluster
+// semantics, bit-identical to historical runs.
+type World struct {
+	// Clock is the region's shared virtual time. Campaigns in the same
+	// world must be serialized (the service arbiter's token does this):
+	// the clock's engine is single-goroutine state.
+	Clock *simclock.Virtual
+	// Catalog, when non-nil, replaces the environment catalog for the
+	// cluster and the provisioning policy. Types must keep the
+	// environment's names (traces are looked up by name).
+	Catalog *market.Catalog
+	// Domain, when non-nil, makes co-resident fleets contend: shared
+	// per-type capacity and demand-pressure surge pricing.
+	Domain *cloudsim.CapacityDomain
+}
+
+// NewClusterIn builds a fresh cluster inside a shared world: same store,
+// traces, and fault hooks as NewCluster, but on the world's clock, under its
+// catalog override, attached to its capacity domain.
+func (e *Environment) NewClusterIn(w *World) (*cloudsim.Cluster, error) {
+	if w == nil || w.Clock == nil {
+		return nil, errors.New("campaign: world without a clock")
+	}
+	cat := e.Catalog
+	if w.Catalog != nil {
+		cat = w.Catalog
+	}
+	cluster, err := cloudsim.NewClusterWithStore(w.Clock, cat, e.Traces, e.Store)
+	if err != nil {
+		return nil, err
+	}
+	cluster.SetCapacityDomain(w.Domain)
+	for _, hook := range e.ClusterHooks {
+		if err := hook(cluster); err != nil {
+			return nil, fmt.Errorf("campaign: cluster hook: %w", err)
+		}
+	}
+	return cluster, nil
+}
+
 // Options tunes one campaign run.
 type Options struct {
 	Theta         float64
@@ -265,6 +309,12 @@ type Options struct {
 	// compatibility predicate, not just catalog-aware ones — and the
 	// constraint is echoed into the report for the invariant checker.
 	BaseType string
+	// World, when set, runs the campaign inside a shared region (the
+	// multi-tenant service's shard) instead of a private one: the cluster
+	// is built on the world's clock, catalog, and capacity domain. The
+	// caller owns serialization — campaigns sharing a world must never
+	// execute concurrently.
+	World *World
 }
 
 // RunDetail is one campaign run's final simulator state: everything an
@@ -332,7 +382,9 @@ func (e *Environment) NewPolicy(name string, seed uint64, base policy.Params) (p
 	}
 	base.Seed = seed
 	base.RevProb = core.GridRevProb(e.Grids, e.Predictors)
-	base.Catalog = e.Catalog
+	if base.Catalog == nil {
+		base.Catalog = e.Catalog
+	}
 	return policy.New(name, base)
 }
 
@@ -350,7 +402,18 @@ func (e *Environment) RunPolicy(b *workload.Benchmark, curves workload.Curves, o
 	if b == nil {
 		return nil, errors.New("campaign: nil benchmark")
 	}
-	cluster, err := e.NewCluster()
+	var cluster *cloudsim.Cluster
+	var err error
+	if opt.World != nil {
+		cluster, err = e.NewClusterIn(opt.World)
+		// The policy must quote and rank under the world's (possibly
+		// capacity-capped) catalog, not the environment default.
+		if opt.World.Catalog != nil && opt.PolicyParams.Catalog == nil {
+			opt.PolicyParams.Catalog = opt.World.Catalog
+		}
+	} else {
+		cluster, err = e.NewCluster()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -31,6 +32,15 @@ type SweepOptions struct {
 	Workers int
 	// Seed is the base of every task's private rand stream.
 	Seed uint64
+	// Context, when set, cancels the sweep: tasks not yet handed to a
+	// worker stop dispatching, in-flight tasks run to completion (campaign
+	// runs are not interruptible mid-simulation), and every undispatched
+	// slot reports the context's error. Nil means never cancel.
+	Context context.Context
+	// FailFast cancels the remaining sweep on the first task error: later
+	// undispatched tasks report context.Canceled instead of running. The
+	// failing task's own result is preserved at its slot.
+	FailFast bool
 }
 
 // Sweep runs the tasks on a worker pool and returns their results in task
@@ -43,6 +53,10 @@ type SweepOptions struct {
 // i-th result slot always holds the i-th task's outcome. A sweep over a
 // fixed environment and seed is therefore reproducible run to run and
 // identical to executing the tasks sequentially.
+//
+// Cancellation (SweepOptions.Context / FailFast) drains rather than aborts:
+// workers finish the task in their hands, then Sweep returns with every
+// never-dispatched slot holding the context error and a nil report.
 func Sweep(tasks []Task, opt SweepOptions) []SweepResult {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -55,7 +69,17 @@ func Sweep(tasks []Task, opt SweepOptions) []SweepResult {
 	if len(tasks) == 0 {
 		return results
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if opt.FailFast {
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	idx := make(chan int)
+	dispatched := make([]bool, len(tasks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -73,14 +97,31 @@ func Sweep(tasks []Task, opt SweepOptions) []SweepResult {
 					res.Report, res.Err = t.Run(rand.New(rand.NewPCG(opt.Seed, uint64(i))))
 				}()
 				results[i] = res
+				if res.Err != nil && cancel != nil {
+					cancel()
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range tasks {
-		idx <- i
+		select {
+		case idx <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Slots never handed to a worker report why the sweep stopped short.
+	if err := ctx.Err(); err != nil {
+		for i := range tasks {
+			if !dispatched[i] {
+				results[i] = SweepResult{Key: tasks[i].Key, Err: err}
+			}
+		}
+	}
 	return results
 }
 

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -135,5 +136,92 @@ func TestSweepMatchesSequentialCampaigns(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+// TestSweepCancelMidFlight cancels a 100-run sweep partway through and pins
+// the drain contract: in-flight tasks complete, never-dispatched tasks
+// report the context error with nil reports, and the call returns promptly.
+// Run under -race this also exercises the dispatched-slot bookkeeping.
+func TestSweepCancelMidFlight(t *testing.T) {
+	const n = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	release := make(chan struct{})
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Key: fmt.Sprintf("t%d", i),
+			Run: func(*rand.Rand) (*core.Report, error) {
+				if started.Add(1) == 10 { // 16 workers guarantee 10 concurrent starts
+					cancel() // cancel mid-flight from inside a worker
+					close(release)
+				}
+				<-release // everyone blocks until the canceller fires
+				return &core.Report{}, nil
+			},
+		}
+	}
+	res := Sweep(tasks, SweepOptions{Workers: 16, Seed: 7, Context: ctx})
+	ran, cancelled := 0, 0
+	for i, r := range res {
+		switch {
+		case r.Report != nil && r.Err == nil:
+			ran++
+		case errors.Is(r.Err, context.Canceled):
+			if r.Report != nil {
+				t.Fatalf("slot %d has both a report and a cancel error", i)
+			}
+			cancelled++
+		default:
+			t.Fatalf("slot %d in impossible state: %+v", i, r)
+		}
+	}
+	if ran+cancelled != n {
+		t.Fatalf("accounted for %d results, want %d", ran+cancelled, n)
+	}
+	if ran < 10 {
+		t.Fatalf("only %d tasks completed; at least the 10 started must drain", ran)
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation dispatched every task; expected undispatched slots")
+	}
+}
+
+// TestSweepFailFast pins first-error semantics: one failing task stops
+// dispatch, its own error is preserved, and trailing slots report
+// context.Canceled so FirstErr still surfaces the root cause first.
+func TestSweepFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 50
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Key: fmt.Sprintf("t%d", i),
+			Run: func(*rand.Rand) (*core.Report, error) {
+				if i == 0 {
+					return nil, boom
+				}
+				return &core.Report{}, nil
+			},
+		}
+	}
+	res := Sweep(tasks, SweepOptions{Workers: 1, Seed: 1, FailFast: true})
+	if !errors.Is(res[0].Err, boom) {
+		t.Fatalf("failing slot holds %v, want boom", res[0].Err)
+	}
+	cancelled := 0
+	for _, r := range res[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("fail-fast did not cancel any trailing task")
+	}
+	if err := FirstErr(res); !errors.Is(err, boom) {
+		t.Fatalf("FirstErr = %v, want the root cause", err)
 	}
 }

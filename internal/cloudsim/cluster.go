@@ -94,6 +94,12 @@ type Instance struct {
 	NoticeAt time.Time
 	RevokeAt time.Time
 
+	// Surge is the demand-pressure billing multiplier sampled at launch
+	// (1 outside a capacity domain): spot billing integrates the trace
+	// price times this factor. Zero is read as 1 for instances built
+	// outside the cluster constructors.
+	Surge float64
+
 	noticeEv simclock.EventRef
 	revokeEv simclock.EventRef
 	// onNotice is the subscriber registered at request time; fault
@@ -181,6 +187,13 @@ type Cluster struct {
 	// is never capped.
 	runningSpot map[string]int
 
+	// domain, when attached (SetCapacityDomain), shares per-type spot
+	// capacity and demand-pressure pricing with every other cluster on the
+	// same domain (multi-tenant service shards). Nil — the default —
+	// keeps the cluster a private world, bit-identical to pre-service
+	// behavior.
+	domain *CapacityDomain
+
 	// blackouts are the installed capacity-unavailability windows, in
 	// installation order (fault injection; see faults.go).
 	blackouts []Blackout
@@ -241,6 +254,24 @@ func (c *Cluster) SetTracer(t obs.Tracer) {
 	c.trc = t
 }
 
+// SetCapacityDomain attaches the cluster to a shared capacity/demand domain
+// (nil detaches). Attach before any spot request: the domain must see every
+// live spot instance to keep its accounting conserved.
+func (c *Cluster) SetCapacityDomain(d *CapacityDomain) { c.domain = d }
+
+// surgeFor is the live demand-pressure multiplier quoted for a type (1
+// without a domain).
+func (c *Cluster) surgeFor(typeName string) float64 {
+	if c.domain == nil {
+		return 1
+	}
+	it, ok := c.catalog.Lookup(typeName)
+	if !ok {
+		return 1
+	}
+	return c.domain.SurgeFactor(typeName, it.Capacity)
+}
+
 // Clock exposes the cluster's virtual clock.
 func (c *Cluster) Clock() *simclock.Virtual { return c.clk }
 
@@ -262,7 +293,7 @@ func (c *Cluster) CurrentPrice(typeName string) (float64, error) {
 		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
 	}
 	p, _ := c.store.PriceAt(ti, c.clk.Now())
-	return p, nil
+	return p * c.surgeFor(typeName), nil
 }
 
 // AvgPriceLastHour returns the time-weighted average market price over the
@@ -273,7 +304,8 @@ func (c *Cluster) AvgPriceLastHour(typeName string) (float64, error) {
 		return 0, fmt.Errorf("cloudsim: unknown market %q", typeName)
 	}
 	now := c.clk.Now()
-	return c.store.AvgOver(ti, now.Add(-time.Hour), now)
+	avg, err := c.store.AvgOver(ti, now.Add(-time.Hour), now)
+	return avg * c.surgeFor(typeName), err
 }
 
 // OnDemandPrice returns the fixed hourly on-demand quote for a type — the
@@ -310,6 +342,11 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 	if it.Capacity > 0 && c.runningSpot[typeName] >= it.Capacity {
 		return nil, fmt.Errorf("%w: %s at capacity %d", ErrCapacityUnavailable, typeName, it.Capacity)
 	}
+	// The shared domain's cap counts co-resident tenants' fleets too, so a
+	// cluster can be refused room its private count would have granted.
+	if c.domain != nil && !c.domain.hasRoom(typeName, it.Capacity) {
+		return nil, fmt.Errorf("%w: %s at shared capacity %d", ErrCapacityUnavailable, typeName, it.Capacity)
+	}
 	cur, _ := c.store.PriceAt(ti, now)
 	if cur > maxPrice {
 		return nil, fmt.Errorf("%w: %s at %.4f > max %.4f", ErrPriceAboveMax, typeName, cur, maxPrice)
@@ -321,10 +358,17 @@ func (c *Cluster) RequestSpot(typeName string, maxPrice float64, onNotice Notice
 		MaxPrice:   maxPrice,
 		LaunchedAt: now,
 		State:      StateRunning,
+		Surge:      1,
 		onNotice:   onNotice,
 	}
 	c.instances[inst.ID] = inst
 	c.runningSpot[typeName]++
+	if c.domain != nil {
+		// Sampled after acquiring, so an instance's own demand is part of
+		// the pressure it is billed under.
+		c.domain.acquire(typeName)
+		inst.Surge = c.domain.SurgeFactor(typeName, it.Capacity)
+	}
 
 	if exceedAt, found := c.store.FirstExceed(ti, now, maxPrice); found {
 		noticeAt := exceedAt.Add(-NoticeLeadTime)
@@ -366,6 +410,7 @@ func (c *Cluster) RequestOnDemand(typeName string) (*Instance, error) {
 		OnDemand:   true,
 		LaunchedAt: c.clk.Now(),
 		State:      StateRunning,
+		Surge:      1,
 	}
 	c.instances[inst.ID] = inst
 	return inst, nil
@@ -398,6 +443,9 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 	inst.End = reason
 	if !inst.OnDemand {
 		c.runningSpot[inst.Type.Name]--
+		if c.domain != nil {
+			c.domain.release(inst.Type.Name)
+		}
 	}
 
 	usage := Usage{
@@ -415,7 +463,11 @@ func (c *Cluster) finish(inst *Instance, at time.Time, reason EndReason) {
 		} else if ti, ok := c.store.Lookup(inst.Type.Name); ok {
 			avg, err := c.store.AvgOver(ti, inst.LaunchedAt, at)
 			if err == nil {
-				usage.GrossCost = avg * dur.Hours()
+				surge := inst.Surge
+				if surge == 0 {
+					surge = 1
+				}
+				usage.GrossCost = avg * dur.Hours() * surge
 			}
 		}
 	}

@@ -1,0 +1,88 @@
+package invariants
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spottune/internal/cloudsim"
+	"spottune/internal/market"
+)
+
+func capCatalog(capacity int) *market.Catalog {
+	return market.MustNewCatalog([]market.InstanceType{
+		{Name: "r4.large", CPUs: 2, MemoryGB: 15, OnDemandPrice: 0.133, Capacity: capacity},
+		{Name: "m4.2xlarge", CPUs: 8, MemoryGB: 32, OnDemandPrice: 0.4},
+	})
+}
+
+func usage(typeName string, onDemand bool, start time.Time, fromMin, toMin int) cloudsim.Usage {
+	return cloudsim.Usage{
+		InstanceID: "i",
+		TypeName:   typeName,
+		OnDemand:   onDemand,
+		Launched:   start.Add(time.Duration(fromMin) * time.Minute),
+		Ended:      start.Add(time.Duration(toMin) * time.Minute),
+	}
+}
+
+// TestCheckCapacity pins the sweep-line audit: overlapping cross-tenant spot
+// lifetimes beyond the cap are a violation; back-to-back replacement at the
+// same instant, on-demand rentals, and uncapped types are not.
+func TestCheckCapacity(t *testing.T) {
+	start := time.Date(2017, 5, 4, 0, 0, 0, 0, time.UTC)
+	cat := capCatalog(2)
+
+	// Two tenants, three overlapping r4.large spot instances at minute 20
+	// against capacity 2 — only detectable across ledgers.
+	la := &cloudsim.Ledger{Records: []cloudsim.Usage{
+		usage("r4.large", false, start, 0, 60),
+		usage("r4.large", false, start, 10, 30),
+	}}
+	lb := &cloudsim.Ledger{Records: []cloudsim.Usage{
+		usage("r4.large", false, start, 20, 40),
+	}}
+	vs := CheckCapacity(cat, []*cloudsim.Ledger{la, lb})
+	if len(vs) != 1 {
+		t.Fatalf("%d violations, want 1: %v", len(vs), vs)
+	}
+	if vs[0].Code != CodeCapacityOversubscription {
+		t.Fatalf("code %q", vs[0].Code)
+	}
+	if !strings.Contains(vs[0].Detail, "r4.large: 3 live") {
+		t.Fatalf("detail %q, want peak 3 on r4.large", vs[0].Detail)
+	}
+
+	// Same instant hand-off: [0,30) then [30,60) twice over is exactly at
+	// cap at every instant — the half-open treatment must not flag it.
+	ok := &cloudsim.Ledger{Records: []cloudsim.Usage{
+		usage("r4.large", false, start, 0, 30),
+		usage("r4.large", false, start, 0, 30),
+		usage("r4.large", false, start, 30, 60),
+		usage("r4.large", false, start, 30, 60),
+	}}
+	if vs := CheckCapacity(cat, []*cloudsim.Ledger{ok}); len(vs) != 0 {
+		t.Fatalf("hand-off at capacity flagged: %v", vs)
+	}
+
+	// On-demand rentals and uncapped types are exempt however many overlap.
+	exempt := &cloudsim.Ledger{Records: []cloudsim.Usage{
+		usage("r4.large", true, start, 0, 60),
+		usage("r4.large", true, start, 0, 60),
+		usage("r4.large", true, start, 0, 60),
+		usage("m4.2xlarge", false, start, 0, 60),
+		usage("m4.2xlarge", false, start, 0, 60),
+		usage("m4.2xlarge", false, start, 0, 60),
+	}}
+	if vs := CheckCapacity(cat, []*cloudsim.Ledger{exempt}); len(vs) != 0 {
+		t.Fatalf("exempt records flagged: %v", vs)
+	}
+
+	// Nil catalog / nil ledgers are quietly sound.
+	if vs := CheckCapacity(nil, []*cloudsim.Ledger{la}); vs != nil {
+		t.Fatalf("nil catalog returned %v", vs)
+	}
+	if vs := CheckCapacity(cat, []*cloudsim.Ledger{nil}); vs != nil {
+		t.Fatalf("nil ledger returned %v", vs)
+	}
+}

@@ -216,6 +216,24 @@ func (c *Catalog) CompatibleWith(baseName string) ([]string, error) {
 	return out, nil
 }
 
+// WithCapacity returns a copy of the catalog whose every type's spot
+// Capacity is set to n (n <= 0 returns an identical copy). The default
+// catalog is uncapped — this is how a multi-tenant service turns it into a
+// finite region whose co-resident fleets actually contend for room. Types
+// that already declare a tighter cap keep it.
+func (c *Catalog) WithCapacity(n int) *Catalog {
+	types := make([]InstanceType, len(c.types))
+	copy(types, c.types)
+	if n > 0 {
+		for i := range types {
+			if types[i].Capacity == 0 || types[i].Capacity > n {
+				types[i].Capacity = n
+			}
+		}
+	}
+	return MustNewCatalog(types)
+}
+
 // DefaultCatalog reproduces Table III: the six-instance experimental pool,
 // annotated with the family/zone layout diversified fleets spread across.
 // Every performance factor is 1 — the catalog metadata changes no modeled

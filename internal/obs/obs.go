@@ -118,6 +118,21 @@ const (
 	// candidate's allocation score, N=candidates considered after the
 	// family filter.
 	KindDiversify
+	// KindTenantAdmit is a service-level admission grant: Trial=tenant ID,
+	// Label=admission policy name, A=the tenant's fair-share weight,
+	// N=shard index the tenant was assigned to.
+	KindTenantAdmit
+	// KindTenantReject is a service-level admission refusal: Trial=tenant
+	// ID, Label=the rejection reason ("budget-cap"|"deadline-cap"),
+	// N=shard index that would have hosted it. Rejected tenants never run,
+	// so no ledger entries follow.
+	KindTenantReject
+	// KindTenantStart marks a tenant campaign beginning execution on its
+	// shard: Trial=tenant ID, N=shard index.
+	KindTenantStart
+	// KindTenantDone closes a tenant campaign: Trial=tenant ID, A=net cost
+	// USD, B=JCT hours, N=shard index.
+	KindTenantDone
 
 	numKinds // sentinel; keep last
 )
@@ -147,6 +162,10 @@ var kindNames = [numKinds]string{
 	KindGiveUp:        "give-up",
 	KindDegradation:   "degradation",
 	KindDiversify:     "diversify",
+	KindTenantAdmit:   "tenant-admit",
+	KindTenantReject:  "tenant-reject",
+	KindTenantStart:   "tenant-start",
+	KindTenantDone:    "tenant-done",
 }
 
 func (k Kind) String() string {

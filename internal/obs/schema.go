@@ -56,6 +56,10 @@ var kindDocs = [numKinds]string{
 	KindGiveUp:        "retry budget exhausted, trial abandoned: trial, type=last market, n=attempts spent",
 	KindDegradation:   "degradation-ladder escalation: label=new level name, a=projected slack seconds, n=new level",
 	KindDiversify:     "diversified-spot family decorrelation: trial, type=chosen market, label=avoided family, a=allocation score, n=candidates after filter",
+	KindTenantAdmit:   "service admission grant: trial=tenant, label=admission policy, a=fair-share weight, n=shard",
+	KindTenantReject:  "service admission refusal: trial=tenant, label=reason, n=shard; rejected tenants never run",
+	KindTenantStart:   "tenant campaign begins on its shard: trial=tenant, n=shard",
+	KindTenantDone:    "tenant campaign closes: trial=tenant, a=net cost USD, b=JCT hours, n=shard",
 }
 
 // Schema returns the current trace schema, kinds in numeric (emission

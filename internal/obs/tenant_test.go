@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAttributeTenants pins the per-tenant fold: admission order is row
+// order, rejected tenants carry reasons and zero cost, and totals count the
+// done events only.
+func TestAttributeTenants(t *testing.T) {
+	vt := time.Date(2017, 5, 4, 0, 0, 0, 0, time.UTC)
+	r := NewRecording(Meta{})
+	r.Emit(Event{VT: vt, Kind: KindTenantAdmit, Trial: "t-001", Label: "fifo", A: 1, N: 0})
+	r.Emit(Event{VT: vt, Kind: KindTenantReject, Trial: "t-002", Label: "budget-cap", N: 1})
+	r.Emit(Event{VT: vt, Kind: KindTenantAdmit, Trial: "t-003", Label: "fifo", A: 2.5, N: 1})
+	r.Emit(Event{VT: vt, Kind: KindTenantStart, Trial: "t-001", N: 0})
+	r.Emit(Event{VT: vt, Kind: KindTenantDone, Trial: "t-001", A: 3.25, B: 12.5, N: 0})
+	r.Emit(Event{VT: vt, Kind: KindTenantStart, Trial: "t-003", N: 1})
+	r.Emit(Event{VT: vt, Kind: KindTenantDone, Trial: "t-003", A: 1.75, B: 8, N: 1})
+
+	ta := AttributeTenants(r)
+	if ta.Admitted != 2 || ta.Rejected != 1 {
+		t.Fatalf("admitted %d rejected %d, want 2/1", ta.Admitted, ta.Rejected)
+	}
+	if len(ta.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(ta.Rows))
+	}
+	if ta.Rows[0].Tenant != "t-001" || ta.Rows[1].Tenant != "t-002" || ta.Rows[2].Tenant != "t-003" {
+		t.Fatalf("rows out of admission order: %+v", ta.Rows)
+	}
+	rej := ta.Rows[1]
+	if rej.Admitted || rej.Reason != "budget-cap" || rej.NetCost != 0 || rej.Done {
+		t.Fatalf("rejected row wrong: %+v", rej)
+	}
+	if got := ta.Rows[2]; !got.Admitted || got.Weight != 2.5 || got.Shard != 1 ||
+		got.NetCost != 1.75 || got.JCTHours != 8 || !got.Done {
+		t.Fatalf("t-003 row wrong: %+v", got)
+	}
+	if ta.NetCost != 3.25+1.75 {
+		t.Fatalf("total net %v, want 5.0", ta.NetCost)
+	}
+
+	var sb strings.Builder
+	if err := ta.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"t-001", "budget-cap", "TOTAL", "admitted 2, rejected 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

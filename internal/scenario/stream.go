@@ -23,8 +23,10 @@ import (
 // replicate is the legacy battery, bit for bit.
 const replicateStride = 0x9E3779B97F4A7C15
 
-// replicateSeed is the campaign seed of replicate r of a spec.
-func replicateSeed(specSeed uint64, r int) uint64 {
+// ReplicateSeed is the campaign seed of replicate r of a spec — exported so
+// the multi-tenant service derives tenant seeds on the same stream the
+// matrix runner uses, keeping cross-harness results comparable.
+func ReplicateSeed(specSeed uint64, r int) uint64 {
 	return specSeed + uint64(r)*replicateStride
 }
 
@@ -344,7 +346,7 @@ func runCell(job cellJob, o Options, memo *earlycurve.FitMemo, perfc *trial.Perf
 	var rec *obs.Recording
 	copt := campaign.Options{
 		Theta:      o.Theta,
-		Seed:       replicateSeed(b.spec.Seed, job.rep),
+		Seed:       ReplicateSeed(b.spec.Seed, job.rep),
 		Tuner:      job.tuner,
 		Policy:     job.policy,
 		Resilience: job.strategy,

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Campaign states inside one wave's arbiter.
+const (
+	stWaiting int8 = iota // blocked (or about to block) on its grant channel
+	stRunning             // holds the shard token and is executing
+	stDone                // finished; never granted again
+)
+
+// arbiter serializes one wave of tenant campaigns over a shared virtual
+// clock. Exactly one campaign holds the token at any moment; everyone else
+// is parked on a buffered(1) grant channel. The scheduling rule is
+// conservative next-event order: the token always goes to the waiting
+// campaign with the minimum advance target (ties broken by wave slot), so
+// the shared clock is globally nondecreasing and every tenant's events fire
+// at their exact virtual due time — which is what makes contention-free
+// shared-world results bit-identical to solo runs.
+//
+// The engine's advance gate has no caller identity, but it does not need
+// one: execution is serialized, so whoever triggers the gate IS the current
+// token holder.
+type arbiter struct {
+	mu     sync.Mutex
+	state  []int8
+	target []int64 // next-advance target, unix nanos
+	grants []chan struct{}
+	holder int
+	live   int
+}
+
+// newArbiter parks n campaigns, all waiting at the wave epoch — before its
+// first clock advance a campaign's "target" is the campaign start, so setup
+// work (trial generation, policy construction, initial scheduling) runs in
+// slot order before any virtual time passes.
+func newArbiter(n int, epochNanos int64) *arbiter {
+	a := &arbiter{
+		state:  make([]int8, n),
+		target: make([]int64, n),
+		grants: make([]chan struct{}, n),
+		holder: -1,
+		live:   n,
+	}
+	for i := range a.grants {
+		a.grants[i] = make(chan struct{}, 1)
+		a.target[i] = epochNanos
+	}
+	return a
+}
+
+// pickLocked returns the waiting campaign with the minimum (target, slot),
+// or -1 when none waits.
+func (a *arbiter) pickLocked() int {
+	best := -1
+	for i, st := range a.state {
+		if st != stWaiting {
+			continue
+		}
+		if best == -1 || a.target[i] < a.target[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// grantLocked hands the token to slot i. The send never blocks: a waiting
+// campaign's buffered(1) channel is always empty.
+func (a *arbiter) grantLocked(i int) {
+	a.state[i] = stRunning
+	a.holder = i
+	a.grants[i] <- struct{}{}
+}
+
+// kick starts the wave after every campaign goroutine has been launched.
+func (a *arbiter) kick() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i := a.pickLocked(); i >= 0 {
+		a.grantLocked(i)
+	}
+}
+
+// acquire blocks slot i until it is first granted the token.
+func (a *arbiter) acquire(i int) { <-a.grants[i] }
+
+// gate is installed as the shared engine's advance gate: the current holder
+// wants to advance virtual time to target, so it yields the token to
+// whoever's target is earliest (possibly itself) and blocks until the token
+// comes back. By the grant rule, when it returns the clock has advanced at
+// most to target.
+func (a *arbiter) gate(target time.Time) {
+	a.mu.Lock()
+	i := a.holder
+	a.state[i] = stWaiting
+	a.target[i] = target.UnixNano()
+	next := a.pickLocked()
+	a.grantLocked(next)
+	a.mu.Unlock()
+	<-a.grants[i]
+}
+
+// finish retires slot i and passes the token on. All remaining live
+// campaigns are necessarily waiting (only the holder can finish), so the
+// hand-off never strands the wave.
+func (a *arbiter) finish(i int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.state[i] = stDone
+	a.live--
+	if a.live == 0 {
+		a.holder = -1
+		return
+	}
+	if next := a.pickLocked(); next >= 0 {
+		a.grantLocked(next)
+	}
+}

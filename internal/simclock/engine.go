@@ -40,6 +40,17 @@ type Engine struct {
 	free     []*Event
 	slab     []Event
 	slabUsed int
+
+	// pool, when attached (SetNodePool), replaces the private free/slab
+	// arena with a shared one so slots survive the engine (service shards
+	// build one engine per scheduling wave). Nil for ordinary engines — the
+	// private path above stays lock-free beyond e.mu.
+	pool *NodePool
+
+	// gate, when installed (SetAdvanceGate), is called at the top of every
+	// time-advancing RunUntil, before any event fires. Read without the
+	// lock: install before the simulation starts.
+	gate func(target time.Time)
 }
 
 // eventSlabSize is how many Event slots one slab allocation provides.
@@ -113,6 +124,11 @@ func (r EventRef) Pending() bool {
 // alloc hands out a pooled event slot. Caller must hold e.mu. The slot's gen
 // is preserved across reuse so stale EventRefs keep failing their check.
 func (e *Engine) alloc() *Event {
+	if e.pool != nil {
+		ev := e.pool.get()
+		ev.owner = e
+		return ev
+	}
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
@@ -135,6 +151,10 @@ func (e *Engine) recycle(ev *Event) {
 	ev.gen++
 	ev.fn = nil
 	ev.idx = -1
+	if e.pool != nil {
+		e.pool.put(ev)
+		return
+	}
 	e.free = append(e.free, ev)
 }
 
@@ -218,6 +238,14 @@ func (e *Engine) Step() bool {
 // leaves the clock at target, and returns the number of events fired. If
 // target is before the current instant it is a no-op.
 func (e *Engine) RunUntil(target time.Time) int {
+	if e.gate != nil {
+		e.mu.Lock()
+		due := target.After(e.now)
+		e.mu.Unlock()
+		if due {
+			e.gate(target)
+		}
+	}
 	targetNanos := target.UnixNano()
 	fired := 0
 	for {

@@ -261,3 +261,27 @@ func RelativeError(pred, truth, eps float64) float64 {
 	}
 	return math.Abs(pred-truth) / den
 }
+
+// Gini is the Gini coefficient of a non-negative sample — the service
+// layer's fairness metric over per-tenant spend. 0 means perfectly equal
+// shares, values toward 1 mean spend concentrated on few tenants. Empty,
+// all-zero, or negative-sum samples return 0 (no inequality measurable).
+// The input slice is not modified.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, x := range sorted {
+		sum += x
+		weighted += float64(i+1) * x
+	}
+	if sum <= 0 {
+		return 0
+	}
+	// Standard rank formulation: G = (2·Σ i·x_(i) )/(n·Σx) − (n+1)/n.
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}

@@ -304,3 +304,34 @@ func TestTopKSortedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGini pins the fairness metric: equality is 0, full concentration
+// approaches (n-1)/n, and the classic two-point split matches hand math.
+func TestGini(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("Gini(nil) = %v", g)
+	}
+	if g := Gini([]float64{0, 0, 0}); g != 0 {
+		t.Fatalf("all-zero Gini = %v", g)
+	}
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal-shares Gini = %v, want 0", g)
+	}
+	// One tenant holds everything among 4: G = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini = %v, want 0.75", g)
+	}
+	// {1,3}: G = (2·(1·1+2·3))/(2·4) − 3/2 = 14/8 − 1.5 = 0.25.
+	if g := Gini([]float64{3, 1}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("two-point Gini = %v, want 0.25", g)
+	}
+	// Order must not matter and the input must survive.
+	in := []float64{4, 1, 2}
+	want := Gini([]float64{1, 2, 4})
+	if g := Gini(in); g != want {
+		t.Fatalf("order-dependent Gini: %v vs %v", g, want)
+	}
+	if in[0] != 4 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Gini mutated its input: %v", in)
+	}
+}
